@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure from the paper, prints
+the rows (visible with ``pytest -s`` and always written to
+``results/``), and asserts the *shape* claims -- who wins, in what
+order -- hold.  ``REPRO_EVAL_RUNS`` raises the per-problem run count
+toward the paper's n=20 when more fidelity is wanted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it under results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment exactly once (experiments are minutes,
+    not microseconds; statistical rerunning is pointless)."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,56 @@
+"""Table I: MAGE Pass@1 under the Low/High temperature settings.
+
+Paper row (Claude 3.5 Sonnet):
+
+    Config      VerilogEval-Human Pass@1    VerilogEval-V2 Pass@1
+    High Temp   94.8                        95.7
+    Low Temp    89.1                        93.6
+
+Shape claims asserted: high temperature beats low temperature on both
+suites, and both configurations clear 80%.
+"""
+
+from benchmarks.conftest import publish, run_once
+from repro.core.config import MAGEConfig
+from repro.evaluation.harness import default_runs, evaluate_mage
+
+_PAPER = {
+    ("high", "verilogeval-human-v1"): 94.8,
+    ("high", "verilogeval-v2"): 95.7,
+    ("low", "verilogeval-human-v1"): 89.1,
+    ("low", "verilogeval-v2"): 93.6,
+}
+
+
+def _run_table1():
+    runs = default_runs(2)
+    rows = {}
+    for label, config, n in [
+        ("high", MAGEConfig.high_temperature(), runs),
+        ("low", MAGEConfig.low_temperature(), 1),
+    ]:
+        for suite in ("verilogeval-human-v1", "verilogeval-v2"):
+            rows[(label, suite)] = evaluate_mage(config, suite, runs=n)
+    return rows
+
+
+def test_table1_temperature(benchmark):
+    rows = run_once(benchmark, _run_table1)
+
+    lines = [
+        f"{'Config':10s} {'Suite':24s} {'Pass@1':>8s} {'Paper':>8s}",
+        "-" * 54,
+    ]
+    for (label, suite), result in rows.items():
+        lines.append(
+            f"{label:10s} {suite:24s} {result.percent:7.1f}% "
+            f"{_PAPER[(label, suite)]:7.1f}%"
+        )
+    publish("table1_temperature", "\n".join(lines))
+
+    for suite in ("verilogeval-human-v1", "verilogeval-v2"):
+        high = rows[("high", suite)].percent
+        low = rows[("low", suite)].percent
+        assert high >= low, f"high temperature must win on {suite}"
+        assert low >= 80.0, f"low temperature collapsed on {suite}"
+        assert high >= 90.0, f"high temperature too weak on {suite}"

@@ -1,0 +1,64 @@
+"""Table II: pass rates of recent LLMs and coding systems vs MAGE.
+
+Reproduces every row of the paper's comparison on our suites.  Shape
+claims asserted: MAGE beats every baseline on both suites; the vanilla
+Claude > GPT-4o > fine-tuned-small-model ordering holds; MAGE improves
+on vanilla Claude by a double-digit margin (paper: +19.8 / +23.3).
+"""
+
+from benchmarks.conftest import publish, run_once
+from repro.baselines.registry import SYSTEMS
+from repro.evaluation.harness import default_runs, evaluate_system
+
+
+def _run_table2():
+    runs = default_runs(2)
+    results = {}
+    for key, spec in SYSTEMS.items():
+        n = runs if key == "mage" else 1
+        results[key] = {
+            "v1": evaluate_system(
+                spec.factory, "verilogeval-human-v1", runs=n
+            ),
+            "v2": evaluate_system(spec.factory, "verilogeval-v2", runs=n),
+        }
+    return results
+
+
+def test_table2_baselines(benchmark):
+    results = run_once(benchmark, _run_table2)
+
+    lines = [
+        f"{'System':34s} {'Type':13s} {'v1':>7s} {'v1 ref':>7s} {'v2':>7s} {'v2 ref':>7s}",
+        "-" * 80,
+    ]
+    for key, spec in SYSTEMS.items():
+        v1 = results[key]["v1"].percent
+        v2 = results[key]["v2"].percent
+        ref1 = f"{spec.paper_v1:.1f}" if spec.paper_v1 is not None else "  N/A"
+        ref2 = f"{spec.paper_v2:.1f}" if spec.paper_v2 is not None else "  N/A"
+        lines.append(
+            f"{spec.table_label:34s} {spec.system_type:13s} "
+            f"{v1:6.1f}% {ref1:>7s} {v2:6.1f}% {ref2:>7s}"
+        )
+    mage_v1 = results["mage"]["v1"].percent
+    mage_v2 = results["mage"]["v2"].percent
+    claude_v1 = results["vanilla-claude"]["v1"].percent
+    claude_v2 = results["vanilla-claude"]["v2"].percent
+    lines.append("-" * 80)
+    lines.append(
+        f"{'Improvement over vanilla Claude':34s} {'':13s} "
+        f"{mage_v1 - claude_v1:+6.1f}% {'+19.8':>7s} "
+        f"{mage_v2 - claude_v2:+6.1f}% {'+23.3':>7s}"
+    )
+    publish("table2_baselines", "\n".join(lines))
+
+    for key in SYSTEMS:
+        if key == "mage":
+            continue
+        assert mage_v1 >= results[key]["v1"].percent, f"MAGE must beat {key} on v1"
+        assert mage_v2 >= results[key]["v2"].percent, f"MAGE must beat {key} on v2"
+    assert claude_v1 > results["vanilla-gpt-4o"]["v1"].percent
+    assert claude_v1 > results["vanilla-itertl"]["v1"].percent
+    assert mage_v1 - claude_v1 >= 10.0
+    assert mage_v2 - claude_v2 >= 10.0

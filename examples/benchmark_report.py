@@ -1,0 +1,53 @@
+"""Suite evaluation report: run any registered system on any suite.
+
+Usage::
+
+    python examples/benchmark_report.py [system] [suite] [runs]
+
+    system: a key from repro.baselines.registry (default: mage)
+    suite:  verilogeval-human-v1 | verilogeval-v2 (default: verilogeval-v2)
+    runs:   evaluation runs per problem (default: 1)
+
+Prints a per-problem breakdown plus the suite Pass@1 -- the table a
+leaderboard submission would report.
+"""
+
+import sys
+
+from repro.baselines.registry import SYSTEMS, system_names
+from repro.evaluation.harness import evaluate_system
+
+
+def main() -> None:
+    system_key = sys.argv[1] if len(sys.argv) > 1 else "mage"
+    suite = sys.argv[2] if len(sys.argv) > 2 else "verilogeval-v2"
+    runs = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+
+    if system_key not in SYSTEMS:
+        print(f"unknown system {system_key!r}; choose from: {', '.join(system_names())}")
+        raise SystemExit(1)
+
+    spec = SYSTEMS[system_key]
+    print(f"evaluating {spec.table_label} ({spec.model_label}) on {suite}, "
+          f"{runs} run(s) per problem\n")
+    result = evaluate_system(
+        spec.factory, suite, runs=runs, progress=lambda line: print("  " + line)
+    )
+    print()
+    print(f"{'problem':22s} {'difficulty':>10s} {'passes':>8s} {'pass@1':>8s}")
+    print("-" * 52)
+    for outcome in result.outcomes:
+        print(
+            f"{outcome.problem_id:22s} {outcome.difficulty:10.2f} "
+            f"{outcome.passes}/{outcome.runs:<6d} {outcome.pass_at_1:8.2f}"
+        )
+    print("-" * 52)
+    print(f"{spec.table_label}: Pass@1 = {result.percent:.1f}% on {suite}")
+    if spec.paper_v1 and suite == "verilogeval-human-v1":
+        print(f"(paper reports {spec.paper_v1}% on VerilogEval-Human v1)")
+    if spec.paper_v2 and suite == "verilogeval-v2":
+        print(f"(paper reports {spec.paper_v2}% on VerilogEval v2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: run MAGE on one benchmark problem and inspect the run.
+
+Usage::
+
+    python examples/quickstart.py [problem_id]
+
+Picks the paper's Fig. 3 problem (a K-map-derived mux) by default,
+runs the full five-step multi-agent workflow, and scores the result
+against the hidden golden testbench -- exactly how VerilogEval grades
+submissions.
+"""
+
+import sys
+
+from repro import MAGE, DesignTask, MAGEConfig
+from repro.evalsets import get_problem, golden_testbench
+from repro.tb.runner import run_testbench
+
+
+def main() -> None:
+    problem_id = sys.argv[1] if len(sys.argv) > 1 else "cb_kmap_mux"
+    problem = get_problem(problem_id)
+
+    print(f"=== Problem: {problem.id} ({problem.title}) ===")
+    print(problem.spec)
+    print()
+
+    engine = MAGE(MAGEConfig.high_temperature())
+    result = engine.solve(DesignTask.from_problem(problem), seed=0)
+
+    print("--- Engine transcript ---")
+    print(result.transcript.render())
+    print()
+    print("--- Final RTL ---")
+    print(result.source)
+
+    golden = run_testbench(result.source, golden_testbench(problem), problem.top)
+    print("--- Verdict ---")
+    print(f"internal score (optimized testbench): {result.internal_score:.3f}")
+    print(f"golden testbench: {'PASS' if golden.passed else 'FAIL'} "
+          f"({golden.mismatches}/{golden.total_checks} mismatches)")
+    print(f"LLM completions used: {result.transcript.llm_calls}")
+
+
+if __name__ == "__main__":
+    main()

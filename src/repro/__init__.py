@@ -1,0 +1,32 @@
+"""Reproduction of "MAGE: A Multi-Agent Engine for Automated RTL Code
+Generation" (DAC 2025), with a pure-Python EDA substrate.
+
+Public API tour:
+
+>>> from repro import MAGE, MAGEConfig, DesignTask
+>>> from repro.evalsets import get_problem
+>>> problem = get_problem("cb_mux4")
+>>> result = MAGE(MAGEConfig.high_temperature()).solve(
+...     DesignTask.from_problem(problem))
+>>> result.internal_pass
+True
+
+Packages:
+
+- ``repro.hdl`` -- Verilog frontend + event-driven simulator;
+- ``repro.tb`` -- testbenches, runner, WF-TextLog, state checkpoints;
+- ``repro.llm`` -- LLM-agnostic interface + simulated LLM provider;
+- ``repro.agents`` -- the four specialised agents;
+- ``repro.core`` -- the five-step MAGE engine;
+- ``repro.evalsets`` -- VerilogEval-style problem suites;
+- ``repro.baselines`` -- Table II comparison systems;
+- ``repro.evaluation`` -- pass@k, harness, ablations, figure data.
+"""
+
+from repro.core.config import MAGEConfig
+from repro.core.engine import MAGE, MAGEResult
+from repro.core.task import DesignTask
+
+__version__ = "1.0.0"
+
+__all__ = ["MAGE", "MAGEConfig", "MAGEResult", "DesignTask", "__version__"]

@@ -1,0 +1,33 @@
+"""MAGE's four specialised agents (paper Sec. III-A, Fig. 1b).
+
+Each agent owns a *private* conversation history -- the core of the
+multi-agent claim: no agent carries another agent's context.  The
+single-agent ablation (Table III) is built by handing every agent the
+same shared conversation and a pollution-penalised model profile.
+"""
+
+from repro.agents.base import Agent
+from repro.agents.debug_agent import DebugAgent
+from repro.agents.judge_agent import JudgeAgent
+from repro.agents.messages import (
+    CandidateMessage,
+    ScoreMessage,
+    SpecMessage,
+    TestbenchMessage,
+    VerdictMessage,
+)
+from repro.agents.rtl_agent import RTLAgent
+from repro.agents.testbench_agent import TestbenchAgent
+
+__all__ = [
+    "Agent",
+    "CandidateMessage",
+    "DebugAgent",
+    "JudgeAgent",
+    "RTLAgent",
+    "ScoreMessage",
+    "SpecMessage",
+    "TestbenchAgent",
+    "TestbenchMessage",
+    "VerdictMessage",
+]

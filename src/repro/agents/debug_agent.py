@@ -1,0 +1,76 @@
+"""Debug agent (paper Step 5): targeted fixes from state checkpoints.
+
+Receives the candidate, the optimized testbench, and feedback rendered
+either from the Verilog-state checkpoint window (Eq. 6) or -- in the
+ablated configuration -- from an aggregate pass-rate log, and produces
+a repaired candidate (with its own syntax-fix loop).
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent
+from repro.agents.messages import CandidateMessage, SpecMessage
+from repro.core.task import DesignTask
+from repro.hdl.lint import lint
+from repro.llm.interface import SamplingParams
+from repro.llm.simllm import extract_code_block
+from repro.tb.checkpoint import (
+    render_checkpoint_feedback,
+    render_logonly_feedback,
+)
+from repro.tb.runner import TestReport
+
+_SYNTAX_ITERATIONS = 5
+
+
+class DebugAgent(Agent):
+    role = "debug"
+    system_prompt = (
+        "You are an RTL debugging specialist. Given a failing module and "
+        "a textual waveform window around the earliest mismatching state "
+        "checkpoint, you identify the faulty logic and apply a minimal, "
+        "targeted replacement."
+    )
+
+    def debug(
+        self,
+        task: DesignTask,
+        source: str,
+        report: TestReport,
+        params: SamplingParams,
+        use_checkpoints: bool = True,
+        window: int = 8,
+    ) -> str:
+        """One debug trial D(r) (paper Eq. 4 candidate update)."""
+        if use_checkpoints:
+            feedback = render_checkpoint_feedback(report, window)
+        else:
+            feedback = render_logonly_feedback(report)
+        spec = SpecMessage(task.spec, task.top, task.kind, task.clock)
+        prompt = (
+            "The module fails functional checks. Analyse the feedback, "
+            "locate the bug, and produce a corrected version of the full "
+            "module in a ```verilog fence.\n\n"
+            f"{spec.render()}\n\n"
+            f"{CandidateMessage(source).render()}\n\n"
+            f"## Feedback\n{feedback}"
+        )
+        reply = self.ask(prompt, params)
+        code = extract_code_block(reply) or source
+        return self._fix_syntax(task, code, params)
+
+    def _fix_syntax(self, task: DesignTask, code: str, params: SamplingParams) -> str:
+        for _ in range(_SYNTAX_ITERATIONS):
+            lint_report = lint(code, task.top)
+            if lint_report.ok:
+                return code
+            prompt = (
+                "The corrected module fails to compile. Fix the syntax "
+                "and return the full module in a ```verilog fence.\n\n"
+                f"## Compiler diagnostics\n{lint_report.render()}\n\n"
+                f"{CandidateMessage(code).render()}\n\n"
+                f"## Specification (for reference)\n{task.spec}"
+            )
+            reply = self.ask(prompt, params)
+            code = extract_code_block(reply) or code
+        return code

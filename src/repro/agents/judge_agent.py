@@ -1,0 +1,63 @@
+"""Judge agent (paper Step 3/4): simulate, score, rank, and arbitrate.
+
+The judge owns the simulator as its tool: it runs candidates against
+the optimized testbench to obtain scores s(r) = 1 - m(r)/tc(r) (Eq. 2),
+selects the Top-K candidate set (Eq. 3), and -- when the initial RTL
+fails -- reviews the testbench itself and orders a regeneration if it
+judges the expectations wrong.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent
+from repro.agents.messages import ScoreMessage, SpecMessage, VerdictMessage
+from repro.core.task import DesignTask
+from repro.llm.interface import SamplingParams
+from repro.tb.runner import TestReport, run_testbench
+from repro.tb.stimulus import Testbench
+
+
+class JudgeAgent(Agent):
+    role = "judge"
+    system_prompt = (
+        "You are a meticulous verification judge. You weigh simulation "
+        "evidence, decide whether failures implicate the design or the "
+        "testbench, and answer reviews with a single VERDICT line."
+    )
+
+    def score(self, source: str, testbench: Testbench, top: str) -> TestReport:
+        """Run one candidate against the optimized testbench (tool call)."""
+        return run_testbench(source, testbench, top)
+
+    def rank(
+        self, scored: list[tuple[str, TestReport]], k: int
+    ) -> list[tuple[str, TestReport]]:
+        """Top-K selection by score (paper Eq. 3); stable on ties."""
+        ordered = sorted(
+            enumerate(scored), key=lambda pair: (-pair[1][1].score, pair[0])
+        )
+        return [pair[1] for pair in ordered[:k]]
+
+    def review_testbench(
+        self,
+        task: DesignTask,
+        tb_text: str,
+        report: TestReport,
+        params: SamplingParams,
+    ) -> VerdictMessage:
+        """Step 3: is the optimized testbench itself wrong?"""
+        spec = SpecMessage(task.spec, task.top, task.kind, task.clock)
+        prompt = (
+            "The initial RTL fails the optimized testbench. Review the "
+            "testbench against the specification and decide whether the "
+            "testbench expectations are correct. Answer with a line "
+            "'VERDICT: correct - ...' or 'VERDICT: incorrect - ...'.\n\n"
+            f"{spec.render()}\n\n"
+            f"## Testbench under review\n```testbench\n{tb_text}```\n\n"
+            f"{ScoreMessage.from_report(report).render()}"
+        )
+        reply = self.ask(prompt, params)
+        lowered = reply.lower()
+        correct = "verdict: incorrect" not in lowered
+        rationale = reply.split("-", 1)[1].strip() if "-" in reply else reply.strip()
+        return VerdictMessage(correct=correct, rationale=rationale)

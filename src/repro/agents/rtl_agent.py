@@ -1,0 +1,97 @@
+"""RTL generation agent (paper Step 2 / Step 4 candidate sampling).
+
+Converts the specification plus the optimized testbench into Verilog,
+running a syntax-checking loop of at most ``s = 5`` iterations per
+candidate (Sec. III-A), driven by real lint diagnostics.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent
+from repro.agents.messages import SpecMessage, TestbenchMessage
+from repro.core.task import DesignTask
+from repro.hdl.lint import lint
+from repro.llm.interface import SamplingParams
+from repro.llm.simllm import extract_code_block
+
+SYNTAX_ITERATIONS = 5  # the paper's s
+
+
+class RTLAgent(Agent):
+    role = "rtl"
+    system_prompt = (
+        "You are an expert RTL design engineer. You write clean, "
+        "synthesizable Verilog-2001 that matches specifications exactly; "
+        "you never emit testbench constructs in RTL."
+    )
+
+    def _gen_prompt(self, task: DesignTask, tb_text: str | None) -> str:
+        spec = SpecMessage(task.spec, task.top, task.kind, task.clock)
+        parts = [
+            "Write a synthesizable Verilog module that implements the "
+            "specification. Answer with a single ```verilog fenced block.",
+            spec.render(),
+        ]
+        if tb_text is not None:
+            parts.append(TestbenchMessage(tb_text).render())
+        return "\n\n".join(parts)
+
+    def generate_initial(
+        self,
+        task: DesignTask,
+        tb_text: str | None,
+        params: SamplingParams,
+    ) -> tuple[str, bool]:
+        """One candidate with the syntax-fix loop applied.
+
+        Returns (source, syntactically_clean).
+        """
+        reply = self.ask(self._gen_prompt(task, tb_text), params)
+        code = extract_code_block(reply) or ""
+        return self.fix_syntax(task, code, params)
+
+    def sample_candidates(
+        self,
+        task: DesignTask,
+        tb_text: str | None,
+        params: SamplingParams,
+        count: int,
+    ) -> list[str]:
+        """Step 4: ``count`` high-temperature candidates, each syntax-fixed."""
+        burst = SamplingParams(
+            temperature=params.temperature,
+            top_p=params.top_p,
+            n=count,
+            seed=params.seed,
+        )
+        replies = self.ask_many(self._gen_prompt(task, tb_text), burst)
+        candidates = []
+        for reply in replies:
+            code = extract_code_block(reply) or ""
+            fixed, _clean = self.fix_syntax(task, code, params)
+            candidates.append(fixed)
+        return candidates
+
+    def fix_syntax(
+        self,
+        task: DesignTask,
+        code: str,
+        params: SamplingParams,
+    ) -> tuple[str, bool]:
+        """At most s=5 lint-driven repair rounds; returns final code."""
+        for _ in range(SYNTAX_ITERATIONS):
+            report = lint(code, task.top)
+            if report.ok:
+                return code, True
+            diagnostics = report.render()
+            prompt = (
+                "The following Verilog fails to compile. Fix the syntax "
+                "and semantic errors and return the full corrected module "
+                "in a ```verilog fence.\n\n"
+                f"## Compiler diagnostics\n{diagnostics}\n\n"
+                f"## Current code\n```verilog\n{code}```\n\n"
+                f"## Specification (for reference)\n{task.spec}"
+            )
+            reply = self.ask(prompt, params)
+            code = extract_code_block(reply) or code
+        return code, lint(code, task.top).ok

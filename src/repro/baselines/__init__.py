@@ -1,0 +1,25 @@
+"""Baseline RTL-generation systems from the paper's Table II.
+
+Every baseline is a *pipeline* built from the same substrate MAGE uses,
+bound to the model profile Table II reports for it: vanilla one-pass
+models, self-reflection loops (OriGen-style), single-agent
+generate-verify-fix systems (VeriAssist/AutoVCoder-style), the
+two-agent AIVRIL division, and the VerilogCoder-style multi-agent
+system with waveform tracing.
+"""
+
+from repro.baselines.registry import SYSTEMS, RTLSystem, create_system, system_names
+from repro.baselines.single_agent import SelfReflection, SingleAgentPipeline
+from repro.baselines.two_agent import TwoAgentSystem
+from repro.baselines.vanilla import VanillaLLM
+
+__all__ = [
+    "RTLSystem",
+    "SYSTEMS",
+    "SelfReflection",
+    "SingleAgentPipeline",
+    "TwoAgentSystem",
+    "VanillaLLM",
+    "create_system",
+    "system_names",
+]

@@ -1,0 +1,197 @@
+"""Named systems matching the rows of the paper's Table II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.baselines.single_agent import SelfReflection
+from repro.baselines.two_agent import TwoAgentSystem
+from repro.baselines.vanilla import VanillaLLM
+from repro.core.config import MAGEConfig
+from repro.core.engine import MAGE
+from repro.core.task import DesignTask
+from repro.llm.interface import SamplingParams
+
+
+class RTLSystem(Protocol):
+    """What the evaluation harness needs from a system."""
+
+    name: str
+
+    def solve(self, task: DesignTask, seed: int = 0) -> str: ...
+
+
+class MAGESystem:
+    """MAGE wrapped in the harness interface."""
+
+    def __init__(self, config: MAGEConfig | None = None):
+        self.config = config or MAGEConfig.high_temperature()
+        temp = self.config.generation.temperature
+        self.name = f"mage[{self.config.model},T={temp}]"
+
+    def solve(self, task: DesignTask, seed: int = 0) -> str:
+        return MAGE(self.config).solve(task, seed=seed).source
+
+
+class VerilogCoderStyle:
+    """VerilogCoder-like system: multi-agent with waveform tracing.
+
+    Closed-source in the paper; emulated here as the same multi-agent
+    skeleton with checkpoint-grade feedback but a GPT-4-Turbo profile,
+    no candidate sampling (it plans instead of samples), and a deeper
+    debug budget -- the published behaviour (94.2 on VerilogEval-v2,
+    below MAGE) comes from the weaker model and missing Step-4 ranking.
+    """
+
+    def __init__(self, model: str = "gpt-4-turbo"):
+        self.config = MAGEConfig(
+            model=model,
+            use_sampling=False,
+            debug_iterations=8,
+            generation=SamplingParams(temperature=0.0, top_p=0.01, n=1),
+        )
+        self.name = f"verilogcoder-style[{model}]"
+
+    def solve(self, task: DesignTask, seed: int = 0) -> str:
+        return MAGE(self.config).solve(task, seed=seed).source
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Registry entry: Table II row metadata plus a factory."""
+
+    key: str
+    table_label: str
+    system_type: str  # "generic-llm" | "rtl-llm" | "agent-open" | "agent-closed" | "mage"
+    model_label: str
+    factory: Callable[[], RTLSystem]
+    paper_v1: float | None = None  # reported VerilogEval-Human Pass@1
+    paper_v2: float | None = None  # reported VerilogEval-v2 Pass@1
+
+
+def _low() -> SamplingParams:
+    return SamplingParams(temperature=0.0, top_p=0.01, n=1)
+
+
+SYSTEMS: dict[str, SystemSpec] = {}
+
+
+def _register(spec: SystemSpec) -> None:
+    SYSTEMS[spec.key] = spec
+
+
+_register(
+    SystemSpec(
+        key="vanilla-gpt-4o",
+        table_label="GPT-4o",
+        system_type="generic-llm",
+        model_label="GPT-4o",
+        factory=lambda: VanillaLLM("gpt-4o", _low()),
+        paper_v1=51.3,
+    )
+)
+_register(
+    SystemSpec(
+        key="vanilla-claude",
+        table_label="Claude 3.5 Sonnet 2024-10-22",
+        system_type="generic-llm",
+        model_label="Claude 3.5 Sonnet",
+        factory=lambda: VanillaLLM("claude-3.5-sonnet", _low()),
+        paper_v1=75.0,
+        paper_v2=72.4,
+    )
+)
+_register(
+    SystemSpec(
+        key="vanilla-itertl",
+        table_label="ITERTL",
+        system_type="rtl-llm",
+        model_label="ITERTL (fine-tuned)",
+        factory=lambda: VanillaLLM("itertl-ft", _low()),
+        paper_v1=42.9,
+    )
+)
+_register(
+    SystemSpec(
+        key="vanilla-codev",
+        table_label="CodeV",
+        system_type="rtl-llm",
+        model_label="CodeV (fine-tuned)",
+        factory=lambda: VanillaLLM("codev-ft", _low()),
+        paper_v1=53.2,
+    )
+)
+_register(
+    SystemSpec(
+        key="origen",
+        table_label="OriGen",
+        system_type="agent-open",
+        model_label="DeepSeek-Coder-7B + LoRA",
+        factory=lambda: SelfReflection("deepseek-coder-7b-lora"),
+        paper_v1=54.4,
+    )
+)
+_register(
+    SystemSpec(
+        key="veriassist",
+        table_label="VeriAssist",
+        system_type="agent-closed",
+        model_label="GPT-4",
+        factory=lambda: SelfReflection("gpt-4", rounds=3),
+        paper_v1=50.5,
+    )
+)
+_register(
+    SystemSpec(
+        key="autovcoder",
+        table_label="AutoVCoder",
+        system_type="agent-closed",
+        model_label="CodeQwen1.5-7B",
+        factory=lambda: SelfReflection("codeqwen-1.5-7b", rounds=3),
+        paper_v1=48.5,
+    )
+)
+_register(
+    SystemSpec(
+        key="verilogcoder",
+        table_label="VerilogCoder",
+        system_type="agent-closed",
+        model_label="GPT-4 Turbo",
+        factory=lambda: VerilogCoderStyle("gpt-4-turbo"),
+        paper_v2=94.2,
+    )
+)
+_register(
+    SystemSpec(
+        key="aivril",
+        table_label="AIVRIL",
+        system_type="agent-closed",
+        model_label="Claude 3.5 Sonnet",
+        factory=lambda: TwoAgentSystem("claude-3.5-sonnet"),
+        paper_v1=64.7,
+    )
+)
+_register(
+    SystemSpec(
+        key="mage",
+        table_label="MAGE (ours)",
+        system_type="mage",
+        model_label="Claude 3.5 Sonnet",
+        factory=lambda: MAGESystem(MAGEConfig.high_temperature()),
+        paper_v1=94.8,
+        paper_v2=95.7,
+    )
+)
+
+
+def system_names() -> list[str]:
+    return list(SYSTEMS)
+
+
+def create_system(key: str) -> RTLSystem:
+    if key not in SYSTEMS:
+        raise KeyError(
+            f"unknown system {key!r}; known: {', '.join(system_names())}"
+        )
+    return SYSTEMS[key].factory()

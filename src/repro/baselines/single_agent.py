@@ -1,0 +1,104 @@
+"""Single-agent baselines.
+
+Two families from the literature the paper compares against:
+
+- :class:`SelfReflection` (OriGen-style): the model criticises and
+  revises its own output from compiler feedback only -- no simulation.
+- :class:`SingleAgentPipeline` (VeriAssist/AutoVCoder-style, and the
+  Table III "Single-Agent" ablation): the full generate -> testbench ->
+  simulate -> fix loop executed by ONE agent with ONE conversation
+  history, paying the context-pollution penalty of Sec. II-A; feedback
+  is an aggregate pass-rate log, not state checkpoints.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MAGEConfig
+from repro.core.engine import MAGE, MAGEResult
+from repro.core.task import DesignTask
+from repro.hdl.lint import lint
+from repro.llm.interface import ChatMessage, LLMClient, SamplingParams
+from repro.llm.simllm import SimLLM, extract_code_block
+
+
+class SelfReflection:
+    """OriGen-style self-reflection on compiler feedback."""
+
+    def __init__(
+        self,
+        model: str = "deepseek-coder-7b-lora",
+        rounds: int = 2,
+        llm: LLMClient | None = None,
+    ):
+        self.llm = llm if llm is not None else SimLLM(model)
+        self.rounds = rounds
+        self.name = f"self-reflection[{self.llm.model_name}]"
+
+    def solve(self, task: DesignTask, seed: int = 0) -> str:
+        params = SamplingParams(temperature=0.0, top_p=0.01, n=1, seed=seed)
+        messages = [
+            ChatMessage(
+                "system",
+                "You are an RTL engineer improving your own code through "
+                "self-reflection.",
+            ),
+            ChatMessage(
+                "user",
+                "Write a synthesizable Verilog module that implements the "
+                f"specification.\n\n## Specification\n{task.spec}\n\n"
+                f"Top module name: {task.top}.",
+            ),
+        ]
+        reply = self.llm.complete(messages, params)
+        code = extract_code_block(reply) or ""
+        for _ in range(self.rounds):
+            report = lint(code, task.top)
+            if report.ok:
+                break
+            messages.append(ChatMessage("assistant", reply))
+            messages.append(
+                ChatMessage(
+                    "user",
+                    "The code fails to compile. Fix the syntax errors.\n\n"
+                    f"## Compiler diagnostics\n{report.render()}\n\n"
+                    f"## Current code\n```verilog\n{code}```",
+                )
+            )
+            reply = self.llm.complete(messages, params)
+            code = extract_code_block(reply) or code
+        return code
+
+
+class SingleAgentPipeline:
+    """The whole MAGE workflow collapsed into one agent/history.
+
+    Implements the Table III "Single-Agent" configuration: same steps,
+    shared conversation, pollution-penalised profile, and log-only
+    debug feedback (a single agent has no checkpoint-emitting testbench
+    specialist).
+    """
+
+    def __init__(self, model: str = "claude-3.5-sonnet", config: MAGEConfig | None = None):
+        base = config or MAGEConfig.low_temperature()
+        self.config = MAGEConfig(
+            model=model,
+            candidates=base.candidates,
+            top_k=base.top_k,
+            debug_iterations=base.debug_iterations,
+            max_tb_regens=base.max_tb_regens,
+            checkpoint_window=base.checkpoint_window,
+            use_checkpoints=False,
+            use_sampling=base.use_sampling,
+            single_agent=True,
+            generation=base.generation,
+            debug_params=base.debug_params,
+            judge_params=base.judge_params,
+        )
+        self.name = f"single-agent[{model}]"
+
+    def solve(self, task: DesignTask, seed: int = 0) -> str:
+        return self.solve_full(task, seed).source
+
+    def solve_full(self, task: DesignTask, seed: int = 0) -> MAGEResult:
+        engine = MAGE(self.config)
+        return engine.solve(task, seed=seed)

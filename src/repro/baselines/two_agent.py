@@ -1,0 +1,64 @@
+"""AIVRIL-style two-agent baseline: coder + reviewer.
+
+A basic division of labour (paper Sec. II-A): one *coder* agent writes
+both the testbench and the RTL in a single shared conversation -- so it
+still pays the synthesizable/non-synthesizable context switch -- and a
+*reviewer* agent runs the simulator and reports aggregate pass-rate
+feedback (no state checkpoints, no candidate sampling, no testbench
+arbitration).
+"""
+
+from __future__ import annotations
+
+from repro.agents.debug_agent import DebugAgent
+from repro.agents.rtl_agent import RTLAgent
+from repro.agents.testbench_agent import TestbenchAgent
+from repro.core.task import DesignTask
+from repro.llm.interface import Conversation, SamplingParams
+from repro.llm.profiles import get_profile
+from repro.llm.simllm import SimLLM
+from repro.tb.runner import run_testbench
+
+
+class TwoAgentSystem:
+    """Coder (RTL + testbench, shared history) plus simulator-reviewer."""
+
+    def __init__(
+        self,
+        model: str = "claude-3.5-sonnet",
+        iterations: int = 2,
+        coder_pollution: tuple[float, float, float] = (1.35, 0.75, 2.2),
+    ):
+        lam, fix, tb = coder_pollution
+        profile = get_profile(model).polluted(
+            lambda_mult=lam, fix_mult=fix, tb_mult=tb
+        )
+        self.llm = SimLLM(profile=profile)
+        self.iterations = iterations
+        self.name = f"two-agent[{model}]"
+
+    def solve(self, task: DesignTask, seed: int = 0) -> str:
+        gen_params = SamplingParams(temperature=0.0, top_p=0.01, n=1, seed=seed)
+        fix_params = SamplingParams(temperature=0.4, top_p=0.95, n=1, seed=seed)
+        # One shared conversation for everything the coder does.
+        shared = Conversation(
+            system_prompt=(
+                "You are an engineering agent writing both testbenches and "
+                "RTL for each request in one continuous conversation."
+            )
+        )
+        tb_role = TestbenchAgent(self.llm, shared)
+        rtl_role = RTLAgent(self.llm, shared)
+        debug_role = DebugAgent(self.llm, shared)
+
+        tb_text, testbench = tb_role.generate(task, gen_params)
+        code, _clean = rtl_role.generate_initial(task, tb_text, gen_params)
+        for _ in range(self.iterations):
+            report = run_testbench(code, testbench, task.top)
+            if report.passed:
+                break
+            # Reviewer feedback is aggregate-only (no checkpoints).
+            code = debug_role.debug(
+                task, code, report, fix_params, use_checkpoints=False
+            )
+        return code

@@ -1,0 +1,46 @@
+"""Vanilla baseline: one-pass generation, no verification loop."""
+
+from __future__ import annotations
+
+from repro.core.task import DesignTask
+from repro.llm.interface import ChatMessage, LLMClient, SamplingParams, create_llm
+from repro.llm.simllm import extract_code_block
+
+_SYSTEM_PROMPT = (
+    "You are an expert RTL design engineer. You write clean, "
+    "synthesizable Verilog-2001 that matches specifications exactly."
+)
+
+
+class VanillaLLM:
+    """Single-pass spec-to-RTL generation (Table II "Generic LLM" rows)."""
+
+    def __init__(
+        self,
+        model: str = "claude-3.5-sonnet",
+        params: SamplingParams | None = None,
+        llm: LLMClient | None = None,
+    ):
+        self.llm = llm if llm is not None else create_llm(model)
+        self.params = params or SamplingParams(temperature=0.0, top_p=0.01, n=1)
+        self.name = f"vanilla[{self.llm.model_name}]"
+
+    def solve(self, task: DesignTask, seed: int = 0) -> str:
+        params = SamplingParams(
+            temperature=self.params.temperature,
+            top_p=self.params.top_p,
+            n=1,
+            seed=seed,
+        )
+        messages = [
+            ChatMessage("system", _SYSTEM_PROMPT),
+            ChatMessage(
+                "user",
+                "Write a synthesizable Verilog module that implements the "
+                "specification. Answer with a single ```verilog fenced "
+                f"block.\n\n## Specification\n{task.spec}\n\n"
+                f"Top module name: {task.top}.",
+            ),
+        ]
+        reply = self.llm.complete(messages, params)
+        return extract_code_block(reply) or ""

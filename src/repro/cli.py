@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``problems``                    list the benchmark problems
+- ``solve <problem_id>``          run MAGE on one problem
+- ``eval <system> <suite>``       evaluate a registered system
+- ``lint <file.v>``               lint a Verilog file
+- ``tb <file.v> <bench.tb>``      run a testbench against a design
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_problems(_args) -> int:
+    from repro.evalsets import all_problems
+
+    print(f"{'id':22s} {'category':14s} {'diff':>5s} title")
+    print("-" * 72)
+    for problem in all_problems():
+        print(
+            f"{problem.id:22s} {problem.category:14s} "
+            f"{problem.difficulty:5.2f} {problem.title}"
+        )
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro import MAGE, DesignTask, MAGEConfig
+    from repro.evalsets import get_problem, golden_testbench
+    from repro.tb.runner import run_testbench
+
+    problem = get_problem(args.problem)
+    config = (
+        MAGEConfig.low_temperature()
+        if args.low_temperature
+        else MAGEConfig.high_temperature()
+    )
+    result = MAGE(config).solve(DesignTask.from_problem(problem), seed=args.seed)
+    print(result.transcript.render())
+    print()
+    print(result.source)
+    golden = run_testbench(result.source, golden_testbench(problem), problem.top)
+    print(f"golden testbench: {'PASS' if golden.passed else 'FAIL'}")
+    return 0 if golden.passed else 1
+
+
+def _cmd_eval(args) -> int:
+    from repro.baselines.registry import SYSTEMS, system_names
+    from repro.evaluation.harness import evaluate_system
+
+    if args.system not in SYSTEMS:
+        print(f"unknown system; choose from: {', '.join(system_names())}")
+        return 2
+    spec = SYSTEMS[args.system]
+    result = evaluate_system(
+        spec.factory,
+        args.suite,
+        runs=args.runs,
+        progress=(lambda line: print("  " + line)) if args.verbose else None,
+    )
+    print(result.render_row())
+    if result.failures():
+        print("failures:", ", ".join(result.failures()))
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.hdl.lint import lint
+
+    with open(args.file) as handle:
+        report = lint(handle.read())
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_tb(args) -> int:
+    from repro.tb.runner import run_testbench
+    from repro.tb.stimulus import parse_testbench
+    from repro.tb.textlog import render_textlog
+
+    with open(args.design) as handle:
+        source = handle.read()
+    with open(args.testbench) as handle:
+        tb = parse_testbench(handle.read())
+    report = run_testbench(source, tb)
+    print(render_textlog(report))
+    print(
+        f"\nscore {report.score:.3f} "
+        f"({report.mismatches}/{report.total_checks} mismatches)"
+    )
+    if args.vcd:
+        from repro.hdl.vcd import VcdRecorder
+
+        recorder = VcdRecorder.for_runner()
+        run_testbench(source, tb, on_step=recorder.on_step)
+        recorder.write(args.vcd)
+        print(f"waveform written to {args.vcd}")
+    return 0 if report.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MAGE reproduction: multi-agent RTL generation toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("problems", help="list benchmark problems").set_defaults(
+        fn=_cmd_problems
+    )
+
+    solve = sub.add_parser("solve", help="run MAGE on one problem")
+    solve.add_argument("problem")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--low-temperature", action="store_true")
+    solve.set_defaults(fn=_cmd_solve)
+
+    evaluate = sub.add_parser("eval", help="evaluate a system on a suite")
+    evaluate.add_argument("system")
+    evaluate.add_argument("suite", nargs="?", default="verilogeval-v2")
+    evaluate.add_argument("--runs", type=int, default=1)
+    evaluate.add_argument("--verbose", action="store_true")
+    evaluate.set_defaults(fn=_cmd_eval)
+
+    lint_cmd = sub.add_parser("lint", help="lint a Verilog file")
+    lint_cmd.add_argument("file")
+    lint_cmd.set_defaults(fn=_cmd_lint)
+
+    tb = sub.add_parser("tb", help="run a testbench against a design")
+    tb.add_argument("design")
+    tb.add_argument("testbench")
+    tb.add_argument("--vcd", help="also dump a VCD waveform")
+    tb.set_defaults(fn=_cmd_tb)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""MAGE core: the five-step multi-agent engine (paper Sec. III).
+
+- :mod:`repro.core.config` -- tunables with the paper's defaults;
+- :mod:`repro.core.scoring` -- Eq. 2 scoring and Eq. 3 Top-K selection;
+- :mod:`repro.core.sampling` -- Step 4 high-temperature sampling/ranking;
+- :mod:`repro.core.debug_loop` -- Step 5 checkpoint debugging with the
+  Eq. 4 accept/rollback rule;
+- :mod:`repro.core.engine` -- the orchestrated workflow;
+- :mod:`repro.core.transcript` -- structured run records feeding the
+  paper's figures.
+"""
+
+from repro.core.config import MAGEConfig
+from repro.core.engine import MAGE, MAGEResult
+from repro.core.task import DesignTask
+
+__all__ = ["MAGE", "MAGEConfig", "MAGEResult", "DesignTask"]

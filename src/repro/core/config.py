@@ -1,0 +1,69 @@
+"""Engine configuration with the paper's default parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.llm.interface import SamplingParams
+
+
+@dataclass(frozen=True)
+class MAGEConfig:
+    """All tunables of the MAGE workflow.
+
+    Defaults follow the paper: c = 4 sampled candidates (Fig. 1c),
+    Top-K = 2, at most 5 syntax-fix iterations, 5 debug iterations,
+    checkpoint window L_W = 8, and the High Temperature evaluation
+    setting (T = 0.85, top_p = 0.95).
+    """
+
+    model: str = "claude-3.5-sonnet"
+    candidates: int = 4  # c, Step-4 sample size
+    top_k: int = 2  # K, Eq. 3
+    debug_iterations: int = 5  # Eq. 4 iteration limit
+    max_tb_regens: int = 2  # Step-3 regeneration budget
+    checkpoint_window: int = 8  # L_W, Eq. 6
+    use_checkpoints: bool = True  # ablation switch (Fig. 3)
+    use_sampling: bool = True  # ablation switch (Fig. 4a)
+    single_agent: bool = False  # Table III merged-history ablation
+    # Step 2: the initial candidate is drawn conservatively; temperature
+    # is a Step-4 *sampling* mechanism in the paper (Sec. III-B), not a
+    # knob on the first attempt.
+    initial_generation: SamplingParams = SamplingParams(
+        temperature=0.0, top_p=0.01, n=1
+    )
+    generation: SamplingParams = SamplingParams(  # Step-4 candidate sampling
+        temperature=0.85, top_p=0.95, n=1
+    )
+    debug_params: SamplingParams = SamplingParams(
+        temperature=0.4, top_p=0.95, n=1
+    )
+    judge_params: SamplingParams = SamplingParams(
+        temperature=0.0, top_p=0.01, n=1
+    )
+
+    def with_seed(self, seed: int) -> "MAGEConfig":
+        """Bind a run seed to every sampling call (reproducible runs)."""
+        return replace(
+            self,
+            initial_generation=replace(self.initial_generation, seed=seed),
+            generation=replace(self.generation, seed=seed),
+            debug_params=replace(self.debug_params, seed=seed),
+            judge_params=replace(self.judge_params, seed=seed),
+        )
+
+    @staticmethod
+    def low_temperature(**kwargs) -> "MAGEConfig":
+        """The paper's Low Temperature setting (T=0, top_p=0.01, n=1)."""
+        return MAGEConfig(
+            generation=SamplingParams(temperature=0.0, top_p=0.01, n=1),
+            **kwargs,
+        )
+
+    @staticmethod
+    def high_temperature(**kwargs) -> "MAGEConfig":
+        """The paper's High Temperature setting (T=0.85, top_p=0.95)."""
+        return MAGEConfig(
+            generation=SamplingParams(temperature=0.85, top_p=0.95, n=1),
+            **kwargs,
+        )

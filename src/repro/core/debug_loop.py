@@ -1,0 +1,67 @@
+"""Step 5: RTL debugging with the state-checkpoint mechanism.
+
+For each selected candidate r*, run debug trials D(r*) and keep the
+better of {D(r*), r*} by score -- the Eq. 4 accept/rollback update --
+until some candidate reaches s(r) = 1 or the iteration limit.
+Feedback is the Eq. 5/6 checkpoint window (or the aggregate log in the
+ablated configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.debug_agent import DebugAgent
+from repro.agents.judge_agent import JudgeAgent
+from repro.core.config import MAGEConfig
+from repro.core.scoring import ScoredCandidate, best_candidate, better
+from repro.core.task import DesignTask
+from repro.tb.stimulus import Testbench
+
+
+@dataclass
+class DebugOutcome:
+    """Step-5 record: the surviving candidates and per-round mean scores."""
+
+    survivors: list[ScoredCandidate] = field(default_factory=list)
+    round_scores: list[list[float]] = field(default_factory=list)
+
+    @property
+    def best(self) -> ScoredCandidate:
+        return best_candidate(self.survivors)
+
+
+def debug_candidates(
+    task: DesignTask,
+    testbench: Testbench,
+    selected: list[ScoredCandidate],
+    debug_agent: DebugAgent,
+    judge: JudgeAgent,
+    config: MAGEConfig,
+) -> DebugOutcome:
+    """Iteratively refine the Top-K candidate set."""
+    outcome = DebugOutcome(survivors=list(selected))
+    outcome.round_scores.append([c.score for c in outcome.survivors])
+    for _round in range(config.debug_iterations):
+        if any(c.passed for c in outcome.survivors):
+            break
+        updated: list[ScoredCandidate] = []
+        for incumbent in outcome.survivors:
+            if incumbent.passed or incumbent.report.error is not None:
+                updated.append(incumbent)
+                continue
+            trial_source = debug_agent.debug(
+                task,
+                incumbent.source,
+                incumbent.report,
+                config.debug_params,
+                use_checkpoints=config.use_checkpoints,
+                window=config.checkpoint_window,
+            )
+            trial = ScoredCandidate(
+                trial_source, judge.score(trial_source, testbench, task.top)
+            )
+            updated.append(better(incumbent, trial))
+        outcome.survivors = updated
+        outcome.round_scores.append([c.score for c in outcome.survivors])
+    return outcome

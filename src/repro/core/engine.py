@@ -1,0 +1,211 @@
+"""The MAGE engine: orchestration of the five-step workflow (Fig. 1a).
+
+Step 1  testbench agent writes an optimized, checkpoint-logging
+        testbench from the spec (plus golden hints when available);
+Step 2  RTL agent writes the initial candidate (syntax loop, s=5);
+Step 3  if the candidate fails, the judge reviews the testbench and
+        orders regeneration when the testbench itself is wrong;
+Step 4  high-temperature sampling of c candidates, simulation scoring,
+        Top-K selection;
+Step 5  checkpoint debugging with accept/rollback until s(r)=1 or the
+        iteration cap.
+
+The engine never sees the benchmark's golden testbench; final success
+is judged externally (``repro.evaluation``) exactly like VerilogEval
+scores submissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.debug_agent import DebugAgent
+from repro.agents.judge_agent import JudgeAgent
+from repro.agents.rtl_agent import RTLAgent
+from repro.agents.testbench_agent import TestbenchAgent
+from repro.core.config import MAGEConfig
+from repro.core.debug_loop import debug_candidates
+from repro.core.sampling import sample_and_rank
+from repro.core.scoring import ScoredCandidate, best_candidate
+from repro.core.task import DesignTask
+from repro.core.transcript import RunTranscript
+from repro.llm.interface import Conversation, LLMClient, create_llm
+from repro.llm.profiles import get_profile
+from repro.llm.simllm import SimLLM
+
+
+@dataclass
+class MAGEResult:
+    """Outcome of one engine run."""
+
+    task: DesignTask
+    source: str
+    internal_score: float  # against the *optimized* testbench
+    transcript: RunTranscript
+
+    @property
+    def internal_pass(self) -> bool:
+        return self.internal_score >= 1.0
+
+
+class MAGE:
+    """The multi-agent engine.
+
+    ``single_agent=True`` in the config reproduces the Table III
+    ablation: all four roles share one conversation history and the
+    model profile is pollution-penalised.
+    """
+
+    def __init__(self, config: MAGEConfig | None = None, llm: LLMClient | None = None):
+        self.config = config or MAGEConfig()
+        if llm is not None:
+            self.llm = llm
+        elif self.config.single_agent:
+            profile = get_profile(self.config.model).polluted()
+            self.llm = SimLLM(profile=profile)
+        else:
+            self.llm = create_llm(self.config.model)
+        shared = (
+            Conversation(
+                system_prompt=(
+                    "You are a single engineering agent handling "
+                    "specification analysis, testbench writing, RTL "
+                    "design, scoring decisions, and debugging in one "
+                    "continuous conversation."
+                )
+            )
+            if self.config.single_agent
+            else None
+        )
+
+        def conv() -> Conversation | None:
+            return shared
+
+        self.tb_agent = TestbenchAgent(self.llm, conv())
+        self.rtl_agent = RTLAgent(self.llm, conv())
+        self.judge = JudgeAgent(self.llm, conv())
+        self.debug_agent = DebugAgent(self.llm, conv())
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        task: DesignTask,
+        golden_tb_hint: str | None = None,
+        seed: int = 0,
+    ) -> MAGEResult:
+        """Run the five-step workflow on one task."""
+        config = self.config.with_seed(seed)
+        transcript = RunTranscript(task_name=task.name)
+
+        # Step 1: optimized testbench.
+        tb_text, testbench = self.tb_agent.generate(
+            task, config.judge_params, golden_hint=golden_tb_hint
+        )
+        transcript.log(
+            "step1",
+            f"testbench generated: {testbench.total_checks} checkpointed checks",
+        )
+
+        # Step 2: initial RTL (syntax loop inside).
+        initial_source, clean = self.rtl_agent.generate_initial(
+            task, tb_text, config.initial_generation
+        )
+        transcript.log(
+            "step2",
+            "initial RTL generated"
+            + ("" if clean else " (syntax errors remain after s=5 rounds)"),
+        )
+        initial = ScoredCandidate(
+            initial_source, self.judge.score(initial_source, testbench, task.top)
+        )
+        transcript.initial_score = initial.score
+        transcript.log("step2", f"initial candidate score {initial.score:.3f}")
+
+        # Step 3: testbench arbitration.
+        regens = 0
+        while not initial.passed and regens < config.max_tb_regens:
+            verdict = self.judge.review_testbench(
+                task, tb_text, initial.report, config.judge_params
+            )
+            if verdict.correct:
+                transcript.log("step3", "judge upheld the testbench")
+                break
+            regens += 1
+            transcript.log(
+                "step3", f"judge rejected the testbench: {verdict.rationale}"
+            )
+            tb_text, testbench = self.tb_agent.generate(
+                task,
+                config.judge_params,
+                golden_hint=golden_tb_hint,
+                reason=verdict.rationale,
+            )
+            initial = ScoredCandidate(
+                initial.source, self.judge.score(initial.source, testbench, task.top)
+            )
+            transcript.log(
+                "step3",
+                f"regenerated testbench; initial rescored {initial.score:.3f}",
+            )
+        transcript.tb_regens = regens
+
+        if initial.passed:
+            transcript.log("done", "initial candidate passed; skipping steps 4-5")
+            return self._finish(task, initial, transcript)
+
+        # Step 4: high-temperature sampling and ranking.
+        outcome = sample_and_rank(
+            task,
+            tb_text,
+            testbench,
+            self.rtl_agent,
+            self.judge,
+            config,
+            extra=[initial],
+        )
+        transcript.candidate_scores = outcome.scores
+        transcript.selected_scores = [c.score for c in outcome.selected]
+        transcript.log(
+            "step4",
+            f"sampled {len(outcome.candidates)} candidates; "
+            f"best {outcome.best_score:.3f}; kept top-{len(outcome.selected)}",
+        )
+        if any(c.passed for c in outcome.selected):
+            winner = best_candidate(outcome.selected)
+            transcript.log("done", "a sampled candidate passed; skipping step 5")
+            return self._finish(task, winner, transcript)
+
+        # Step 5: checkpoint debugging with rollback.
+        debug_outcome = debug_candidates(
+            task,
+            testbench,
+            outcome.selected,
+            self.debug_agent,
+            self.judge,
+            config,
+        )
+        transcript.debug_round_scores = debug_outcome.round_scores
+        winner = debug_outcome.best
+        transcript.log(
+            "step5",
+            f"debugging finished after {len(debug_outcome.round_scores) - 1} "
+            f"rounds; best score {winner.score:.3f}",
+        )
+        return self._finish(task, winner, transcript)
+
+    def _finish(
+        self, task: DesignTask, winner: ScoredCandidate, transcript: RunTranscript
+    ) -> MAGEResult:
+        transcript.llm_calls = (
+            self.tb_agent.calls
+            + self.rtl_agent.calls
+            + self.judge.calls
+            + self.debug_agent.calls
+        )
+        return MAGEResult(
+            task=task,
+            source=winner.source,
+            internal_score=winner.score,
+            transcript=transcript,
+        )

@@ -1,0 +1,54 @@
+"""Candidate scoring and selection (paper Eqs. 2-4).
+
+The score itself, s(r) = 1 - m(r)/tc(r), is computed by
+:class:`~repro.tb.runner.TestReport`; this module hosts the selection
+algebra the sampler and debug loop share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tb.runner import TestReport
+
+
+@dataclass
+class ScoredCandidate:
+    """One candidate with its latest simulation evidence."""
+
+    source: str
+    report: TestReport
+
+    @property
+    def score(self) -> float:
+        return self.report.score
+
+    @property
+    def passed(self) -> bool:
+        return self.report.passed
+
+
+def select_top_k(
+    candidates: list[ScoredCandidate], k: int
+) -> list[ScoredCandidate]:
+    """Eq. 3: the K candidates maximising total score (ties: earlier wins)."""
+    ordered = sorted(
+        enumerate(candidates), key=lambda pair: (-pair[1].score, pair[0])
+    )
+    return [pair[1] for pair in ordered[: max(k, 0)]]
+
+
+def better(a: ScoredCandidate, b: ScoredCandidate) -> ScoredCandidate:
+    """Eq. 4 accept/rollback: keep the argmax of s(r), preferring ``a``.
+
+    ``a`` is the incumbent; a debug trial ``b`` replaces it only when it
+    strictly improves the score, so regressions roll back.
+    """
+    return b if b.score > a.score else a
+
+
+def best_candidate(candidates: list[ScoredCandidate]) -> ScoredCandidate:
+    """Highest-scoring candidate overall (earlier wins ties)."""
+    if not candidates:
+        raise ValueError("no candidates to choose from")
+    return select_top_k(candidates, 1)[0]

@@ -1,0 +1,38 @@
+"""The unit of work MAGE operates on: a natural-language design task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DesignTask:
+    """A spec-to-RTL task, as a benchmark row or a user request.
+
+    ``kind``/``clock`` describe the interface contract the testbench
+    needs (combinational vs clocked and the clock port name); real specs
+    state this in prose, and the testbench agent needs it structurally.
+    """
+
+    spec: str
+    top: str
+    kind: str  # "comb" | "clocked"
+    clock: str | None = None
+    name: str = "task"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("comb", "clocked"):
+            raise ValueError(f"bad task kind {self.kind!r}")
+        if self.kind == "clocked" and not self.clock:
+            raise ValueError("clocked task needs a clock name")
+
+    @staticmethod
+    def from_problem(problem) -> "DesignTask":
+        """Build a task from an evalset problem (spec and interface only)."""
+        return DesignTask(
+            spec=problem.spec,
+            top=problem.top,
+            kind=problem.kind,
+            clock=problem.clock,
+            name=problem.id,
+        )

@@ -1,0 +1,46 @@
+"""Structured run records: the raw material of the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TranscriptEvent:
+    """One engine-level event (stage label plus human-readable note)."""
+
+    stage: str
+    note: str
+
+
+@dataclass
+class RunTranscript:
+    """Everything observable about one MAGE run on one task.
+
+    - ``initial_score``: Step-2 candidate score (Fig. 4a "without
+      sampling");
+    - ``candidate_scores``: Step-4 pool scores (Fig. 2 / Fig. 4a);
+    - ``debug_round_scores``: per-round survivor scores (Fig. 4b);
+    - ``tb_regens``: Step-3 regenerations that actually happened;
+    - ``llm_calls``: total completions consumed.
+    """
+
+    task_name: str = ""
+    events: list[TranscriptEvent] = field(default_factory=list)
+    initial_score: float | None = None
+    candidate_scores: list[float] = field(default_factory=list)
+    selected_scores: list[float] = field(default_factory=list)
+    debug_round_scores: list[list[float]] = field(default_factory=list)
+    tb_regens: int = 0
+    llm_calls: int = 0
+    stage_reached: str = "init"
+
+    def log(self, stage: str, note: str) -> None:
+        self.events.append(TranscriptEvent(stage, note))
+        self.stage_reached = stage
+
+    def render(self) -> str:
+        lines = [f"=== MAGE run: {self.task_name} ==="]
+        for event in self.events:
+            lines.append(f"[{event.stage}] {event.note}")
+        return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Benchmark problem suites in the style of VerilogEval.
+
+The NVIDIA VerilogEval datasets are not redistributable offline, so
+this package provides original problems with the same task structure:
+a natural-language specification, a hidden golden design, and a golden
+testbench that scores submissions.  Two suites mirror the paper's two
+benchmarks (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.evalsets.problem import (
+    Problem,
+    all_problems,
+    get_problem,
+    golden_testbench,
+    input_steps,
+    register_problem,
+)
+from repro.evalsets.suites import SUITES, get_suite, suite_names
+
+__all__ = [
+    "Problem",
+    "SUITES",
+    "all_problems",
+    "get_problem",
+    "get_suite",
+    "golden_testbench",
+    "input_steps",
+    "register_problem",
+    "suite_names",
+]

@@ -1,0 +1,224 @@
+"""Arithmetic datapath problems (adders, saturating math, CLZ, ...)."""
+
+from repro.evalsets.problem import Problem, register_problem
+
+
+def _p(**kwargs) -> Problem:
+    return register_problem(Problem(**kwargs))
+
+
+_p(
+    id="ar_adder8_cout",
+    title="8-bit adder with carry out",
+    category="arithmetic",
+    difficulty=0.1,
+    kind="comb",
+    spec=(
+        "Add two 8-bit unsigned numbers and a carry-in; produce an 8-bit "
+        "sum and a carry-out: {cout, sum} = a + b + cin."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] a,
+    input wire [7:0] b,
+    input wire cin,
+    output wire [7:0] sum,
+    output wire cout
+);
+    assign {cout, sum} = a + b + cin;
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"a": 0, "b": 0, "cin": 0},
+        {"a": 255, "b": 1, "cin": 0},
+        {"a": 255, "b": 255, "cin": 1},
+        {"a": 100, "b": 27, "cin": 1},
+    ),
+    n_random=20,
+)
+
+_p(
+    id="ar_addsub8",
+    title="8-bit adder-subtractor with overflow",
+    category="arithmetic",
+    difficulty=0.5,
+    kind="comb",
+    spec=(
+        "Implement a signed 8-bit adder-subtractor. When sub is 0, "
+        "result = a + b; when sub is 1, result = a - b. Also output ovf, "
+        "the two's-complement overflow flag: high when the two operands "
+        "(after inverting b for subtraction) have the same sign but the "
+        "result's sign differs."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] a,
+    input wire [7:0] b,
+    input wire sub,
+    output wire [7:0] result,
+    output wire ovf
+);
+    wire [7:0] operand;
+    assign operand = sub ? ~b : b;
+    assign result = a + operand + {7'b0, sub};
+    assign ovf = (a[7] == operand[7]) && (result[7] != a[7]);
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"a": 100, "b": 100, "sub": 0},
+        {"a": 0x80, "b": 1, "sub": 1},
+        {"a": 0x7F, "b": 1, "sub": 0},
+        {"a": 10, "b": 3, "sub": 1},
+    ),
+    n_random=24,
+)
+
+_p(
+    id="ar_sat_add8",
+    title="Saturating signed adder",
+    category="arithmetic",
+    difficulty=0.65,
+    kind="comb",
+    spec=(
+        "Add two signed 8-bit values with saturation: if the true sum "
+        "exceeds 127, output 127; if it is below -128, output -128; "
+        "otherwise output the sum."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] a,
+    input wire [7:0] b,
+    output reg [7:0] sum
+);
+    wire [8:0] wide;
+    assign wide = {a[7], a} + {b[7], b};
+    always @(*) begin
+        if (wide[8] != wide[7])
+            sum = wide[8] ? 8'h80 : 8'h7F;
+        else
+            sum = wide[7:0];
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"a": 0x7F, "b": 0x01},
+        {"a": 0x80, "b": 0xFF},
+        {"a": 0x40, "b": 0x40},
+        {"a": 0xC0, "b": 0xC0},
+        {"a": 5, "b": 3},
+    ),
+    n_random=24,
+)
+
+_p(
+    id="ar_mult4",
+    title="4x4 combinational multiplier",
+    category="arithmetic",
+    difficulty=0.25,
+    kind="comb",
+    spec="Multiply two 4-bit unsigned inputs; produce the 8-bit product.",
+    golden="""
+module top_module (
+    input wire [3:0] a,
+    input wire [3:0] b,
+    output wire [7:0] product
+);
+    assign product = a * b;
+endmodule
+""",
+    top="top_module",
+    directed=({"a": 0, "b": 9}, {"a": 15, "b": 15}, {"a": 7, "b": 8}),
+    n_random=20,
+)
+
+_p(
+    id="ar_abs_diff8",
+    title="Absolute difference",
+    category="arithmetic",
+    difficulty=0.3,
+    kind="comb",
+    spec=(
+        "Compute the absolute difference of two 8-bit unsigned inputs: "
+        "out = |a - b|."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] a,
+    input wire [7:0] b,
+    output wire [7:0] diff
+);
+    assign diff = (a >= b) ? (a - b) : (b - a);
+endmodule
+""",
+    top="top_module",
+    directed=({"a": 10, "b": 3}, {"a": 3, "b": 10}, {"a": 200, "b": 200}),
+    n_random=20,
+)
+
+_p(
+    id="ar_clz8",
+    title="Count leading zeros",
+    category="arithmetic",
+    difficulty=0.55,
+    kind="comb",
+    spec=(
+        "Count the number of leading zero bits of an 8-bit input, "
+        "scanning from bit 7 down. An all-zero input yields 8. Output a "
+        "4-bit count."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] in,
+    output reg [3:0] count
+);
+    integer i;
+    reg done;
+    always @(*) begin
+        count = 4'd0;
+        done = 1'b0;
+        for (i = 7; i >= 0; i = i - 1) begin
+            if (!done) begin
+                if (in[i])
+                    done = 1'b1;
+                else
+                    count = count + 4'd1;
+            end
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"in": 0}, {"in": 1}, {"in": 0x80}, {"in": 0x10}),
+    n_random=20,
+)
+
+_p(
+    id="ar_mod_inc",
+    title="Modulo-10 incrementer",
+    category="arithmetic",
+    difficulty=0.22,
+    kind="comb",
+    spec=(
+        "Given a 4-bit value in the range 0-9, output value + 1 modulo "
+        "10 (i.e. 9 wraps to 0). Inputs outside 0-9 produce 0."
+    ),
+    golden="""
+module top_module (
+    input wire [3:0] in,
+    output reg [3:0] out
+);
+    always @(*) begin
+        if (in >= 4'd9)
+            out = 4'd0;
+        else
+            out = in + 4'd1;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=tuple({"in": v} for v in range(12)),
+    n_random=8,
+)

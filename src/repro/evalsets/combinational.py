@@ -1,0 +1,398 @@
+"""Combinational-logic problems (gates, muxes, decoders, K-maps)."""
+
+from repro.evalsets.problem import Problem, register_problem
+
+
+def _p(**kwargs) -> Problem:
+    return register_problem(Problem(**kwargs))
+
+
+_p(
+    id="cb_and_or_gate",
+    title="Basic gate network",
+    category="combinational",
+    difficulty=0.03,
+    kind="comb",
+    spec=(
+        "Implement a module with inputs a, b, c and outputs out_and, "
+        "out_or, out_xnor. out_and = a AND b; out_or = b OR c; "
+        "out_xnor = XNOR of a and c."
+    ),
+    golden="""
+module top_module (
+    input wire a,
+    input wire b,
+    input wire c,
+    output wire out_and,
+    output wire out_or,
+    output wire out_xnor
+);
+    assign out_and = a & b;
+    assign out_or = b | c;
+    assign out_xnor = ~(a ^ c);
+endmodule
+""",
+    top="top_module",
+    directed=tuple({"a": a, "b": b, "c": c} for a in (0, 1) for b in (0, 1) for c in (0, 1)),
+    n_random=8,
+)
+
+_p(
+    id="cb_xor_parity",
+    title="8-bit even parity",
+    category="combinational",
+    difficulty=0.05,
+    kind="comb",
+    spec=(
+        "Compute the even-parity bit of an 8-bit input: parity = XOR of "
+        "all bits of in[7:0]."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] in,
+    output wire parity
+);
+    assign parity = ^in;
+endmodule
+""",
+    top="top_module",
+    directed=({"in": 0}, {"in": 255}, {"in": 1}, {"in": 128}, {"in": 0xAA}),
+    n_random=20,
+)
+
+_p(
+    id="cb_mux2",
+    title="2-to-1 byte multiplexer",
+    category="combinational",
+    difficulty=0.04,
+    kind="comb",
+    spec=(
+        "Implement an 8-bit 2-to-1 multiplexer: out = b when sel is 1, "
+        "otherwise out = a."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] a,
+    input wire [7:0] b,
+    input wire sel,
+    output wire [7:0] out
+);
+    assign out = sel ? b : a;
+endmodule
+""",
+    top="top_module",
+    directed=({"a": 0x12, "b": 0x34, "sel": 0}, {"a": 0x12, "b": 0x34, "sel": 1}),
+    n_random=16,
+)
+
+_p(
+    id="cb_mux4",
+    title="4-to-1 multiplexer",
+    category="combinational",
+    difficulty=0.15,
+    kind="comb",
+    spec=(
+        "Implement a 4-bit wide 4-to-1 multiplexer. Inputs d0, d1, d2, d3 "
+        "and a 2-bit select sel; output out = d<sel>."
+    ),
+    golden="""
+module top_module (
+    input wire [3:0] d0,
+    input wire [3:0] d1,
+    input wire [3:0] d2,
+    input wire [3:0] d3,
+    input wire [1:0] sel,
+    output reg [3:0] out
+);
+    always @(*) begin
+        case (sel)
+            2'd0: out = d0;
+            2'd1: out = d1;
+            2'd2: out = d2;
+            default: out = d3;
+        endcase
+    end
+endmodule
+""",
+    top="top_module",
+    directed=tuple(
+        {"d0": 1, "d1": 2, "d2": 4, "d3": 8, "sel": s} for s in range(4)
+    ),
+    n_random=16,
+)
+
+_p(
+    id="cb_decoder3to8",
+    title="3-to-8 decoder with enable",
+    category="combinational",
+    difficulty=0.2,
+    kind="comb",
+    spec=(
+        "Implement a 3-to-8 one-hot decoder with an active-high enable. "
+        "When en is 1, out has exactly bit <addr> set; when en is 0, out "
+        "is all zeros."
+    ),
+    golden="""
+module top_module (
+    input wire en,
+    input wire [2:0] addr,
+    output wire [7:0] out
+);
+    assign out = en ? (8'b1 << addr) : 8'b0;
+endmodule
+""",
+    top="top_module",
+    directed=tuple({"en": 1, "addr": a} for a in range(8)) + ({"en": 0, "addr": 3},),
+    n_random=12,
+)
+
+_p(
+    id="cb_priority_enc8",
+    title="8-bit priority encoder",
+    category="combinational",
+    difficulty=0.4,
+    kind="comb",
+    spec=(
+        "Implement an 8-bit priority encoder. Given req[7:0], output the "
+        "index (3 bits) of the highest-numbered asserted bit and a valid "
+        "flag. If no bit is set, index = 0 and valid = 0."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] req,
+    output reg [2:0] index,
+    output reg valid
+);
+    integer i;
+    always @(*) begin
+        index = 3'd0;
+        valid = 1'b0;
+        for (i = 0; i < 8; i = i + 1) begin
+            if (req[i]) begin
+                index = i[2:0];
+                valid = 1'b1;
+            end
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"req": 0}, {"req": 1}, {"req": 0x80}, {"req": 0x42}, {"req": 0xFF}),
+    n_random=20,
+)
+
+_p(
+    id="cb_seven_seg",
+    title="BCD to seven-segment decoder",
+    category="combinational",
+    difficulty=0.55,
+    kind="comb",
+    spec=(
+        "Decode a BCD digit (0-9) to active-high seven-segment outputs "
+        "seg[6:0] = {g, f, e, d, c, b, a} using the standard segment "
+        "encoding (0 -> 7'b0111111, 1 -> 7'b0000110, 2 -> 7'b1011011, "
+        "3 -> 7'b1001111, 4 -> 7'b1100110, 5 -> 7'b1101101, "
+        "6 -> 7'b1111101, 7 -> 7'b0000111, 8 -> 7'b1111111, "
+        "9 -> 7'b1101111). For inputs 10-15 output all zeros."
+    ),
+    golden="""
+module top_module (
+    input wire [3:0] bcd,
+    output reg [6:0] seg
+);
+    always @(*) begin
+        case (bcd)
+            4'd0: seg = 7'b0111111;
+            4'd1: seg = 7'b0000110;
+            4'd2: seg = 7'b1011011;
+            4'd3: seg = 7'b1001111;
+            4'd4: seg = 7'b1100110;
+            4'd5: seg = 7'b1101101;
+            4'd6: seg = 7'b1111101;
+            4'd7: seg = 7'b0000111;
+            4'd8: seg = 7'b1111111;
+            4'd9: seg = 7'b1101111;
+            default: seg = 7'b0000000;
+        endcase
+    end
+endmodule
+""",
+    top="top_module",
+    directed=tuple({"bcd": v} for v in range(16)),
+    n_random=8,
+)
+
+_p(
+    id="cb_kmap_mux",
+    title="Karnaugh-map derived mux inputs (prob093 style)",
+    category="combinational",
+    difficulty=0.6,
+    kind="comb",
+    spec=(
+        "A 4-to-1 multiplexer selected by {a, b} implements a function of "
+        "four variables a, b, c, d. Derive the four mux data inputs as "
+        "functions of c and d so that the overall function matches this "
+        "truth table: mux_in[0] (selected when ab=00) must be 1 when "
+        "c OR d is 1; mux_in[1] (ab=01) is constant 0; mux_in[2] (ab=10) "
+        "must be 1 when d is 0; mux_in[3] (ab=11) must be 1 when both "
+        "c and d are 1. Output the 4-bit vector mux_in[3:0]."
+    ),
+    golden="""
+module top_module (
+    input wire c,
+    input wire d,
+    output reg [3:0] mux_in
+);
+    always @(*) begin
+        mux_in[0] = (~c & d) | (c & ~d) | (c & d);
+        mux_in[1] = 1'b0;
+        mux_in[2] = (~c & ~d) | (c & ~d);
+        mux_in[3] = c & d;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=tuple({"c": c, "d": d} for c in (0, 1) for d in (0, 1)),
+    n_random=6,
+)
+
+_p(
+    id="cb_popcount8",
+    title="8-bit population count",
+    category="combinational",
+    difficulty=0.35,
+    kind="comb",
+    spec=(
+        "Count the number of 1 bits in an 8-bit input; output the count "
+        "as a 4-bit value."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] in,
+    output reg [3:0] count
+);
+    integer i;
+    always @(*) begin
+        count = 4'd0;
+        for (i = 0; i < 8; i = i + 1)
+            count = count + {3'b0, in[i]};
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"in": 0}, {"in": 255}, {"in": 0x0F}, {"in": 0x55}),
+    n_random=20,
+)
+
+_p(
+    id="cb_comparator4",
+    title="4-bit unsigned comparator",
+    category="combinational",
+    difficulty=0.18,
+    kind="comb",
+    spec=(
+        "Compare two 4-bit unsigned numbers a and b. Outputs: lt (a < b), "
+        "eq (a == b), gt (a > b). Exactly one output is high."
+    ),
+    golden="""
+module top_module (
+    input wire [3:0] a,
+    input wire [3:0] b,
+    output wire lt,
+    output wire eq,
+    output wire gt
+);
+    assign lt = a < b;
+    assign eq = a == b;
+    assign gt = a > b;
+endmodule
+""",
+    top="top_module",
+    directed=({"a": 3, "b": 7}, {"a": 7, "b": 3}, {"a": 5, "b": 5}, {"a": 0, "b": 15}),
+    n_random=16,
+)
+
+_p(
+    id="cb_barrel_rotl8",
+    title="8-bit barrel rotate left",
+    category="combinational",
+    difficulty=0.45,
+    kind="comb",
+    spec=(
+        "Rotate an 8-bit input left by a 3-bit amount: "
+        "out = {in, in} >> (8 - amt) truncated to 8 bits, i.e. bits that "
+        "fall off the top re-enter at the bottom. amt = 0 leaves the "
+        "value unchanged."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] in,
+    input wire [2:0] amt,
+    output wire [7:0] out
+);
+    wire [15:0] doubled;
+    assign doubled = {in, in};
+    assign out = doubled >> (4'd8 - {1'b0, amt});
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"in": 0x81, "amt": 0},
+        {"in": 0x81, "amt": 1},
+        {"in": 0x81, "amt": 7},
+        {"in": 0x0F, "amt": 4},
+    ),
+    n_random=20,
+)
+
+_p(
+    id="cb_bin2gray8",
+    title="Binary to Gray code",
+    category="combinational",
+    difficulty=0.12,
+    kind="comb",
+    spec=(
+        "Convert an 8-bit binary number to Gray code: "
+        "gray = bin ^ (bin >> 1)."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] bin,
+    output wire [7:0] gray
+);
+    assign gray = bin ^ (bin >> 1);
+endmodule
+""",
+    top="top_module",
+    directed=({"bin": 0}, {"bin": 255}, {"bin": 0x80}, {"bin": 0x7F}),
+    n_random=16,
+)
+
+_p(
+    id="cb_gray2bin8",
+    title="Gray code to binary",
+    category="combinational",
+    difficulty=0.5,
+    kind="comb",
+    spec=(
+        "Convert an 8-bit Gray-code value back to binary. Each binary bit "
+        "is the XOR of all Gray bits at that position and above: "
+        "bin[i] = ^gray[7:i]."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] gray,
+    output reg [7:0] bin
+);
+    integer i;
+    always @(*) begin
+        bin[7] = gray[7];
+        for (i = 6; i >= 0; i = i - 1)
+            bin[i] = bin[i + 1] ^ gray[i];
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"gray": 0}, {"gray": 0x80}, {"gray": 0xFF}, {"gray": 0x01}),
+    n_random=16,
+)

@@ -1,0 +1,406 @@
+"""Additional problems in the RTLLM style (the ``rtllm-like`` suite).
+
+These extend the library beyond the paper's two suites; the frozen
+VerilogEval-style suites never include them, so published calibration
+numbers are unaffected.
+"""
+
+from repro.evalsets.problem import Problem, register_problem
+
+
+def _p(**kwargs) -> Problem:
+    return register_problem(Problem(**kwargs))
+
+
+_p(
+    id="ex_johnson4",
+    title="4-bit Johnson counter",
+    category="sequential",
+    difficulty=0.4,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a 4-bit Johnson (twisted-ring) counter: on each clock "
+        "the register shifts left by one and the complement of the old "
+        "MSB enters bit 0, producing the 8-state sequence 0000, 0001, "
+        "0011, 0111, 1111, 1110, 1100, 1000. Synchronous active-high "
+        "reset clears the register to 0000."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'b0000;
+        else
+            q <= {q[2:0], ~q[3]};
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"reset": 1},) + tuple({"reset": 0} for _ in range(9)),
+    random_policy={"reset": 0.05},
+    n_random=16,
+)
+
+_p(
+    id="ex_pwm",
+    title="PWM generator",
+    category="sequential",
+    difficulty=0.55,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement an 8-bit PWM generator. A free-running 8-bit counter "
+        "increments every clock (wrapping); the output pwm is high "
+        "(combinationally) while the counter value is strictly less than "
+        "the duty input. duty=0 keeps pwm low forever; duty=255 keeps it "
+        "high for 255 of 256 counts. Synchronous active-high reset "
+        "clears the counter."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire [7:0] duty,
+    output wire pwm,
+    output reg [7:0] count
+);
+    assign pwm = count < duty;
+    always @(posedge clk) begin
+        if (reset)
+            count <= 8'd0;
+        else
+            count <= count + 8'd1;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "duty": 0},
+        {"reset": 0, "duty": 2},
+        {},
+        {},
+        {"duty": 255},
+    ),
+    random_policy={"reset": 0.03},
+    n_random=24,
+)
+
+_p(
+    id="ex_majority5",
+    title="5-input majority voter",
+    category="combinational",
+    difficulty=0.35,
+    kind="comb",
+    spec=(
+        "Output 1 when three or more of the five 1-bit inputs a, b, c, "
+        "d, e are 1, else 0."
+    ),
+    golden="""
+module top_module (
+    input wire a,
+    input wire b,
+    input wire c,
+    input wire d,
+    input wire e,
+    output wire y
+);
+    wire [2:0] total;
+    assign total = {2'b0, a} + {2'b0, b} + {2'b0, c} + {2'b0, d} + {2'b0, e};
+    assign y = total >= 3'd3;
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"a": 1, "b": 1, "c": 1, "d": 0, "e": 0},
+        {"a": 1, "b": 1, "c": 0, "d": 0, "e": 0},
+        {"a": 0, "b": 0, "c": 0, "d": 0, "e": 0},
+        {"a": 1, "b": 1, "c": 1, "d": 1, "e": 1},
+    ),
+    n_random=20,
+)
+
+_p(
+    id="ex_onehot2bin",
+    title="One-hot to binary encoder",
+    category="combinational",
+    difficulty=0.45,
+    kind="comb",
+    spec=(
+        "Convert an 8-bit one-hot input to its 3-bit binary index, with "
+        "a valid flag that is high only when exactly one input bit is "
+        "set. When valid is low, the index output is 0."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] onehot,
+    output reg [2:0] index,
+    output reg valid
+);
+    integer i;
+    reg [3:0] ones;
+    always @(*) begin
+        ones = 4'd0;
+        index = 3'd0;
+        for (i = 0; i < 8; i = i + 1) begin
+            if (onehot[i]) begin
+                ones = ones + 4'd1;
+                index = i[2:0];
+            end
+        end
+        valid = (ones == 4'd1);
+        if (!valid)
+            index = 3'd0;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"onehot": 0x01},
+        {"onehot": 0x80},
+        {"onehot": 0x00},
+        {"onehot": 0x82},
+        {"onehot": 0x10},
+    ),
+    n_random=20,
+)
+
+_p(
+    id="ex_minmax8",
+    title="Signed min/max",
+    category="arithmetic",
+    difficulty=0.4,
+    kind="comb",
+    spec=(
+        "Given two signed 8-bit inputs, output their minimum and maximum "
+        "using signed comparison."
+    ),
+    golden="""
+module top_module (
+    input wire signed [7:0] a,
+    input wire signed [7:0] b,
+    output wire signed [7:0] min,
+    output wire signed [7:0] max
+);
+    wire a_smaller;
+    assign a_smaller = a < b;
+    assign min = a_smaller ? a : b;
+    assign max = a_smaller ? b : a;
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"a": 0x7F, "b": 0x80},
+        {"a": 0x01, "b": 0xFF},
+        {"a": 10, "b": 10},
+    ),
+    n_random=24,
+)
+
+_p(
+    id="ex_div4_pulse",
+    title="Divide-by-4 pulse generator",
+    category="sequential",
+    difficulty=0.5,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Generate a single-cycle pulse (registered output tick) once "
+        "every 4 clock cycles: tick is high on the cycle after the "
+        "internal 2-bit counter wraps from 3 to 0. Synchronous "
+        "active-high reset clears the counter and tick."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    output reg tick,
+    output reg [1:0] count
+);
+    always @(posedge clk) begin
+        if (reset) begin
+            count <= 2'd0;
+            tick <= 1'b0;
+        end else begin
+            count <= count + 2'd1;
+            tick <= (count == 2'd3);
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"reset": 1},) + tuple({"reset": 0} for _ in range(10)),
+    random_policy={"reset": 0.04},
+    n_random=20,
+)
+
+_p(
+    id="ex_sipo8",
+    title="Serial-in parallel-out with done flag",
+    category="sequential",
+    difficulty=0.6,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement an 8-bit serial-to-parallel converter: each clock, "
+        "input bit sin shifts into the LSB of an internal register "
+        "(older bits move up). A 3-bit counter tracks progress; the "
+        "registered output done pulses high for one cycle when the 8th "
+        "bit arrives, and data always shows the register contents. "
+        "Synchronous active-high reset clears everything."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire sin,
+    output reg [7:0] data,
+    output reg done
+);
+    reg [2:0] count;
+    always @(posedge clk) begin
+        if (reset) begin
+            data <= 8'd0;
+            count <= 3'd0;
+            done <= 1'b0;
+        end else begin
+            data <= {data[6:0], sin};
+            count <= count + 3'd1;
+            done <= (count == 3'd7);
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"reset": 1, "sin": 0},)
+    + tuple({"reset": 0, "sin": i % 2} for i in range(10)),
+    random_policy={"reset": 0.03, "sin": 0.5},
+    n_random=24,
+)
+
+_p(
+    id="ex_alu_flags",
+    title="Two-op ALU with flags",
+    category="arithmetic",
+    difficulty=0.5,
+    kind="comb",
+    spec=(
+        "Implement a tiny ALU: when op is 0, result = a + b; when op is "
+        "1, result = a - b (8-bit wraparound). Output flags: zero (the "
+        "result is 0) and neg (the result's MSB, i.e. negative when "
+        "interpreted as signed)."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] a,
+    input wire [7:0] b,
+    input wire op,
+    output reg [7:0] result,
+    output wire zero,
+    output wire neg
+);
+    assign zero = (result == 8'd0);
+    assign neg = result[7];
+    always @(*) begin
+        if (op)
+            result = a - b;
+        else
+            result = a + b;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"a": 5, "b": 5, "op": 1},
+        {"a": 5, "b": 6, "op": 1},
+        {"a": 200, "b": 100, "op": 0},
+        {"a": 0, "b": 0, "op": 0},
+    ),
+    n_random=24,
+)
+
+_p(
+    id="ex_sat_counter",
+    title="Saturating up/down counter",
+    category="sequential",
+    difficulty=0.45,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a 4-bit saturating up/down counter (the core of a "
+        "branch predictor): when en is high, count up if up is 1 "
+        "(saturating at 15) else count down (saturating at 0); no "
+        "wraparound in either direction. Synchronous active-high reset "
+        "sets the counter to 8 (weakly taken)."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire en,
+    input wire up,
+    output reg [3:0] count
+);
+    always @(posedge clk) begin
+        if (reset)
+            count <= 4'd8;
+        else if (en) begin
+            if (up) begin
+                if (count != 4'd15)
+                    count <= count + 4'd1;
+            end else begin
+                if (count != 4'd0)
+                    count <= count - 4'd1;
+            end
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "en": 0, "up": 0},
+        {"reset": 0, "en": 1, "up": 1},
+    )
+    + tuple({"up": 1} for _ in range(8))
+    + tuple({"up": 0} for _ in range(3)),
+    random_policy={"reset": 0.03, "en": 0.8, "up": 0.5},
+    n_random=24,
+)
+
+_p(
+    id="ex_parity_unit",
+    title="Parity generator and checker",
+    category="combinational",
+    difficulty=0.3,
+    kind="comb",
+    spec=(
+        "Implement a combined parity unit for 8-bit words: gen_odd is "
+        "the odd-parity bit to append to dout (so that the 9 bits "
+        "together have an odd number of ones), and err flags a received "
+        "word: it is high when the 8-bit din plus its received parity "
+        "bit pin do NOT have odd parity overall."
+    ),
+    golden="""
+module top_module (
+    input wire [7:0] dout,
+    input wire [7:0] din,
+    input wire pin,
+    output wire gen_odd,
+    output wire err
+);
+    assign gen_odd = ~(^dout);
+    assign err = ~(^{din, pin});
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"dout": 0x00, "din": 0x00, "pin": 1},
+        {"dout": 0x01, "din": 0x01, "pin": 0},
+        {"dout": 0xFF, "din": 0xFF, "pin": 1},
+    ),
+    n_random=24,
+)

@@ -1,0 +1,384 @@
+"""Finite-state-machine problems (sequence detectors, arbiters, ...)."""
+
+from repro.evalsets.problem import Problem, register_problem
+
+
+def _p(**kwargs) -> Problem:
+    return register_problem(Problem(**kwargs))
+
+
+_p(
+    id="fs_seq_det_1011",
+    title="Overlapping 1011 sequence detector (Mealy)",
+    category="fsm",
+    difficulty=0.7,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a Mealy FSM that detects the serial bit pattern 1011 "
+        "on input x (MSB first, overlapping allowed). Output z is "
+        "registered and pulses high for the cycle after the final 1 of "
+        "a detected pattern. Synchronous active-high reset returns the "
+        "FSM to its initial state with z low."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire x,
+    output reg z
+);
+    localparam S0 = 2'd0;
+    localparam S1 = 2'd1;
+    localparam S10 = 2'd2;
+    localparam S101 = 2'd3;
+    reg [1:0] state;
+    always @(posedge clk) begin
+        if (reset) begin
+            state <= S0;
+            z <= 1'b0;
+        end else begin
+            z <= 1'b0;
+            case (state)
+                S0:
+                    if (x) state <= S1;
+                S1:
+                    if (x) state <= S1;
+                    else state <= S10;
+                S10:
+                    if (x) state <= S101;
+                    else state <= S0;
+                S101:
+                    if (x) begin
+                        z <= 1'b1;
+                        state <= S1;
+                    end else
+                        state <= S10;
+            endcase
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "x": 0},
+        {"reset": 0, "x": 1},
+        {"x": 0},
+        {"x": 1},
+        {"x": 1},  # 1011 complete -> z next cycle
+        {"x": 0},
+        {"x": 1},
+        {"x": 1},  # overlap: ...1011 again
+    ),
+    random_policy={"reset": 0.03, "x": 0.6},
+    n_random=28,
+)
+
+_p(
+    id="fs_seq_det_110",
+    title="Non-overlapping 110 detector (Moore)",
+    category="fsm",
+    difficulty=0.6,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a Moore FSM that detects the serial pattern 110 on "
+        "input x without overlap (after a detection, matching restarts "
+        "from scratch). Output z is high while the FSM is in the "
+        "detected state (the cycle after the 0 arrives). Synchronous "
+        "active-high reset."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire x,
+    output wire z
+);
+    localparam IDLE = 2'd0;
+    localparam GOT1 = 2'd1;
+    localparam GOT11 = 2'd2;
+    localparam FOUND = 2'd3;
+    reg [1:0] state;
+    assign z = (state == FOUND);
+    always @(posedge clk) begin
+        if (reset)
+            state <= IDLE;
+        else begin
+            case (state)
+                IDLE:
+                    state <= x ? GOT1 : IDLE;
+                GOT1:
+                    state <= x ? GOT11 : IDLE;
+                GOT11:
+                    state <= x ? GOT11 : FOUND;
+                default:
+                    state <= x ? GOT1 : IDLE;
+            endcase
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "x": 0},
+        {"reset": 0, "x": 1},
+        {"x": 1},
+        {"x": 0},  # 110 -> FOUND next cycle
+        {"x": 1},
+        {"x": 1},
+        {"x": 0},
+    ),
+    random_policy={"reset": 0.03, "x": 0.55},
+    n_random=28,
+)
+
+_p(
+    id="fs_arbiter2",
+    title="Two-requester round-robin arbiter",
+    category="fsm",
+    difficulty=0.75,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a 2-requester round-robin arbiter. Registered one-hot "
+        "grant outputs gnt[1:0] respond to request inputs req[1:0] one "
+        "cycle later. If both request, the requester that was NOT "
+        "granted most recently wins; ties after reset favour requester "
+        "0. A granted requester keeps its grant while its request stays "
+        "high (grant is re-evaluated only when the current holder "
+        "deasserts). With no requests, no grant is asserted. Synchronous "
+        "active-high reset clears grants and priority."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire [1:0] req,
+    output reg [1:0] gnt
+);
+    reg last;  // most recently granted requester
+    always @(posedge clk) begin
+        if (reset) begin
+            gnt <= 2'b00;
+            last <= 1'b1;  // so requester 0 wins the first tie
+        end else if (gnt != 2'b00 && (gnt & req) != 2'b00) begin
+            gnt <= gnt;  // holder keeps the grant
+        end else if (req == 2'b00) begin
+            gnt <= 2'b00;
+        end else if (req == 2'b01) begin
+            gnt <= 2'b01;
+            last <= 1'b0;
+        end else if (req == 2'b10) begin
+            gnt <= 2'b10;
+            last <= 1'b1;
+        end else begin
+            if (last == 1'b0) begin
+                gnt <= 2'b10;
+                last <= 1'b1;
+            end else begin
+                gnt <= 2'b01;
+                last <= 1'b0;
+            end
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "req": 0},
+        {"reset": 0, "req": 3},
+        {"req": 3},
+        {"req": 2},
+        {"req": 0},
+        {"req": 3},
+        {"req": 1},
+    ),
+    random_policy={"reset": 0.03},
+    n_random=28,
+)
+
+_p(
+    id="fs_vending",
+    title="Vending machine FSM",
+    category="fsm",
+    difficulty=0.85,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a vending machine accepting nickels (5c) and dimes "
+        "(10c) for a 20c item. Inputs nickel and dime pulse for one "
+        "cycle per coin (never both). Track the accumulated credit in "
+        "multiples of 5 (internal states 0, 5, 10, 15). When credit "
+        "reaches 20 or more, pulse dispense for one cycle (registered), "
+        "pulse change_out if credit hit 25 (a dime on 15), and return "
+        "to 0 credit. Synchronous active-high reset clears credit and "
+        "outputs."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire nickel,
+    input wire dime,
+    output reg dispense,
+    output reg change_out
+);
+    reg [2:0] credit;  // credit in units of 5 cents (0..3)
+    reg [2:0] next_total;
+    always @(posedge clk) begin
+        if (reset) begin
+            credit <= 3'd0;
+            dispense <= 1'b0;
+            change_out <= 1'b0;
+        end else begin
+            next_total = credit + {2'b0, nickel} + {1'b0, dime, 1'b0};
+            if (next_total >= 3'd4) begin
+                dispense <= 1'b1;
+                change_out <= (next_total > 3'd4);
+                credit <= 3'd0;
+            end else begin
+                dispense <= 1'b0;
+                change_out <= 1'b0;
+                credit <= next_total;
+            end
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "nickel": 0, "dime": 0},
+        {"reset": 0, "dime": 1},
+        {"dime": 0, "nickel": 1},
+        {"nickel": 1},
+        {"nickel": 0, "dime": 1},  # 5+5+10 = 20 -> dispense
+        {"dime": 0},
+        {"dime": 1},
+        {"dime": 0, "nickel": 1},
+        {"nickel": 0, "dime": 1},  # 10+5+10 = 25 -> dispense + change
+        {"dime": 0},
+    ),
+    random_policy={"reset": 0.02, "nickel": 0.4, "dime": 0.3},
+    n_random=30,
+)
+
+_p(
+    id="fs_traffic",
+    title="Traffic light controller",
+    category="fsm",
+    difficulty=0.8,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a traffic light FSM with one-hot outputs {red, "
+        "yellow, green}. After synchronous reset the light is red. Red "
+        "lasts 4 cycles, then green for 4 cycles, then yellow for 2 "
+        "cycles, then back to red. Exactly one output is high each "
+        "cycle."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    output wire red,
+    output wire yellow,
+    output wire green
+);
+    localparam RED = 2'd0;
+    localparam GREEN = 2'd1;
+    localparam YELLOW = 2'd2;
+    reg [1:0] state;
+    reg [2:0] timer;
+    assign red = (state == RED);
+    assign green = (state == GREEN);
+    assign yellow = (state == YELLOW);
+    always @(posedge clk) begin
+        if (reset) begin
+            state <= RED;
+            timer <= 3'd0;
+        end else begin
+            case (state)
+                RED:
+                    if (timer == 3'd3) begin
+                        state <= GREEN;
+                        timer <= 3'd0;
+                    end else
+                        timer <= timer + 3'd1;
+                GREEN:
+                    if (timer == 3'd3) begin
+                        state <= YELLOW;
+                        timer <= 3'd0;
+                    end else
+                        timer <= timer + 3'd1;
+                default:
+                    if (timer == 3'd1) begin
+                        state <= RED;
+                        timer <= 3'd0;
+                    end else
+                        timer <= timer + 3'd1;
+            endcase
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"reset": 1},) + tuple({"reset": 0} for _ in range(14)),
+    random_policy={"reset": 0.02},
+    n_random=24,
+)
+
+_p(
+    id="fs_ones_run",
+    title="Three-consecutive-ones detector",
+    category="fsm",
+    difficulty=0.45,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Output z (registered) pulses high for one cycle whenever input "
+        "x has been 1 for three consecutive clock edges (overlapping "
+        "runs count: 1111 fires at the 3rd and 4th ones). Synchronous "
+        "active-high reset clears the run length and z."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire x,
+    output reg z
+);
+    reg [1:0] run;
+    always @(posedge clk) begin
+        if (reset) begin
+            run <= 2'd0;
+            z <= 1'b0;
+        end else if (x) begin
+            if (run >= 2'd2) begin
+                z <= 1'b1;
+                run <= 2'd2;
+            end else begin
+                z <= 1'b0;
+                run <= run + 2'd1;
+            end
+        end else begin
+            z <= 1'b0;
+            run <= 2'd0;
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "x": 0},
+        {"reset": 0, "x": 1},
+        {"x": 1},
+        {"x": 1},
+        {"x": 1},
+        {"x": 0},
+        {"x": 1},
+        {"x": 1},
+    ),
+    random_policy={"reset": 0.03, "x": 0.7},
+    n_random=28,
+)

@@ -1,0 +1,262 @@
+"""Memory-structure problems (register files, FIFOs, RAMs, stacks)."""
+
+from repro.evalsets.problem import Problem, register_problem
+
+
+def _p(**kwargs) -> Problem:
+    return register_problem(Problem(**kwargs))
+
+
+_p(
+    id="me_regfile",
+    title="4x8 register file",
+    category="memory",
+    difficulty=0.55,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a register file with four 8-bit registers, one write "
+        "port and one combinational (asynchronous) read port. On a "
+        "rising clock edge with we high, regs[waddr] <= wdata. rdata "
+        "continuously reflects regs[raddr]. Register 0 is an ordinary "
+        "register (writable). Synchronous reset clears all registers."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire we,
+    input wire [1:0] waddr,
+    input wire [7:0] wdata,
+    input wire [1:0] raddr,
+    output wire [7:0] rdata
+);
+    reg [7:0] regs [0:3];
+    integer i;
+    assign rdata = regs[raddr];
+    always @(posedge clk) begin
+        if (reset) begin
+            for (i = 0; i < 4; i = i + 1)
+                regs[i] <= 8'd0;
+        end else if (we)
+            regs[waddr] <= wdata;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "we": 0, "waddr": 0, "wdata": 0, "raddr": 0},
+        {"reset": 0, "we": 1, "waddr": 2, "wdata": 0xAB, "raddr": 2},
+        {"we": 1, "waddr": 1, "wdata": 0x55, "raddr": 2},
+        {"we": 0, "raddr": 1},
+        {"raddr": 3},
+    ),
+    random_policy={"reset": 0.03, "we": 0.6},
+    n_random=28,
+)
+
+_p(
+    id="me_fifo4",
+    title="Synchronous FIFO, depth 4",
+    category="memory",
+    difficulty=0.9,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a depth-4, 8-bit synchronous FIFO with synchronous "
+        "reset. Inputs push and pop; outputs full, empty, and dout "
+        "(combinational view of the head entry; value undefined when "
+        "empty is irrelevant because checks ignore it). A push when "
+        "full is ignored; a pop when empty is ignored; simultaneous "
+        "push+pop on a non-empty, non-full FIFO does both. full and "
+        "empty are combinational functions of the element count."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire push,
+    input wire pop,
+    input wire [7:0] din,
+    output wire full,
+    output wire empty,
+    output wire [7:0] dout
+);
+    reg [7:0] mem [0:3];
+    reg [1:0] head;
+    reg [1:0] tail;
+    reg [2:0] count;
+    wire do_push;
+    wire do_pop;
+    assign full = (count == 3'd4);
+    assign empty = (count == 3'd0);
+    assign dout = mem[head];
+    assign do_push = push & ~full;
+    assign do_pop = pop & ~empty;
+    always @(posedge clk) begin
+        if (reset) begin
+            head <= 2'd0;
+            tail <= 2'd0;
+            count <= 3'd0;
+        end else begin
+            if (do_push) begin
+                mem[tail] <= din;
+                tail <= tail + 2'd1;
+            end
+            if (do_pop)
+                head <= head + 2'd1;
+            count <= count + {2'b0, do_push} - {2'b0, do_pop};
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "push": 0, "pop": 0, "din": 0},
+        {"reset": 0, "push": 1, "din": 0x11},
+        {"din": 0x22},
+        {"din": 0x33},
+        {"din": 0x44},
+        {"din": 0x55},  # push on full: ignored
+        {"push": 0, "pop": 1},
+        {"pop": 1},
+        {"push": 1, "pop": 1, "din": 0x66},
+        {"push": 0, "pop": 1},
+        {"pop": 1},
+        {"pop": 1},  # pop on empty: ignored
+    ),
+    random_policy={"reset": 0.02, "push": 0.55, "pop": 0.45},
+    n_random=30,
+)
+
+_p(
+    id="me_ram_sync",
+    title="Single-port RAM with registered read",
+    category="memory",
+    difficulty=0.45,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement an 8-entry, 8-bit single-port RAM. On a rising clock "
+        "edge: if we is high, write din to mem[addr]; the output q is "
+        "registered and always captures mem[addr] (read-before-write: "
+        "a simultaneous write returns the old contents)."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire we,
+    input wire [2:0] addr,
+    input wire [7:0] din,
+    output reg [7:0] q
+);
+    reg [7:0] mem [0:7];
+    always @(posedge clk) begin
+        q <= mem[addr];
+        if (we)
+            mem[addr] <= din;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"we": 1, "addr": 0, "din": 0xDE},
+        {"addr": 1, "din": 0xAD},
+        {"we": 0, "addr": 0},
+        {"addr": 1},
+        {"we": 1, "addr": 0, "din": 0x99},  # read-old while writing
+    ),
+    random_policy={"we": 0.6},
+    n_random=28,
+)
+
+_p(
+    id="me_stack4",
+    title="4-deep hardware stack",
+    category="memory",
+    difficulty=0.85,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a 4-deep, 8-bit stack with synchronous reset. push "
+        "stores din at the top; pop removes the top entry. tos shows "
+        "the current top-of-stack combinationally (ignored when empty). "
+        "Push on a full stack and pop on an empty stack are ignored; "
+        "simultaneous push and pop replaces the top entry (depth "
+        "unchanged) when the stack is non-empty. Outputs full and "
+        "empty reflect the depth combinationally."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire push,
+    input wire pop,
+    input wire [7:0] din,
+    output wire full,
+    output wire empty,
+    output wire [7:0] tos
+);
+    reg [7:0] mem [0:3];
+    reg [2:0] depth;
+    assign empty = (depth == 3'd0);
+    assign full = (depth == 3'd4);
+    assign tos = mem[depth - 3'd1];
+    always @(posedge clk) begin
+        if (reset)
+            depth <= 3'd0;
+        else if (push && pop) begin
+            if (depth != 3'd0)
+                mem[depth - 3'd1] <= din;
+        end else if (push) begin
+            if (depth != 3'd4) begin
+                mem[depth] <= din;
+                depth <= depth + 3'd1;
+            end
+        end else if (pop) begin
+            if (depth != 3'd0)
+                depth <= depth - 3'd1;
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "push": 0, "pop": 0, "din": 0},
+        {"reset": 0, "push": 1, "din": 0x10},
+        {"din": 0x20},
+        {"din": 0x30},
+        {"push": 1, "pop": 1, "din": 0x99},  # replace top
+        {"push": 0, "pop": 1},
+        {"pop": 1},
+        {"pop": 1},
+        {"pop": 1},  # pop on empty: ignored
+    ),
+    random_policy={"reset": 0.02, "push": 0.5, "pop": 0.4},
+    n_random=30,
+)
+
+_p(
+    id="me_rom_case",
+    title="16-entry ROM lookup",
+    category="memory",
+    difficulty=0.3,
+    kind="comb",
+    spec=(
+        "Implement a combinational 16-entry ROM: data = addr squared, "
+        "truncated to 8 bits (i.e. data = (addr * addr) & 8'hFF)."
+    ),
+    golden="""
+module top_module (
+    input wire [3:0] addr,
+    output wire [7:0] data
+);
+    wire [7:0] wide;
+    assign wide = {4'b0, addr};
+    assign data = wide * wide;
+endmodule
+""",
+    top="top_module",
+    directed=tuple({"addr": v} for v in range(16)),
+    n_random=4,
+)

@@ -1,0 +1,422 @@
+"""Sequential problems (flip-flops, counters, shift registers, LFSRs)."""
+
+from repro.evalsets.problem import Problem, register_problem
+
+
+def _p(**kwargs) -> Problem:
+    return register_problem(Problem(**kwargs))
+
+
+_p(
+    id="sq_dff_ar",
+    title="D flip-flop with async reset",
+    category="sequential",
+    difficulty=0.06,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a D flip-flop with an asynchronous active-high reset: "
+        "on reset q becomes 0 immediately; otherwise q takes d at each "
+        "rising clock edge."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire areset,
+    input wire d,
+    output reg q
+);
+    always @(posedge clk or posedge areset) begin
+        if (areset)
+            q <= 1'b0;
+        else
+            q <= d;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"areset": 1, "d": 1},
+        {"areset": 0, "d": 1},
+        {"d": 0},
+        {"d": 1},
+    ),
+    random_policy={"areset": 0.1, "d": 0.5},
+    n_random=20,
+)
+
+_p(
+    id="sq_tff",
+    title="T flip-flop with sync reset",
+    category="sequential",
+    difficulty=0.12,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a T flip-flop with synchronous active-high reset. "
+        "On reset q becomes 0 at the clock edge; otherwise q toggles "
+        "when t is 1 and holds when t is 0."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire t,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 1'b0;
+        else if (t)
+            q <= ~q;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"reset": 1, "t": 0}, {"reset": 0, "t": 1}, {"t": 1}, {"t": 0}),
+    random_policy={"reset": 0.08, "t": 0.6},
+    n_random=20,
+)
+
+_p(
+    id="sq_counter_ud",
+    title="Up/down counter with load",
+    category="sequential",
+    difficulty=0.4,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement an 8-bit up/down counter with synchronous active-high "
+        "reset (to 0) and parallel load. Priority: reset, then load "
+        "(count <= din), then count up when up is 1 else count down. "
+        "The counter wraps naturally."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire load,
+    input wire up,
+    input wire [7:0] din,
+    output reg [7:0] count
+);
+    always @(posedge clk) begin
+        if (reset)
+            count <= 8'd0;
+        else if (load)
+            count <= din;
+        else if (up)
+            count <= count + 8'd1;
+        else
+            count <= count - 8'd1;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "load": 0, "up": 1, "din": 0},
+        {"reset": 0, "up": 1},
+        {"up": 1},
+        {"load": 1, "din": 200},
+        {"load": 0, "up": 0},
+        {"up": 0},
+    ),
+    random_policy={"reset": 0.05, "load": 0.15, "up": 0.5},
+    n_random=24,
+)
+
+_p(
+    id="sq_counter_bcd",
+    title="BCD ones-digit counter with carry",
+    category="sequential",
+    difficulty=0.6,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a single-digit BCD counter with synchronous reset and "
+        "enable. When enabled, the digit counts 0-9 and wraps to 0; the "
+        "carry output is high (combinationally) when the digit is 9 and "
+        "enable is high, i.e. for exactly one cycle per decade."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire en,
+    output reg [3:0] digit,
+    output wire carry
+);
+    assign carry = en & (digit == 4'd9);
+    always @(posedge clk) begin
+        if (reset)
+            digit <= 4'd0;
+        else if (en) begin
+            if (digit == 4'd9)
+                digit <= 4'd0;
+            else
+                digit <= digit + 4'd1;
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "en": 0},
+        {"reset": 0, "en": 1},
+    )
+    + tuple({"en": 1} for _ in range(11)),
+    random_policy={"reset": 0.04, "en": 0.8},
+    n_random=20,
+)
+
+_p(
+    id="sq_shift_lr",
+    title="Bidirectional shift register",
+    category="sequential",
+    difficulty=0.5,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement an 8-bit shift register with synchronous reset, "
+        "parallel load, and direction control. Priority: reset (clear), "
+        "then load (q <= din), then shift: when dir is 0 shift left "
+        "(serial-in sin enters bit 0), when dir is 1 shift right "
+        "(sin enters bit 7). When ena is 0 and neither reset nor load, "
+        "hold the value."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire load,
+    input wire ena,
+    input wire dir,
+    input wire sin,
+    input wire [7:0] din,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'd0;
+        else if (load)
+            q <= din;
+        else if (ena) begin
+            if (dir)
+                q <= {sin, q[7:1]};
+            else
+                q <= {q[6:0], sin};
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "load": 0, "ena": 0, "dir": 0, "sin": 0, "din": 0},
+        {"reset": 0, "load": 1, "din": 0x81},
+        {"load": 0, "ena": 1, "dir": 0, "sin": 1},
+        {"dir": 1, "sin": 0},
+        {"ena": 0},
+    ),
+    random_policy={"reset": 0.04, "load": 0.1, "ena": 0.7, "dir": 0.5, "sin": 0.5},
+    n_random=24,
+)
+
+_p(
+    id="sq_ring_counter",
+    title="4-bit ring counter",
+    category="sequential",
+    difficulty=0.3,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a 4-bit one-hot ring counter. Synchronous active-high "
+        "reset sets q to 4'b0001; afterwards the single hot bit rotates "
+        "left one position per clock (bit 3 wraps to bit 0)."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'b0001;
+        else
+            q <= {q[2:0], q[3]};
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"reset": 1},) + tuple({"reset": 0} for _ in range(6)),
+    random_policy={"reset": 0.05},
+    n_random=16,
+)
+
+_p(
+    id="sq_lfsr5",
+    title="5-bit maximal LFSR",
+    category="sequential",
+    difficulty=0.55,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a 5-bit Galois-style LFSR per VerilogEval's lfsr5: at "
+        "each clock, q[4] <= q[0]; q[3] <= q[4]; q[2] <= q[3] ^ q[0]; "
+        "q[1] <= q[2]; q[0] <= q[1]. Synchronous active-high reset sets "
+        "q to 5'h1."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    output reg [4:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 5'h1;
+        else begin
+            q[4] <= q[0];
+            q[3] <= q[4];
+            q[2] <= q[3] ^ q[0];
+            q[1] <= q[2];
+            q[0] <= q[1];
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"reset": 1},) + tuple({"reset": 0} for _ in range(10)),
+    random_policy={"reset": 0.03},
+    n_random=20,
+)
+
+_p(
+    id="sq_edge_detect",
+    title="Rising edge detector",
+    category="sequential",
+    difficulty=0.35,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Detect rising edges of input a. The output rise is registered: "
+        "it is high for one cycle when a was 0 at the previous clock "
+        "edge and 1 at this one. Synchronous active-high reset clears "
+        "both the stored previous value and rise to 0."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire a,
+    output reg rise
+);
+    reg prev;
+    always @(posedge clk) begin
+        if (reset) begin
+            prev <= 1'b0;
+            rise <= 1'b0;
+        end else begin
+            rise <= a & ~prev;
+            prev <= a;
+        end
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "a": 0},
+        {"reset": 0, "a": 1},
+        {"a": 1},
+        {"a": 0},
+        {"a": 1},
+    ),
+    random_policy={"reset": 0.05, "a": 0.5},
+    n_random=24,
+)
+
+_p(
+    id="sq_timer",
+    title="Programmable down-timer",
+    category="sequential",
+    difficulty=0.65,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a down-timer. When start is 1 at a clock edge, load "
+        "the 4-bit duration value and begin counting down one per cycle "
+        "until reaching 0; start has priority and reloads the timer even "
+        "mid-count. Output done is combinational and high whenever the "
+        "count is 0. Synchronous active-high reset clears the count."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire start,
+    input wire [3:0] duration,
+    output wire done,
+    output reg [3:0] count
+);
+    assign done = (count == 4'd0);
+    always @(posedge clk) begin
+        if (reset)
+            count <= 4'd0;
+        else if (start)
+            count <= duration;
+        else if (count != 4'd0)
+            count <= count - 4'd1;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=(
+        {"reset": 1, "start": 0, "duration": 0},
+        {"reset": 0, "start": 1, "duration": 3},
+        {"start": 0},
+        {},
+        {},
+        {},
+        {"start": 1, "duration": 1},
+        {"start": 0},
+    ),
+    random_policy={"reset": 0.04, "start": 0.25},
+    n_random=24,
+)
+
+_p(
+    id="sq_gray_counter",
+    title="4-bit Gray-code counter",
+    category="sequential",
+    difficulty=0.7,
+    kind="clocked",
+    clock="clk",
+    spec=(
+        "Implement a 4-bit Gray-code counter: the output sequence visits "
+        "all 16 Gray codes (0, 1, 3, 2, 6, 7, 5, 4, 12, ...) advancing "
+        "one code per enabled clock. Internally keep a binary counter "
+        "and output bin ^ (bin >> 1). Synchronous reset to 0; en gates "
+        "counting."
+    ),
+    golden="""
+module top_module (
+    input wire clk,
+    input wire reset,
+    input wire en,
+    output wire [3:0] gray
+);
+    reg [3:0] bin;
+    assign gray = bin ^ (bin >> 1);
+    always @(posedge clk) begin
+        if (reset)
+            bin <= 4'd0;
+        else if (en)
+            bin <= bin + 4'd1;
+    end
+endmodule
+""",
+    top="top_module",
+    directed=({"reset": 1, "en": 0},) + tuple({"reset": 0, "en": 1} for _ in range(8)),
+    random_policy={"reset": 0.04, "en": 0.8},
+    n_random=20,
+)

@@ -1,0 +1,18 @@
+"""Evaluation: pass@k metrics, the suite harness, ablations, figures."""
+
+from repro.evaluation.harness import (
+    EvalResult,
+    ProblemOutcome,
+    evaluate_mage,
+    evaluate_system,
+)
+from repro.evaluation.metrics import mean_pass_at_k, pass_at_k
+
+__all__ = [
+    "EvalResult",
+    "ProblemOutcome",
+    "evaluate_mage",
+    "evaluate_system",
+    "mean_pass_at_k",
+    "pass_at_k",
+]

@@ -1,0 +1,109 @@
+"""Data collectors for the paper's figures (2, 3 and 4).
+
+Figures are reproduced as printed distribution summaries and series --
+the quantities behind the violin plots -- rather than rendered images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.judge_agent import JudgeAgent
+from repro.agents.rtl_agent import RTLAgent
+from repro.agents.testbench_agent import TestbenchAgent
+from repro.core.config import MAGEConfig
+from repro.core.engine import MAGE
+from repro.core.task import DesignTask
+from repro.evalsets.problem import Problem
+from repro.llm.interface import SamplingParams, create_llm
+
+
+@dataclass
+class MismatchDistribution:
+    """Fig. 2 data: per-problem normalized mismatch of best candidates."""
+
+    label: str
+    per_problem: dict[str, float] = field(default_factory=dict)
+
+    def values(self) -> list[float]:
+        return [self.per_problem[k] for k in sorted(self.per_problem)]
+
+    def summary(self) -> str:
+        values = np.array(self.values()) if self.per_problem else np.array([0.0])
+        return (
+            f"{self.label}: mean={values.mean():.3f} "
+            f"median={np.median(values):.3f} "
+            f"q1={np.percentile(values, 25):.3f} "
+            f"q3={np.percentile(values, 75):.3f} n={len(values)}"
+        )
+
+
+def best_candidate_mismatch(
+    problem: Problem,
+    temperature: float,
+    top_p: float,
+    candidates: int,
+    seed: int = 0,
+) -> float | None:
+    """Normalized mismatch 1 - s(r) of the best of ``candidates`` samples.
+
+    Returns None when the problem "directly passes before Step 4"
+    (best candidate is already perfect), matching the figure's filter.
+    """
+    llm = create_llm("claude-3.5-sonnet")
+    tb_agent = TestbenchAgent(llm)
+    rtl_agent = RTLAgent(llm)
+    judge = JudgeAgent(llm)
+    task = DesignTask.from_problem(problem)
+    params = SamplingParams(temperature=0.0, top_p=0.01, n=1, seed=seed)
+    tb_text, agent_tb = tb_agent.generate(task, params)
+    gen = SamplingParams(temperature=temperature, top_p=top_p, n=1, seed=seed)
+    sources = rtl_agent.sample_candidates(task, tb_text, gen, candidates)
+    best = 0.0
+    for source in sources:
+        # The figure plots mismatches on the *generated* testbench.
+        report = judge.score(source, agent_tb, task.top)
+        best = max(best, report.score)
+    return 1.0 - best
+
+
+@dataclass
+class ScoreSeries:
+    """Fig. 4 data: score distributions and per-round means."""
+
+    initial_scores: list[float] = field(default_factory=list)
+    sampled_best_scores: list[float] = field(default_factory=list)
+    rounds: list[list[float]] = field(default_factory=list)  # per debug round
+
+    def round_means(self) -> list[float]:
+        return [float(np.mean(r)) for r in self.rounds if r]
+
+    def add_round(self, index: int, scores: list[float]) -> None:
+        while len(self.rounds) <= index:
+            self.rounds.append([])
+        self.rounds[index].extend(scores)
+
+
+def collect_score_series(
+    problems: list[Problem],
+    config: MAGEConfig,
+    seed: int = 0,
+) -> ScoreSeries:
+    """Run MAGE over problems, harvesting Fig. 4 quantities.
+
+    Only problems that enter Step 4/5 contribute (the paper excludes
+    "data of problems fixed before entering the debug stage").
+    """
+    series = ScoreSeries()
+    for problem in problems:
+        engine = MAGE(config)
+        result = engine.solve(DesignTask.from_problem(problem), seed=seed)
+        transcript = result.transcript
+        if transcript.initial_score is not None and transcript.candidate_scores:
+            series.initial_scores.append(transcript.initial_score)
+            series.sampled_best_scores.append(max(transcript.candidate_scores))
+        for index, round_scores in enumerate(transcript.debug_round_scores):
+            series.add_round(index, round_scores)
+    return series

@@ -1,0 +1,126 @@
+"""Suite-level evaluation harness.
+
+Runs a system over a suite exactly the way VerilogEval scores
+submissions: the system sees only the specification (never the golden
+testbench); each returned module is simulated against the hidden golden
+testbench; Pass@1 aggregates over ``runs`` evaluation runs per problem
+(Eq. 7).
+
+``REPRO_EVAL_RUNS`` overrides the default run count (the paper uses
+n=20 for the high-temperature setting; benches default lower to keep
+regeneration quick).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.config import MAGEConfig
+from repro.core.engine import MAGE
+from repro.core.task import DesignTask
+from repro.evalsets.problem import Problem, golden_testbench
+from repro.evalsets.suites import get_suite
+from repro.evaluation.metrics import mean_pass_at_k, pass_at_k
+from repro.tb.runner import run_testbench
+
+
+def default_runs(fallback: int = 3) -> int:
+    """Run count for sampled (nondeterministic) settings."""
+    value = os.environ.get("REPRO_EVAL_RUNS")
+    return int(value) if value else fallback
+
+
+@dataclass
+class ProblemOutcome:
+    """Per-problem tally of evaluation runs."""
+
+    problem_id: str
+    difficulty: float
+    runs: int = 0
+    passes: int = 0
+    scores: list[float] = field(default_factory=list)
+
+    @property
+    def pass_at_1(self) -> float:
+        return pass_at_k(self.runs, self.passes, 1)
+
+
+@dataclass
+class EvalResult:
+    """Suite-level evaluation of one system."""
+
+    system: str
+    suite: str
+    outcomes: list[ProblemOutcome] = field(default_factory=list)
+
+    @property
+    def pass_at_1(self) -> float:
+        return mean_pass_at_k([(o.runs, o.passes) for o in self.outcomes], 1)
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.pass_at_1
+
+    def failures(self) -> list[str]:
+        return [o.problem_id for o in self.outcomes if o.passes < o.runs]
+
+    def render_row(self) -> str:
+        return f"{self.system:42s} {self.suite:22s} Pass@1 = {self.percent:5.1f}%"
+
+
+def evaluate_system(
+    system_factory: Callable[[], object],
+    suite: str,
+    runs: int = 1,
+    seed0: int = 0,
+    problems: list[Problem] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> EvalResult:
+    """Evaluate ``system_factory()`` instances over a suite.
+
+    A fresh system instance per run keeps conversation histories
+    independent across runs, as separate API sessions would be.
+    """
+    chosen = problems if problems is not None else get_suite(suite)
+    name = system_factory().name
+    result = EvalResult(system=name, suite=suite)
+    for problem in chosen:
+        outcome = ProblemOutcome(problem.id, problem.difficulty)
+        golden_tb = golden_testbench(problem)
+        task = DesignTask.from_problem(problem)
+        for run in range(runs):
+            system = system_factory()
+            source = system.solve(task, seed=seed0 + run)
+            report = run_testbench(source, golden_tb, problem.top)
+            outcome.runs += 1
+            outcome.passes += int(report.passed)
+            outcome.scores.append(report.score)
+        result.outcomes.append(outcome)
+        if progress is not None:
+            progress(
+                f"{name} {problem.id}: {outcome.passes}/{outcome.runs} passed"
+            )
+    return result
+
+
+def evaluate_mage(
+    config: MAGEConfig,
+    suite: str,
+    runs: int = 1,
+    seed0: int = 0,
+    problems: list[Problem] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> EvalResult:
+    """Evaluate a MAGE configuration (convenience wrapper)."""
+
+    class _System:
+        def __init__(self) -> None:
+            temp = config.generation.temperature
+            self.name = f"mage[{config.model},T={temp}]"
+
+        def solve(self, task: DesignTask, seed: int = 0) -> str:
+            return MAGE(config).solve(task, seed=seed).source
+
+    return evaluate_system(_System, suite, runs, seed0, problems, progress)

@@ -1,0 +1,29 @@
+"""Pass@k estimation (paper Eq. 7, following VerilogEval)."""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def pass_at_k(n: int, c: int, k: int = 1) -> float:
+    """Unbiased pass@k from ``n`` runs with ``c`` passes.
+
+    pass@k = 1 - C(n-c, k) / C(n, k); the expectation over problems is
+    the reported metric.  Requires n >= k.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= c <= n:
+        raise ValueError("c must be in [0, n]")
+    if k > n:
+        raise ValueError("k cannot exceed n")
+    if n - c < k:
+        return 1.0
+    return 1.0 - comb(n - c, k) / comb(n, k)
+
+
+def mean_pass_at_k(outcomes: list[tuple[int, int]], k: int = 1) -> float:
+    """E over problems of pass@k, given (n, c) per problem."""
+    if not outcomes:
+        raise ValueError("no outcomes")
+    return sum(pass_at_k(n, c, k) for n, c in outcomes) / len(outcomes)

@@ -1,0 +1,364 @@
+"""AST node definitions for the synthesizable Verilog subset.
+
+Nodes are plain dataclasses so that the mutation engine
+(:mod:`repro.llm.mutation`) can transform them structurally and the
+unparser (:mod:`repro.hdl.unparse`) can turn them back into source.
+Every node carries a :class:`~repro.hdl.errors.SourceLoc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hdl.errors import SourceLoc
+from repro.hdl.values import LogicVec
+
+_NOLOC = SourceLoc(0, 0)
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for all AST nodes."""
+
+    loc: SourceLoc = field(default=_NOLOC, kw_only=True, compare=False)
+
+    def clone(self, **changes):
+        """Shallow copy with field overrides (dataclasses.replace)."""
+        return replace(self, **changes)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """A literal value, e.g. ``8'hFF`` or ``42``."""
+
+    value: LogicVec
+    text: str | None = None  # original spelling, preserved by unparse
+
+
+@dataclass(frozen=True)
+class Ident(Expr):
+    """A reference to a signal, parameter, or genvar."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BitSelect(Expr):
+    """``base[index]`` -- also used for memory word selects."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class PartSelect(Expr):
+    """``base[msb:lsb]`` with constant bounds."""
+
+    base: Expr
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass(frozen=True)
+class IndexedPartSelect(Expr):
+    """``base[start +: width]`` / ``base[start -: width]``."""
+
+    base: Expr
+    start: Expr
+    width: Expr
+    down: bool = False
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary operator: ``~ ! - + & | ^ ~& ~| ~^``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operator, from ``**`` down to ``||``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """Conditional operator ``cond ? then : els``."""
+
+    cond: Expr
+    then: Expr
+    els: Expr
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """``{a, b, c}`` -- MSB-first concatenation."""
+
+    parts: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Replicate(Expr):
+    """``{count{expr}}`` replication."""
+
+    count: Expr
+    inner: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """User function call or system function (``$signed``, ``$unsigned``)."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt(Node):
+    """Base class for procedural statements."""
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    """``begin ... end``, optionally named."""
+
+    stmts: tuple[Stmt, ...]
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if (cond) then_stmt [else else_stmt]``."""
+
+    cond: Expr
+    then_stmt: Stmt
+    else_stmt: Stmt | None = None
+
+
+@dataclass(frozen=True)
+class CaseItem(Node):
+    """One arm of a case statement; ``exprs`` empty means ``default``."""
+
+    exprs: tuple[Expr, ...]
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Case(Stmt):
+    """``case``/``casez``/``casex`` statement."""
+
+    kind: str  # "case" | "casez" | "casex"
+    subject: Expr
+    items: tuple[CaseItem, ...]
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """Bounded ``for`` loop with blocking-assignment init/step."""
+
+    init: "BlockingAssign"
+    cond: Expr
+    step: "BlockingAssign"
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class BlockingAssign(Stmt):
+    """``lhs = rhs;``"""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class NonblockingAssign(Stmt):
+    """``lhs <= rhs;``"""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SysCall(Stmt):
+    """System task call, e.g. ``$display(...)``; simulated as a no-op."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class NullStmt(Stmt):
+    """A lone ``;``."""
+
+
+# ----------------------------------------------------------------------
+# Module items
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Range(Node):
+    """A ``[msb:lsb]`` range with elaboration-time-constant bounds."""
+
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass(frozen=True)
+class ModuleItem(Node):
+    """Base class for items in a module body."""
+
+
+@dataclass(frozen=True)
+class PortDecl(ModuleItem):
+    """Port declaration (ANSI header or body style)."""
+
+    direction: str  # "input" | "output" | "inout"
+    net_kind: str  # "wire" | "reg"
+    signed: bool
+    range: Range | None
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class NetDecl(ModuleItem):
+    """``wire``/``reg``/``integer`` declaration, optionally a memory array."""
+
+    net_kind: str  # "wire" | "reg" | "integer" | "genvar"
+    signed: bool
+    range: Range | None
+    names: tuple[str, ...]
+    array_range: Range | None = None
+    init: Expr | None = None  # only for `wire name = expr;`
+
+
+@dataclass(frozen=True)
+class ParamDecl(ModuleItem):
+    """``parameter`` / ``localparam`` declaration."""
+
+    local: bool
+    name: str
+    value: Expr
+    range: Range | None = None
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class ContinuousAssign(ModuleItem):
+    """``assign lhs = rhs;``"""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class EdgeEvent(Node):
+    """One event in a sensitivity list."""
+
+    edge: str  # "pos" | "neg" | "level"
+    signal: Expr
+
+
+@dataclass(frozen=True)
+class Sensitivity(Node):
+    """``@(*)`` or an explicit event list."""
+
+    star: bool
+    events: tuple[EdgeEvent, ...] = ()
+
+    @property
+    def is_clocked(self) -> bool:
+        """True when any event is edge-triggered."""
+        return any(e.edge in ("pos", "neg") for e in self.events)
+
+
+@dataclass(frozen=True)
+class AlwaysBlock(ModuleItem):
+    """``always @(...) body``."""
+
+    sensitivity: Sensitivity
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class InitialBlock(ModuleItem):
+    """``initial body`` -- used for register initialisation only."""
+
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class FunctionDecl(ModuleItem):
+    """A simple synthesizable ``function`` (single return assignment style)."""
+
+    name: str
+    range: Range | None
+    signed: bool
+    inputs: tuple[tuple[str, Range | None, bool], ...]  # (name, range, signed)
+    locals: tuple[NetDecl, ...]
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class PortConnection(Node):
+    """One port binding on an instance; ``name`` None for ordered style."""
+
+    name: str | None
+    expr: Expr | None
+
+
+@dataclass(frozen=True)
+class Instance(ModuleItem):
+    """Submodule instantiation with optional parameter overrides."""
+
+    module_name: str
+    inst_name: str
+    params: tuple[tuple[str | None, Expr], ...]
+    ports: tuple[PortConnection, ...]
+
+
+@dataclass(frozen=True)
+class Module(Node):
+    """A Verilog module: header ports plus body items."""
+
+    name: str
+    ports: tuple[str, ...]
+    items: tuple[ModuleItem, ...]
+
+
+@dataclass(frozen=True)
+class SourceFile(Node):
+    """A parsed source file: one or more modules."""
+
+    modules: tuple[Module, ...]
+
+    def module(self, name: str | None = None) -> Module:
+        """Look up a module by name, or return the sole/last module."""
+        if name is None:
+            if not self.modules:
+                raise ValueError("source file contains no modules")
+            return self.modules[-1]
+        for mod in self.modules:
+            if mod.name == name:
+                return mod
+        raise KeyError(f"no module named {name!r}")

@@ -1,0 +1,32 @@
+"""One-call helpers: source text to Design / Simulation."""
+
+from __future__ import annotations
+
+from repro.hdl.design import Design
+from repro.hdl.elaborator import Elaborator
+from repro.hdl.parser import parse_source
+from repro.hdl.simulator import Simulation
+
+
+def compile_design(
+    source: str,
+    top: str | None = None,
+    overrides: dict[str, int] | None = None,
+) -> Design:
+    """Parse and elaborate Verilog source into a flat design.
+
+    ``top`` defaults to the last module in the file (matching the common
+    convention of placing the top module last).
+    """
+    tree = parse_source(source)
+    top_name = tree.module(top).name
+    return Elaborator.from_source(tree).elaborate(top_name, overrides)
+
+
+def simulate(
+    source: str,
+    top: str | None = None,
+    overrides: dict[str, int] | None = None,
+) -> Simulation:
+    """Compile and return a ready-to-drive :class:`Simulation`."""
+    return Simulation(compile_design(source, top, overrides))

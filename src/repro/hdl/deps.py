@@ -1,0 +1,55 @@
+"""Signal dependency graphs and cones of influence.
+
+The debug model uses :func:`outputs_in_cone` to decide whether a fault
+at some signal can explain an observed output mismatch -- the mechanism
+behind the paper's claim that state checkpoints give *targeted* fixes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.hdl.design import Design
+
+
+def dependency_graph(design: Design) -> "nx.DiGraph":
+    """Directed graph with an edge ``a -> b`` when ``a`` influences ``b``.
+
+    Both combinational and clocked processes contribute edges from every
+    read signal to every written signal; clock/reset edge sources also
+    influence the registers their process writes.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(design.signals)
+    graph.add_nodes_from(design.memories)
+    for proc in design.processes:
+        sources = set(proc.reads)
+        for _, clock in proc.edges:
+            sources.add(clock)
+        for target in proc.writes:
+            for source in sources:
+                if source != target:
+                    graph.add_edge(source, target)
+    return graph
+
+
+def cone_of_influence(design: Design, signal: str) -> frozenset[str]:
+    """All signals transitively affected by ``signal`` (inclusive)."""
+    graph = dependency_graph(design)
+    if signal not in graph:
+        return frozenset()
+    return frozenset(nx.descendants(graph, signal) | {signal})
+
+
+def fan_in_cone(design: Design, signal: str) -> frozenset[str]:
+    """All signals that can transitively affect ``signal`` (inclusive)."""
+    graph = dependency_graph(design)
+    if signal not in graph:
+        return frozenset()
+    return frozenset(nx.ancestors(graph, signal) | {signal})
+
+
+def outputs_in_cone(design: Design, signal: str) -> frozenset[str]:
+    """Top-level outputs that ``signal`` can influence."""
+    cone = cone_of_influence(design, signal)
+    return frozenset(name for name in design.outputs if name in cone)

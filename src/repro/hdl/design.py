@@ -1,0 +1,89 @@
+"""Elaborated design IR: what the simulator executes.
+
+The elaborator flattens a module hierarchy into a :class:`Design`:
+a flat table of signals and memories plus a list of processes whose
+statements reference flattened global names and have all parameters
+substituted as constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdl import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A flattened scalar/vector signal."""
+
+    name: str
+    width: int
+    signed: bool = False
+    kind: str = "wire"  # "wire" | "reg"
+    lsb: int = 0  # declared LSB index, e.g. 4 for ``wire [7:4] x``
+    is_input: bool = False
+    is_output: bool = False
+
+    @property
+    def msb(self) -> int:
+        return self.lsb + self.width - 1
+
+
+@dataclass(frozen=True)
+class Memory:
+    """A flattened memory array (``reg [w-1:0] mem [base:base+size-1]``)."""
+
+    name: str
+    width: int
+    size: int
+    base: int = 0
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class Process:
+    """One executable process.
+
+    kind:
+        ``comb``    -- continuous assign or combinational always block;
+                       runs whenever a signal in ``reads`` changes.
+        ``clocked`` -- edge-triggered always block; runs on ``edges``.
+        ``initial`` -- runs once at time zero.
+    """
+
+    kind: str
+    body: tuple[ast.Stmt, ...]
+    edges: tuple[tuple[str, str], ...] = ()  # (edge, signal_name)
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
+    origin: str = ""  # instance path, for diagnostics
+    continuous: bool = False  # assign statement / port binding, not an always block
+
+
+@dataclass
+class Design:
+    """A fully elaborated, simulatable design."""
+
+    name: str
+    signals: dict[str, Signal] = field(default_factory=dict)
+    memories: dict[str, Memory] = field(default_factory=dict)
+    processes: list[Process] = field(default_factory=list)
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    functions: dict[str, ast.FunctionDecl] = field(default_factory=dict)
+
+    def port_width(self, name: str) -> int:
+        """Width of a top-level port."""
+        return self.signals[name].width
+
+    def describe_ports(self) -> str:
+        """Human-readable port summary (used in agent prompts)."""
+        parts = []
+        for name in self.inputs:
+            sig = self.signals[name]
+            parts.append(f"input [{sig.width - 1}:0] {name}")
+        for name in self.outputs:
+            sig = self.signals[name]
+            parts.append(f"output [{sig.width - 1}:0] {name}")
+        return ", ".join(parts)

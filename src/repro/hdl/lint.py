@@ -1,0 +1,189 @@
+"""Static checks producing agent-consumable diagnostics.
+
+The RTL agent's syntax-fix loop (at most s=5 iterations in the paper)
+feeds generated code through :func:`lint` and hands the rendered
+diagnostics back to the LLM.  Checks:
+
+errors
+    - lexical/parse failures,
+    - elaboration failures (undeclared identifiers, bad ports, ...),
+    - procedural assignment to a ``wire``,
+    - continuous assignment to a ``reg``,
+    - multiple drivers on one signal,
+warnings
+    - case statements without a default arm (latch risk),
+    - undriven non-input signals,
+    - driven-but-unread signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl import ast_nodes as ast
+from repro.hdl.compile import compile_design
+from repro.hdl.design import Design
+from repro.hdl.errors import HdlError
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    severity: str  # "error" | "warning"
+    message: str
+    line: int | None = None
+
+    def render(self) -> str:
+        where = f" (line {self.line})" if self.line else ""
+        return f"{self.severity}: {self.message}{where}"
+
+
+@dataclass
+class LintReport:
+    """All findings for one compilation unit."""
+
+    diagnostics: list[Diagnostic]
+    design: Design | None = None
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        return "\n".join(d.render() for d in self.diagnostics)
+
+
+def lint(
+    source: str,
+    top: str | None = None,
+    overrides: dict[str, int] | None = None,
+) -> LintReport:
+    """Compile ``source`` and collect diagnostics.
+
+    A failed parse/elaboration yields a single-error report with
+    ``design`` left as None -- the caller can treat ``report.ok`` as the
+    syntax gate.
+    """
+    try:
+        design = compile_design(source, top, overrides)
+    except HdlError as exc:
+        line = exc.loc.line if exc.loc else None
+        return LintReport([Diagnostic("error", exc.message, line)])
+    except RecursionError:
+        return LintReport([Diagnostic("error", "expression nesting too deep")])
+
+    diagnostics: list[Diagnostic] = []
+    _check_assignment_kinds(design, diagnostics)
+    _check_multiple_drivers(design, diagnostics)
+    _check_case_defaults(design, diagnostics)
+    _check_connectivity(design, diagnostics)
+    return LintReport(diagnostics, design)
+
+
+def _check_assignment_kinds(design: Design, out: list[Diagnostic]) -> None:
+    for proc in design.processes:
+        procedural = not proc.continuous
+        for name in proc.writes:
+            if name in design.memories:
+                continue
+            sig = design.signals.get(name)
+            if sig is None:
+                continue
+            if procedural and sig.kind == "wire":
+                out.append(
+                    Diagnostic(
+                        "error",
+                        f"procedural assignment to wire {name!r}; declare it "
+                        "as 'reg'",
+                    )
+                )
+            if not procedural and sig.kind == "reg":
+                out.append(
+                    Diagnostic(
+                        "error",
+                        f"continuous assignment to reg {name!r}; use a wire "
+                        "or move the assignment into an always block",
+                    )
+                )
+
+
+def _check_multiple_drivers(design: Design, out: list[Diagnostic]) -> None:
+    drivers: dict[str, int] = {}
+    for proc in design.processes:
+        if proc.kind == "initial":
+            continue
+        for name in proc.writes:
+            drivers[name] = drivers.get(name, 0) + 1
+    for name, count in sorted(drivers.items()):
+        if count > 1 and name in design.signals:
+            out.append(
+                Diagnostic(
+                    "error",
+                    f"signal {name!r} is driven by {count} processes "
+                    "(multiple drivers)",
+                )
+            )
+    for name in design.inputs:
+        if drivers.get(name):
+            out.append(
+                Diagnostic("error", f"input port {name!r} is driven inside the module")
+            )
+
+
+def _walk_stmts(stmt: ast.Stmt):
+    yield stmt
+    if isinstance(stmt, ast.Block):
+        for sub in stmt.stmts:
+            yield from _walk_stmts(sub)
+    elif isinstance(stmt, ast.If):
+        yield from _walk_stmts(stmt.then_stmt)
+        if stmt.else_stmt is not None:
+            yield from _walk_stmts(stmt.else_stmt)
+    elif isinstance(stmt, ast.Case):
+        for item in stmt.items:
+            yield from _walk_stmts(item.body)
+    elif isinstance(stmt, ast.For):
+        yield from _walk_stmts(stmt.body)
+
+
+def _check_case_defaults(design: Design, out: list[Diagnostic]) -> None:
+    for proc in design.processes:
+        for top_stmt in proc.body:
+            for stmt in _walk_stmts(top_stmt):
+                if isinstance(stmt, ast.Case):
+                    has_default = any(not item.exprs for item in stmt.items)
+                    if not has_default and proc.kind == "comb":
+                        out.append(
+                            Diagnostic(
+                                "warning",
+                                "combinational case statement has no default "
+                                "arm (latch risk)",
+                                stmt.loc.line or None,
+                            )
+                        )
+
+
+def _check_connectivity(design: Design, out: list[Diagnostic]) -> None:
+    driven: set[str] = set()
+    read: set[str] = set()
+    for proc in design.processes:
+        driven.update(proc.writes)
+        read.update(proc.reads)
+    for name, sig in sorted(design.signals.items()):
+        if sig.is_input:
+            continue
+        if name not in driven:
+            out.append(Diagnostic("warning", f"signal {name!r} is never driven"))
+        if name not in read and not sig.is_output:
+            out.append(Diagnostic("warning", f"signal {name!r} is never read"))

@@ -1,0 +1,33 @@
+"""LLM substrate: an LLM-agnostic client interface plus ``SimLLM``,
+a behavioral model of a code LLM used in place of remote APIs.
+
+The paper runs MAGE against Claude 3.5 Sonnet through LlamaIndex's
+LLM-agnostic interface; this package mirrors that layering.  Agents are
+written against :class:`~repro.llm.interface.LLMClient` only.  The
+offline provider, :class:`~repro.llm.simllm.SimLLM`, responds to the
+agents' actual prompt text by sampling fault-injected variants of the
+golden design -- see DESIGN.md ("How SimLLM keeps the experiments
+honest") for the behavioural rules and the calibration contract.
+"""
+
+from repro.llm.interface import (
+    ChatMessage,
+    LLMClient,
+    SamplingParams,
+    create_llm,
+    register_llm,
+)
+from repro.llm.profiles import ModelProfile, get_profile, profile_names
+from repro.llm.simllm import SimLLM
+
+__all__ = [
+    "ChatMessage",
+    "LLMClient",
+    "ModelProfile",
+    "SamplingParams",
+    "SimLLM",
+    "create_llm",
+    "get_profile",
+    "profile_names",
+    "register_llm",
+]

@@ -1,0 +1,118 @@
+"""LLM-agnostic client interface (the LlamaIndex role in the paper).
+
+Agents depend only on :class:`LLMClient`; providers register themselves
+under a name so experiment configs can say ``model="claude-3.5-sonnet"``
+without caring which backend implements it.  The shipped backend is
+:class:`~repro.llm.simllm.SimLLM`; a thin adapter over a real HTTP API
+can be registered the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One chat turn; roles follow the usual system/user/assistant set."""
+
+    role: str
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ("system", "user", "assistant"):
+            raise ValueError(f"bad chat role {self.role!r}")
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Decoding controls (Sec. II-A of the paper).
+
+    ``temperature``/``top_p`` follow the usual semantics; ``n`` is the
+    number of completions requested in one call; ``seed`` makes a
+    sampling run reproducible (as real APIs offer).
+    """
+
+    temperature: float = 0.0
+    top_p: float = 0.01
+    n: int = 1
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.temperature <= 2.0:
+            raise ValueError("temperature must be in [0, 2]")
+        if not 0.0 < self.top_p <= 1.0:
+            raise ValueError("top_p must be in (0, 1]")
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+
+
+# The paper's two evaluation settings (Sec. IV-A).
+LOW_TEMPERATURE = SamplingParams(temperature=0.0, top_p=0.01, n=1)
+HIGH_TEMPERATURE = SamplingParams(temperature=0.85, top_p=0.95, n=20)
+
+
+class LLMClient(Protocol):
+    """What an agent needs from a language model."""
+
+    @property
+    def model_name(self) -> str: ...
+
+    def complete(
+        self, messages: list[ChatMessage], params: SamplingParams
+    ) -> str:
+        """One completion for a conversation."""
+        ...
+
+    def sample(
+        self, messages: list[ChatMessage], params: SamplingParams
+    ) -> list[str]:
+        """``params.n`` independent completions for one conversation."""
+        ...
+
+
+_FACTORIES: dict[str, Callable[..., LLMClient]] = {}
+
+
+def register_llm(name: str, factory: Callable[..., LLMClient]) -> None:
+    """Register a provider factory under ``name``."""
+    _FACTORIES[name] = factory
+
+
+def create_llm(name: str, **kwargs) -> LLMClient:
+    """Instantiate a registered provider.
+
+    Unknown names fall back to the simulated provider keyed by model
+    profile, so ``create_llm("claude-3.5-sonnet")`` works out of the box.
+    """
+    if name in _FACTORIES:
+        return _FACTORIES[name](**kwargs)
+    from repro.llm.simllm import SimLLM
+
+    return SimLLM(model=name, **kwargs)
+
+
+@dataclass
+class Conversation:
+    """A private, append-only message history (one per agent)."""
+
+    system_prompt: str
+    messages: list[ChatMessage] = field(default_factory=list)
+
+    def add_user(self, content: str) -> None:
+        self.messages.append(ChatMessage("user", content))
+
+    def add_assistant(self, content: str) -> None:
+        self.messages.append(ChatMessage("assistant", content))
+
+    def as_list(self) -> list[ChatMessage]:
+        return [ChatMessage("system", self.system_prompt), *self.messages]
+
+    @property
+    def turns(self) -> int:
+        return len(self.messages)
+
+    def transcript_chars(self) -> int:
+        """Total characters carried in context (context-pollution metric)."""
+        return len(self.system_prompt) + sum(len(m.content) for m in self.messages)

@@ -1,0 +1,597 @@
+"""AST-level fault injection: the generative core of the simulated LLM.
+
+A "candidate the LLM wrote" is the golden module with a sampled set of
+:class:`FaultInstance` applied -- operator swaps, missing boolean terms
+(the Fig. 3 bug), corrupted constants, blocking/nonblocking mixups,
+flipped reset polarities, swapped case arms, dropped statements, and so
+on.  Every fault records which signals its enclosing statement writes,
+so the repair model can reason about whether observed mismatches expose
+it (via the real cone-of-influence of the design).
+
+Faults are path-addressed and prefix-disjoint, so any subset of a
+sampled fault set can be applied independently -- removal of a fault is
+exactly "the debug agent fixed that bug".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hdl import ast_nodes as ast
+from repro.hdl.values import LogicVec
+
+# A path is a sequence of (field_name, index) steps from the module root;
+# index is None for scalar fields.
+PathStep = tuple[str, int | None]
+Path = tuple[PathStep, ...]
+
+_CHILD_FIELDS: dict[type, tuple[str, ...]] = {
+    ast.Module: ("items",),
+    ast.PortDecl: (),
+    ast.NetDecl: ("init",),
+    ast.ParamDecl: (),
+    ast.ContinuousAssign: ("target", "value"),
+    ast.AlwaysBlock: ("sensitivity", "body"),
+    ast.InitialBlock: ("body",),
+    ast.FunctionDecl: ("body",),
+    ast.Instance: (),
+    ast.Sensitivity: ("events",),
+    ast.EdgeEvent: ("signal",),
+    ast.Block: ("stmts",),
+    ast.If: ("cond", "then_stmt", "else_stmt"),
+    ast.Case: ("subject", "items"),
+    ast.CaseItem: ("exprs", "body"),
+    ast.For: ("init", "cond", "step", "body"),
+    ast.BlockingAssign: ("target", "value"),
+    ast.NonblockingAssign: ("target", "value"),
+    ast.SysCall: (),
+    ast.NullStmt: (),
+    ast.Number: (),
+    ast.Ident: (),
+    ast.BitSelect: ("base", "index"),
+    ast.PartSelect: ("base", "msb", "lsb"),
+    ast.IndexedPartSelect: ("base", "start", "width"),
+    ast.Unary: ("operand",),
+    ast.Binary: ("left", "right"),
+    ast.Ternary: ("cond", "then", "els"),
+    ast.Concat: ("parts",),
+    ast.Replicate: ("count", "inner"),
+    ast.FuncCall: ("args",),
+}
+
+
+def iter_children(node: ast.Node):
+    """Yield (path_step, child_node) for every AST child."""
+    for field in _CHILD_FIELDS.get(type(node), ()):
+        value = getattr(node, field)
+        if value is None:
+            continue
+        if isinstance(value, tuple):
+            for index, child in enumerate(value):
+                if isinstance(child, ast.Node):
+                    yield (field, index), child
+        elif isinstance(value, ast.Node):
+            yield (field, None), value
+
+
+def node_at(root: ast.Node, path: Path) -> ast.Node:
+    """Resolve a path to its node."""
+    node = root
+    for field, index in path:
+        value = getattr(node, field)
+        node = value[index] if index is not None else value
+    return node
+
+
+def replace_at(root: ast.Node, path: Path, replacement: ast.Node | None) -> ast.Node:
+    """Rebuild ``root`` with the node at ``path`` replaced.
+
+    ``replacement=None`` removes the node from its containing tuple
+    (used by the dropped-statement fault).
+    """
+    if not path:
+        assert replacement is not None
+        return replacement
+    (field, index), rest = path[0], path[1:]
+    value = getattr(root, field)
+    if index is not None:
+        child = value[index]
+        if rest:
+            new_child = replace_at(child, rest, replacement)
+            new_tuple = value[:index] + (new_child,) + value[index + 1 :]
+        elif replacement is None:
+            new_tuple = value[:index] + value[index + 1 :]
+        else:
+            new_tuple = value[:index] + (replacement,) + value[index + 1 :]
+        return root.clone(**{field: new_tuple})
+    child = value
+    new_child = replace_at(child, rest, replacement) if rest else replacement
+    return root.clone(**{field: new_child})
+
+
+@dataclass(frozen=True)
+class FaultInstance:
+    """One injected bug, independently applicable/removable."""
+
+    op: str
+    path: Path
+    description: str
+    affected: frozenset[str]  # signals written by the enclosing statement(s)
+    replacement: ast.Node | None  # None = delete (drop_stmt)
+
+    def key(self) -> tuple:
+        return (self.op, self.path)
+
+
+def apply_faults(module: ast.Module, faults: tuple[FaultInstance, ...]) -> ast.Module:
+    """Apply a prefix-disjoint fault set to a module (pure)."""
+    # Apply deeper paths first so tuple-index removals don't shift
+    # shallower siblings' paths (prefix-disjointness guarantees safety
+    # for everything else, but two drops in one tuple need care).
+    result = module
+    for fault in sorted(faults, key=lambda f: (len(f.path), f.path), reverse=True):
+        result = replace_at(result, fault.path, fault.replacement)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Site collection
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """A place where a fault operator can act."""
+
+    path: Path
+    node: ast.Node
+    affected: frozenset[str]
+    in_clocked: bool
+
+
+def _lvalue_names(expr: ast.Expr) -> set[str]:
+    if isinstance(expr, ast.Concat):
+        out: set[str] = set()
+        for part in expr.parts:
+            out |= _lvalue_names(part)
+        return out
+    while isinstance(expr, (ast.BitSelect, ast.PartSelect, ast.IndexedPartSelect)):
+        expr = expr.base
+    return {expr.name} if isinstance(expr, ast.Ident) else set()
+
+
+def _subtree_writes(node: ast.Node) -> frozenset[str]:
+    names: set[str] = set()
+
+    def walk(n: ast.Node) -> None:
+        if isinstance(n, (ast.BlockingAssign, ast.NonblockingAssign)):
+            names.update(_lvalue_names(n.target))
+        for _, child in iter_children(n):
+            walk(child)
+
+    walk(node)
+    return frozenset(names)
+
+
+def collect_sites(module: ast.Module) -> list[MutationSite]:
+    """Every mutable site in the module's behavioural code."""
+    sites: list[MutationSite] = []
+
+    def walk(
+        node: ast.Node,
+        path: Path,
+        affected: frozenset[str],
+        in_clocked: bool,
+        in_lvalue: bool,
+    ) -> None:
+        if isinstance(node, (ast.BlockingAssign, ast.NonblockingAssign)):
+            affected = frozenset(_lvalue_names(node.target))
+        if isinstance(node, (ast.Block, ast.If, ast.Case, ast.AlwaysBlock)):
+            affected = _subtree_writes(node)
+        interesting = isinstance(
+            node,
+            (
+                ast.Binary,
+                ast.Unary,
+                ast.Ternary,
+                ast.Number,
+                ast.Ident,
+                ast.BitSelect,
+                ast.If,
+                ast.Case,
+                ast.CaseItem,
+                ast.Block,
+                ast.NonblockingAssign,
+                ast.BlockingAssign,
+                ast.EdgeEvent,
+            ),
+        )
+        if interesting and not in_lvalue and path:
+            sites.append(
+                MutationSite(
+                    path=path,
+                    node=node,
+                    affected=affected,
+                    in_clocked=in_clocked,
+                )
+            )
+        for step, child in iter_children(node):
+            child_in_lvalue = in_lvalue
+            if (
+                isinstance(
+                    node, (ast.BlockingAssign, ast.NonblockingAssign, ast.ContinuousAssign)
+                )
+                and step[0] == "target"
+            ):
+                child_in_lvalue = True
+            child_clocked = in_clocked
+            if isinstance(node, ast.AlwaysBlock):
+                child_clocked = node.sensitivity.is_clocked
+            walk(child, path + (step,), affected, child_clocked, child_in_lvalue)
+
+    for index, item in enumerate(module.items):
+        if isinstance(item, (ast.ContinuousAssign, ast.AlwaysBlock)):
+            base_affected = _subtree_writes(item)
+            if isinstance(item, ast.ContinuousAssign):
+                base_affected = frozenset(_lvalue_names(item.target))
+            walk(
+                item,
+                (("items", index),),
+                base_affected,
+                isinstance(item, ast.AlwaysBlock) and item.sensitivity.is_clocked,
+                False,
+            )
+    return sites
+
+
+def declared_widths(module: ast.Module) -> dict[str, int]:
+    """Literal declared widths of ports/nets (for same-width ident swaps)."""
+    widths: dict[str, int] = {}
+
+    def width_of(rng: ast.Range | None) -> int | None:
+        if rng is None:
+            return 1
+        if isinstance(rng.msb, ast.Number) and isinstance(rng.lsb, ast.Number):
+            try:
+                return abs(rng.msb.value.to_uint() - rng.lsb.value.to_uint()) + 1
+            except ValueError:
+                return None
+        return None
+
+    for item in module.items:
+        if isinstance(item, ast.PortDecl):
+            w = width_of(item.range)
+            if w is not None:
+                for name in item.names:
+                    widths[name] = w
+        elif isinstance(item, ast.NetDecl) and item.array_range is None:
+            w = 32 if item.net_kind == "integer" else width_of(item.range)
+            if w is not None:
+                for name in item.names:
+                    widths[name] = w
+    return widths
+
+
+# ----------------------------------------------------------------------
+# Fault operators
+# ----------------------------------------------------------------------
+
+_BINOP_SWAPS = {
+    "&": ("|",),
+    "|": ("&",),
+    "^": ("|", "&"),
+    "+": ("-",),
+    "-": ("+",),
+    "==": ("!=",),
+    "!=": ("==",),
+    "<": ("<=", ">"),
+    ">": (">=", "<"),
+    "<=": ("<",),
+    ">=": (">",),
+    "<<": (">>",),
+    ">>": ("<<",),
+    "&&": ("||",),
+    "||": ("&&",),
+}
+
+_DROPPABLE = frozenset({"|", "&", "^", "+"})
+
+
+def _op_binop_swap(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.Binary):
+        return None
+    choices = _BINOP_SWAPS.get(node.op)
+    if not choices:
+        return None
+    new_op = choices[int(rng.integers(len(choices)))]
+    return node.clone(op=new_op), f"used operator '{new_op}' where '{node.op}' is needed"
+
+
+def _op_drop_term(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.Binary) or node.op not in _DROPPABLE:
+        return None
+    keep = node.left if rng.random() < 0.5 else node.right
+    return keep, f"missing one '{node.op}' term in the expression"
+
+
+def _op_negate_cond(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.If):
+        return None
+    cond = node.cond
+    if isinstance(cond, ast.Unary) and cond.op in ("!", "~"):
+        new_cond: ast.Expr = cond.operand
+    else:
+        new_cond = ast.Unary(op="!", operand=cond, loc=cond.loc)
+    return node.clone(cond=new_cond), "inverted an if condition (polarity bug)"
+
+
+def _op_const_corrupt(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.Number):
+        return None
+    value = node.value
+    if value.has_x or value.width > 16:
+        return None
+    width = value.width
+    mask = (1 << width) - 1
+    old = value.val
+    mode = rng.integers(3)
+    if mode == 0:
+        new = (old + 1) & mask
+    elif mode == 1:
+        new = (old - 1) & mask
+    else:
+        new = old ^ (1 << int(rng.integers(width)))
+    if new == old:
+        new = (old + 1) & mask
+    if new == old:
+        return None
+    replacement = ast.Number(
+        value=LogicVec(width, new, 0, value.signed), text=None, loc=node.loc
+    )
+    return replacement, f"wrong constant: {new} instead of {old}"
+
+
+def _op_assign_swap(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if isinstance(node, ast.NonblockingAssign) and site.in_clocked:
+        return (
+            ast.BlockingAssign(target=node.target, value=node.value, loc=node.loc),
+            "used blocking '=' where nonblocking '<=' is required",
+        )
+    return None
+
+
+def _op_ternary_swap(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.Ternary):
+        return None
+    return (
+        node.clone(then=node.els, els=node.then),
+        "swapped the two branches of a conditional operator",
+    )
+
+
+def _op_case_label(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.CaseItem) or not node.exprs:
+        return None
+    index = int(rng.integers(len(node.exprs)))
+    label = node.exprs[index]
+    if not isinstance(label, ast.Number) or label.value.has_x:
+        return None
+    width = label.value.width
+    mask = (1 << width) - 1
+    new_val = (label.value.val + (1 if rng.random() < 0.5 else mask)) & mask
+    if new_val == label.value.val:
+        return None
+    new_label = ast.Number(
+        value=LogicVec(width, new_val, 0, label.value.signed), loc=label.loc
+    )
+    exprs = node.exprs[:index] + (new_label,) + node.exprs[index + 1 :]
+    return (
+        node.clone(exprs=exprs),
+        f"case label {new_val} should be {label.value.val}",
+    )
+
+
+def _op_case_arm_swap(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.Case):
+        return None
+    labelled = [i for i, item in enumerate(node.items) if item.exprs]
+    if len(labelled) < 2:
+        return None
+    picks = rng.choice(len(labelled), size=2, replace=False)
+    i, j = labelled[int(picks[0])], labelled[int(picks[1])]
+    items = list(node.items)
+    items[i], items[j] = (
+        items[i].clone(body=items[j].body),
+        items[j].clone(body=items[i].body),
+    )
+    return (
+        node.clone(items=tuple(items)),
+        "swapped the bodies of two case arms",
+    )
+
+
+def _op_index_shift(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.BitSelect):
+        return None
+    if not isinstance(node.index, ast.Number) or node.index.value.has_x:
+        return None
+    old = node.index.value.val
+    delta = 1 if (rng.random() < 0.5 or old == 0) else -1
+    new = old + delta
+    replacement = node.clone(
+        index=ast.Number(
+            value=LogicVec(max(node.index.value.width, new.bit_length() or 1), new),
+            loc=node.index.loc,
+        )
+    )
+    return replacement, f"off-by-one bit index: [{new}] instead of [{old}]"
+
+
+def _op_wrong_edge(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.EdgeEvent) or node.edge == "level":
+        return None
+    new_edge = "neg" if node.edge == "pos" else "pos"
+    return (
+        node.clone(edge=new_edge),
+        f"sensitive to {new_edge}edge instead of {node.edge}edge",
+    )
+
+
+def _op_drop_stmt(site: MutationSite, rng) -> tuple[ast.Node | None, str] | None:
+    node = site.node
+    if not isinstance(node, ast.Block) or len(node.stmts) < 2:
+        return None
+    index = int(rng.integers(len(node.stmts)))
+    victim = node.stmts[index]
+    lost = ", ".join(sorted(_subtree_writes(victim))) or "nothing"
+    stmts = node.stmts[:index] + node.stmts[index + 1 :]
+    return node.clone(stmts=stmts), f"missing a statement (updates to: {lost})"
+
+
+def _op_unary_drop(site: MutationSite, rng) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.Unary) or node.op not in ("~", "!"):
+        return None
+    return node.operand, f"missing '{node.op}' inversion"
+
+
+_OPERATORS = (
+    ("binop_swap", _op_binop_swap, 3.0),
+    ("drop_term", _op_drop_term, 2.0),
+    ("negate_cond", _op_negate_cond, 1.2),
+    ("const_corrupt", _op_const_corrupt, 2.0),
+    ("assign_swap", _op_assign_swap, 0.8),
+    ("ternary_swap", _op_ternary_swap, 1.0),
+    ("case_label", _op_case_label, 1.5),
+    ("case_arm_swap", _op_case_arm_swap, 1.0),
+    ("index_shift", _op_index_shift, 1.5),
+    ("wrong_edge", _op_wrong_edge, 0.6),
+    ("drop_stmt", _op_drop_stmt, 1.2),
+    ("unary_drop", _op_unary_drop, 1.5),
+)
+
+
+def _ident_swap_site(
+    site: MutationSite, rng, widths: dict[str, int]
+) -> tuple[ast.Node, str] | None:
+    node = site.node
+    if not isinstance(node, ast.Ident):
+        return None
+    width = widths.get(node.name)
+    if width is None:
+        return None
+    peers = sorted(n for n, w in widths.items() if w == width and n != node.name)
+    if not peers:
+        return None
+    pick = peers[int(rng.integers(len(peers)))]
+    return (
+        ast.Ident(name=pick, loc=node.loc),
+        f"read signal '{pick}' where '{node.name}' is needed",
+    )
+
+
+def _prefix_disjoint(path: Path, chosen: list[Path]) -> bool:
+    for other in chosen:
+        shorter, longer = sorted((path, other), key=len)
+        if longer[: len(shorter)] == shorter:
+            return False
+    return True
+
+
+def sample_faults(
+    module: ast.Module,
+    count: int,
+    rng: np.random.Generator,
+    sites: list[MutationSite] | None = None,
+) -> tuple[FaultInstance, ...]:
+    """Sample up to ``count`` independent faults for ``module``.
+
+    Returns fewer when the module is too small to host that many
+    prefix-disjoint mutations.
+    """
+    if count <= 0:
+        return ()
+    if sites is None:
+        sites = collect_sites(module)
+    if not sites:
+        return ()
+    widths = declared_widths(module)
+    order = rng.permutation(len(sites))
+    chosen_paths: list[Path] = []
+    faults: list[FaultInstance] = []
+    for site_index in order:
+        if len(faults) >= count:
+            break
+        site = sites[int(site_index)]
+        if not _prefix_disjoint(site.path, chosen_paths):
+            continue
+        candidates: list[tuple[str, object]] = [
+            (name, op_fn) for name, op_fn, _weight in _OPERATORS
+        ]
+        candidates.append(("ident_swap", None))
+        for attempt_index in rng.permutation(len(candidates))[:4]:
+            name, op_fn = candidates[int(attempt_index)]
+            if name == "ident_swap":
+                result = _ident_swap_site(site, rng, widths)
+            else:
+                result = op_fn(site, rng)
+            if result is None:
+                continue
+            replacement, description = result
+            faults.append(
+                FaultInstance(
+                    op=name,
+                    path=site.path,
+                    description=description,
+                    affected=site.affected,
+                    replacement=replacement,
+                )
+            )
+            chosen_paths.append(site.path)
+            break
+    return tuple(faults)
+
+
+# ----------------------------------------------------------------------
+# Syntax-level corruption (drives the s=5 syntax-fix loop)
+# ----------------------------------------------------------------------
+
+
+def corrupt_syntax(source: str, rng: np.random.Generator) -> tuple[str, str]:
+    """Introduce one syntax-level flaw into rendered source."""
+    modes = []
+    if ";" in source:
+        modes.append("semicolon")
+    if "begin" in source:
+        modes.append("begin")
+    if "endmodule" in source:
+        modes.append("endmodule")
+    if ")" in source:
+        modes.append("paren")
+    if not modes:
+        return source + "\n%", "stray token appended"
+    mode = modes[int(rng.integers(len(modes)))]
+    if mode == "semicolon":
+        positions = [i for i, c in enumerate(source) if c == ";"]
+        pos = positions[int(rng.integers(len(positions)))]
+        return source[:pos] + source[pos + 1 :], "missing semicolon"
+    if mode == "begin":
+        pos = source.find("begin")
+        return source[:pos] + "begn" + source[pos + 5 :], "misspelled 'begin'"
+    if mode == "endmodule":
+        return source.replace("endmodule", "endmodul", 1), "misspelled 'endmodule'"
+    positions = [i for i, c in enumerate(source) if c == ")"]
+    pos = positions[int(rng.integers(len(positions)))]
+    return source[:pos] + source[pos + 1 :], "unbalanced parenthesis"

@@ -1,0 +1,44 @@
+"""Testbench substrate: stimulus programs, simulation runner, textual
+waveform logs (WF-TextLog), and Verilog-state checkpoints.
+
+This package provides the feedback machinery MAGE's agents consume:
+
+- :mod:`repro.tb.stimulus` -- the testbench representation and the
+  line-oriented text format the testbench agent emits;
+- :mod:`repro.tb.runner` -- drives a DUT through a testbench and
+  produces a :class:`~repro.tb.runner.TestReport` with per-check
+  records (mismatch count m(r) and total checks tc(r));
+- :mod:`repro.tb.textlog` -- waveform-as-text rendering (the paper's
+  "log resembling a simulated waveform in text form");
+- :mod:`repro.tb.checkpoint` -- earliest-mismatch extraction (Eq. 5)
+  and sliding-window state checkpoints (Eq. 6).
+"""
+
+from repro.tb.checkpoint import (
+    StateCheckpoint,
+    checkpoints_from_report,
+    earliest_mismatch,
+    mismatch_window,
+    render_checkpoint_feedback,
+    render_logonly_feedback,
+)
+from repro.tb.runner import CheckRecord, TestReport, run_testbench
+from repro.tb.stimulus import TbStep, Testbench, parse_testbench, render_testbench
+from repro.tb.textlog import render_textlog
+
+__all__ = [
+    "CheckRecord",
+    "StateCheckpoint",
+    "TbStep",
+    "TestReport",
+    "Testbench",
+    "checkpoints_from_report",
+    "earliest_mismatch",
+    "mismatch_window",
+    "parse_testbench",
+    "render_checkpoint_feedback",
+    "render_logonly_feedback",
+    "render_testbench",
+    "render_textlog",
+    "run_testbench",
+]

@@ -1,0 +1,150 @@
+"""Verilog-state checkpoints (the paper's Sec. III-C mechanism).
+
+A state checkpoint is the tuple (inputs, DUT outputs, expected outputs)
+at one checked clock edge.  Debugging feedback is built from:
+
+- the earliest mismatch time ``t_m = min{t : O_dut(t) != O_exp(t)}``
+  (Eq. 5), and
+- a sliding textual-waveform window
+  ``W = {(I(t'), O_dut(t'), O_exp(t')) : t' in [max(t_m - L_W, 0), t_m]}``
+  (Eq. 6),
+
+rendered as text the debug agent can reason over.  The contrast between
+:func:`render_checkpoint_feedback` (precise, localised) and
+:func:`render_logonly_feedback` (aggregate pass counts only, as produced
+by conventional golden testbenches) is exactly the ablation of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.values import LogicVec
+from repro.tb.runner import TestReport
+from repro.tb.textlog import render_textlog
+
+DEFAULT_WINDOW = 8  # L_W, in clock edges
+
+
+@dataclass(frozen=True)
+class StateCheckpoint:
+    """State at one checked clock edge."""
+
+    step: int
+    time: int
+    inputs: dict[str, int]
+    dut_outputs: dict[str, LogicVec]
+    expected_outputs: dict[str, LogicVec]
+    ok: bool
+
+    def mismatching_signals(self) -> list[str]:
+        out = []
+        for name, expected in self.expected_outputs.items():
+            actual = self.dut_outputs.get(name)
+            if actual is None:
+                continue
+            width = max(actual.width, expected.width)
+            a, e = actual.resize(width), expected.resize(width)
+            care = ~e.xmask & ((1 << width) - 1)
+            if (a.val & care) != (e.val & care) or (a.xmask & care):
+                out.append(name)
+        return out
+
+
+def checkpoints_from_report(report: TestReport) -> list[StateCheckpoint]:
+    """Group per-signal check records into per-edge checkpoints."""
+    grouped: dict[int, list] = {}
+    for record in report.records:
+        grouped.setdefault(record.step, []).append(record)
+    checkpoints = []
+    for step in sorted(grouped):
+        records = grouped[step]
+        checkpoints.append(
+            StateCheckpoint(
+                step=step,
+                time=records[0].time,
+                inputs=dict(records[0].inputs),
+                dut_outputs={r.signal: r.actual for r in records},
+                expected_outputs={r.signal: r.expected for r in records},
+                ok=all(r.ok for r in records),
+            )
+        )
+    return checkpoints
+
+
+def earliest_mismatch(report: TestReport) -> StateCheckpoint | None:
+    """The checkpoint at t_m (Eq. 5), or None if everything matched."""
+    for checkpoint in checkpoints_from_report(report):
+        if not checkpoint.ok:
+            return checkpoint
+    return None
+
+
+def mismatch_window(
+    report: TestReport, window: int = DEFAULT_WINDOW
+) -> list[StateCheckpoint]:
+    """Sliding window W of checkpoints ending at the first mismatch (Eq. 6)."""
+    checkpoints = checkpoints_from_report(report)
+    for index, checkpoint in enumerate(checkpoints):
+        if not checkpoint.ok:
+            start = max(index - window, 0)
+            return checkpoints[start : index + 1]
+    return []
+
+
+def render_checkpoint_feedback(
+    report: TestReport, window: int = DEFAULT_WINDOW
+) -> str:
+    """Debug feedback *with* state checkpoints (Fig. 3 right-hand side).
+
+    Contains the windowed waveform text log, the first mismatch time,
+    the input vector at that edge, and got/expected values per
+    mismatching output -- precise material for a targeted fix.
+    """
+    if report.error is not None:
+        return f"SIMULATION ERROR: {report.error}"
+    if report.passed:
+        return "All state checkpoints passed."
+    win = mismatch_window(report, window)
+    first = win[-1]
+    steps = {cp.step for cp in win}
+    lines = [
+        "State checkpoint log (sliding window ending at first mismatch):",
+        render_textlog(report, only_steps=steps),
+        "",
+        f"First mismatch at time {first.time}:",
+        "Inputs: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(first.inputs.items())),
+    ]
+    for signal in first.mismatching_signals():
+        got = first.dut_outputs[signal].format_display()
+        exp = first.expected_outputs[signal].format_display()
+        got_bits = first.dut_outputs[signal].to_bits()
+        exp_bits = first.expected_outputs[signal].to_bits()
+        lines.append(
+            f"Got {signal}={got_bits} ({got}), expected {signal}={exp_bits} ({exp})."
+        )
+    lines.append(
+        f"Total: {report.mismatches} mismatch(es) over {report.total_checks} checks."
+    )
+    return "\n".join(lines)
+
+
+def render_logonly_feedback(report: TestReport) -> str:
+    """Debug feedback *without* checkpoints (Fig. 3 left-hand side).
+
+    Mimics a conventional golden testbench: aggregate mismatch counts
+    per output and the first failure time -- no waveform window, no
+    input vectors, no expected-value detail.
+    """
+    if report.error is not None:
+        return f"SIMULATION ERROR: {report.error}"
+    if report.passed:
+        return "All tests passed."
+    lines = []
+    first = report.first_mismatch
+    for signal, count in sorted(report.mismatch_signals().items()):
+        lines.append(f"Output '{signal}' has {count} mismatches.")
+    if first is not None:
+        lines.append(f"First mismatch occurred at time {first.time}.")
+    return "\n".join(lines)

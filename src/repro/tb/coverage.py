@@ -1,0 +1,95 @@
+"""Toggle-coverage measurement for testbench quality.
+
+The paper's Step 3 judge decides whether an optimized testbench is
+trustworthy; toggle coverage gives that decision a quantitative
+counterpart: what fraction of design bits does the stimulus actually
+exercise (0->1 and 1->0)?  Weak stimulus is a leading cause of
+testbenches that pass buggy candidates.
+
+Usage::
+
+    cov = measure_toggle_coverage(source, testbench, top)
+    print(cov.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdl.simulator import Simulation
+from repro.hdl.values import LogicVec
+from repro.tb.runner import TestReport, run_testbench
+from repro.tb.stimulus import Testbench
+
+
+@dataclass
+class ToggleCoverage:
+    """Per-signal and aggregate toggle statistics."""
+
+    per_signal: dict[str, float] = field(default_factory=dict)
+    total_bits: int = 0
+    toggled_bits: int = 0
+    report: TestReport | None = None
+
+    @property
+    def fraction(self) -> float:
+        if self.total_bits == 0:
+            return 0.0
+        return self.toggled_bits / self.total_bits
+
+    def weakest(self, count: int = 5) -> list[tuple[str, float]]:
+        """The least-exercised signals (coverage ascending)."""
+        ordered = sorted(self.per_signal.items(), key=lambda kv: kv[1])
+        return ordered[:count]
+
+    def render(self) -> str:
+        lines = [
+            f"toggle coverage: {100 * self.fraction:.1f}% "
+            f"({self.toggled_bits}/{self.total_bits} bits saw both edges)"
+        ]
+        for name, frac in sorted(self.per_signal.items()):
+            lines.append(f"    {name:24s} {100 * frac:5.1f}%")
+        return "\n".join(lines)
+
+
+class _ToggleTracker:
+    def __init__(self) -> None:
+        self.rise: dict[str, int] = {}
+        self.fall: dict[str, int] = {}
+        self.previous: dict[str, LogicVec] = {}
+        self.widths: dict[str, int] = {}
+
+    def observe(self, sim: Simulation, _step: int) -> None:
+        for name, value in sim.values.items():
+            self.widths[name] = value.width
+            prev = self.previous.get(name)
+            if prev is not None:
+                known = ~(prev.xmask | value.xmask)
+                self.rise[name] = self.rise.get(name, 0) | (
+                    ~prev.val & value.val & known
+                )
+                self.fall[name] = self.fall.get(name, 0) | (
+                    prev.val & ~value.val & known
+                )
+            self.previous[name] = value
+
+
+def measure_toggle_coverage(
+    source: str,
+    testbench: Testbench,
+    top: str | None = None,
+) -> ToggleCoverage:
+    """Run a testbench while tracking which bits toggle both ways."""
+    tracker = _ToggleTracker()
+    report = run_testbench(source, testbench, top, on_step=tracker.observe)
+    coverage = ToggleCoverage(report=report)
+    if report.error is not None:
+        return coverage
+    for name, width in tracker.widths.items():
+        mask = (1 << width) - 1
+        both = tracker.rise.get(name, 0) & tracker.fall.get(name, 0) & mask
+        toggled = bin(both).count("1")
+        coverage.per_signal[name] = toggled / width
+        coverage.total_bits += width
+        coverage.toggled_bits += toggled
+    return coverage

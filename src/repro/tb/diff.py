@@ -1,0 +1,106 @@
+"""Waveform diffing: compare two candidates edge by edge.
+
+Useful when triaging why a debug trial regressed, or what behavioural
+difference separates two Step-4 candidates: runs both designs on the
+same testbench and reports the steps/signals where they diverge, in the
+same textual style as the WF-TextLog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdl.values import LogicVec
+from repro.tb.runner import run_testbench
+from repro.tb.stimulus import Testbench
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One point where the two designs disagree."""
+
+    step: int
+    time: int
+    signal: str
+    left: LogicVec
+    right: LogicVec
+    inputs: dict[str, int]
+
+
+@dataclass
+class WaveDiff:
+    """All divergences between two designs on one testbench."""
+
+    divergences: list[Divergence] = field(default_factory=list)
+    left_error: str | None = None
+    right_error: str | None = None
+    steps_compared: int = 0
+
+    @property
+    def identical(self) -> bool:
+        return (
+            not self.divergences
+            and self.left_error is None
+            and self.right_error is None
+        )
+
+    @property
+    def first(self) -> Divergence | None:
+        return self.divergences[0] if self.divergences else None
+
+    def render(self, limit: int = 10) -> str:
+        if self.left_error or self.right_error:
+            return (
+                f"cannot diff: left error={self.left_error!r}, "
+                f"right error={self.right_error!r}"
+            )
+        if not self.divergences:
+            return f"identical over {self.steps_compared} checked steps"
+        lines = [
+            f"{len(self.divergences)} divergence(s) over "
+            f"{self.steps_compared} checked steps:"
+        ]
+        for div in self.divergences[:limit]:
+            inputs = ", ".join(f"{k}={v}" for k, v in sorted(div.inputs.items()))
+            lines.append(
+                f"  t={div.time} {div.signal}: "
+                f"left={div.left.format_display()} "
+                f"right={div.right.format_display()}  (inputs: {inputs})"
+            )
+        if len(self.divergences) > limit:
+            lines.append(f"  ... {len(self.divergences) - limit} more")
+        return "\n".join(lines)
+
+
+def diff_waveforms(
+    left_source: str,
+    right_source: str,
+    testbench: Testbench,
+    top: str | None = None,
+) -> WaveDiff:
+    """Run both designs on ``testbench`` and collect output divergences."""
+    left = run_testbench(left_source, testbench, top)
+    right = run_testbench(right_source, testbench, top)
+    diff = WaveDiff(left_error=left.error, right_error=right.error)
+    if diff.left_error or diff.right_error:
+        return diff
+    right_by_key = {(r.step, r.signal): r for r in right.records}
+    seen_steps = set()
+    for record in left.records:
+        seen_steps.add(record.step)
+        other = right_by_key.get((record.step, record.signal))
+        if other is None:
+            continue
+        if record.actual != other.actual:
+            diff.divergences.append(
+                Divergence(
+                    step=record.step,
+                    time=record.time,
+                    signal=record.signal,
+                    left=record.actual,
+                    right=other.actual,
+                    inputs=record.inputs,
+                )
+            )
+    diff.steps_compared = len(seen_steps)
+    return diff

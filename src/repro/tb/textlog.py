@@ -1,0 +1,79 @@
+"""WF-TextLog: waveform-as-text rendering.
+
+The paper replaces graphical waveform viewers with "a log resembling a
+simulated waveform in text form, which can be directly adaptable by
+LLMs" (Sec. II-C).  :func:`render_textlog` produces that artifact: a
+fixed-width table with one row per checked clock edge, showing input
+values, DUT outputs, expected outputs, and a pass/fail marker.
+"""
+
+from __future__ import annotations
+
+from repro.tb.runner import CheckRecord, TestReport
+
+
+def _group_by_step(records: list[CheckRecord]) -> dict[int, list[CheckRecord]]:
+    grouped: dict[int, list[CheckRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.step, []).append(record)
+    return grouped
+
+
+def render_textlog(
+    report: TestReport,
+    max_rows: int | None = None,
+    only_steps: set[int] | None = None,
+) -> str:
+    """Render the full simulation log as a waveform-style text table.
+
+    ``only_steps`` restricts output to the given step indices (used by
+    the checkpoint window renderer); ``max_rows`` truncates long logs
+    the way a prompt budget would.
+    """
+    if report.error is not None:
+        return f"SIMULATION ERROR: {report.error}"
+    grouped = _group_by_step(report.records)
+    if not grouped:
+        return "no checks were performed"
+
+    input_names = sorted({k for r in report.records for k in r.inputs})
+    output_names = list(
+        dict.fromkeys(r.signal for r in report.records)
+    )  # stable order
+
+    header = ["time"]
+    header.extend(input_names)
+    header.extend(f"{name}(dut)" for name in output_names)
+    header.extend(f"{name}(exp)" for name in output_names)
+    header.append("status")
+
+    rows = [header]
+    for step in sorted(grouped):
+        if only_steps is not None and step not in only_steps:
+            continue
+        records = grouped[step]
+        by_signal = {r.signal: r for r in records}
+        inputs = records[0].inputs
+        row = [str(records[0].time)]
+        row.extend(str(inputs.get(name, "-")) for name in input_names)
+        for name in output_names:
+            rec = by_signal.get(name)
+            row.append(rec.actual.format_display() if rec else "-")
+        for name in output_names:
+            rec = by_signal.get(name)
+            row.append(rec.expected.format_display() if rec else "-")
+        ok = all(r.ok for r in records)
+        row.append("ok" if ok else "MISMATCH")
+        rows.append(row)
+        if max_rows is not None and len(rows) > max_rows:
+            rows.append(["..."] + [""] * (len(header) - 1))
+            break
+
+    widths = [max(len(row[i]) for row in rows if i < len(row)) for i in range(len(header))]
+    lines = []
+    for idx, row in enumerate(rows):
+        cells = [cell.ljust(widths[i]) for i, cell in enumerate(row)]
+        lines.append(" | ".join(cells).rstrip())
+        if idx == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)

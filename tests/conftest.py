@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.evalsets import all_problems, get_problem, golden_testbench
+
+
+@pytest.fixture(scope="session")
+def problems():
+    """All registered benchmark problems."""
+    return all_problems()
+
+
+@pytest.fixture(scope="session")
+def mux_problem():
+    """The Fig. 3 style K-map mux problem."""
+    return get_problem("cb_kmap_mux")
+
+
+@pytest.fixture(scope="session")
+def counter_problem():
+    return get_problem("sq_counter_ud")
+
+
+@pytest.fixture(scope="session")
+def mux_golden_tb(mux_problem):
+    return golden_testbench(mux_problem)
+
+
+@pytest.fixture(scope="session")
+def counter_golden_tb(counter_problem):
+    return golden_testbench(counter_problem)

@@ -1,0 +1,152 @@
+"""End-to-end engine tests: the five-step workflow."""
+
+import pytest
+
+from repro.core import MAGE, DesignTask, MAGEConfig
+from repro.core.config import MAGEConfig as Config
+from repro.evalsets import get_problem, golden_testbench
+from repro.hdl.lint import lint
+from repro.llm.interface import SamplingParams
+from repro.tb.runner import run_testbench
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = MAGEConfig()
+        assert config.candidates == 4
+        assert config.top_k == 2
+        assert config.debug_iterations == 5
+        assert config.checkpoint_window == 8
+        assert config.generation.temperature == 0.85
+        assert config.initial_generation.temperature == 0.0
+
+    def test_low_temperature_preset(self):
+        config = MAGEConfig.low_temperature()
+        assert config.generation.temperature == 0.0
+        assert config.generation.top_p == 0.01
+
+    def test_with_seed_binds_everywhere(self):
+        config = MAGEConfig.high_temperature().with_seed(7)
+        assert config.generation.seed == 7
+        assert config.debug_params.seed == 7
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            DesignTask(spec="s", top="t", kind="clocked", clock=None)
+        with pytest.raises(ValueError):
+            DesignTask(spec="s", top="t", kind="quantum")
+
+
+class TestSolve:
+    def test_easy_problem_passes_directly(self):
+        problem = get_problem("cb_mux2")
+        engine = MAGE(MAGEConfig.high_temperature())
+        result = engine.solve(DesignTask.from_problem(problem), seed=0)
+        assert result.internal_pass
+        assert result.transcript.stage_reached == "done"
+        golden = run_testbench(result.source, golden_testbench(problem), problem.top)
+        assert golden.passed
+
+    def test_result_code_always_compiles(self):
+        for pid in ["cb_kmap_mux", "fs_seq_det_110", "me_ram_sync"]:
+            problem = get_problem(pid)
+            engine = MAGE(MAGEConfig.high_temperature())
+            result = engine.solve(DesignTask.from_problem(problem), seed=1)
+            assert lint(result.source, problem.top).ok, pid
+
+    def test_transcript_records_stages(self):
+        problem = get_problem("fs_vending")
+        engine = MAGE(MAGEConfig.high_temperature())
+        result = engine.solve(DesignTask.from_problem(problem), seed=2)
+        stages = {e.stage for e in result.transcript.events}
+        assert "step1" in stages and "step2" in stages
+        assert result.transcript.initial_score is not None
+        assert result.transcript.llm_calls > 0
+
+    def test_deterministic_at_seed(self):
+        problem = get_problem("fs_seq_det_1011")
+        r1 = MAGE(MAGEConfig.high_temperature()).solve(
+            DesignTask.from_problem(problem), seed=5
+        )
+        r2 = MAGE(MAGEConfig.high_temperature()).solve(
+            DesignTask.from_problem(problem), seed=5
+        )
+        assert r1.source == r2.source
+        assert r1.internal_score == r2.internal_score
+
+    def test_different_seeds_can_differ(self):
+        problem = get_problem("me_stack4")
+        sources = {
+            MAGE(MAGEConfig.high_temperature())
+            .solve(DesignTask.from_problem(problem), seed=s)
+            .internal_score
+            for s in range(3)
+        }
+        assert len(sources) >= 1  # smoke: no crashes across seeds
+
+    def test_candidate_scores_collected_when_sampling(self):
+        problem = get_problem("fs_traffic")
+        engine = MAGE(MAGEConfig.high_temperature())
+        result = engine.solve(DesignTask.from_problem(problem), seed=4)
+        transcript = result.transcript
+        if transcript.initial_score < 1.0:
+            assert len(transcript.candidate_scores) >= transcript.initial_score >= 0
+
+    def test_render_transcript(self):
+        problem = get_problem("cb_mux2")
+        engine = MAGE(MAGEConfig.high_temperature())
+        result = engine.solve(DesignTask.from_problem(problem), seed=0)
+        text = result.transcript.render()
+        assert "MAGE run" in text and "[step1]" in text
+
+
+class TestAblationModes:
+    def test_single_agent_shares_history(self):
+        config = Config.low_temperature()
+        config = Config(
+            model=config.model,
+            single_agent=True,
+            use_checkpoints=False,
+            generation=config.generation,
+        )
+        engine = MAGE(config)
+        assert engine.rtl_agent.conversation is engine.tb_agent.conversation
+        assert engine.judge.conversation is engine.debug_agent.conversation
+
+    def test_multi_agent_private_histories(self):
+        engine = MAGE(MAGEConfig.high_temperature())
+        assert engine.rtl_agent.conversation is not engine.tb_agent.conversation
+
+    def test_single_agent_uses_polluted_profile(self):
+        config = Config(single_agent=True)
+        engine = MAGE(config)
+        assert "merged-history" in engine.llm.model_name
+
+    def test_no_sampling_config_skips_step4_pool(self):
+        from dataclasses import replace
+
+        problem = get_problem("fs_vending")
+        config = replace(MAGEConfig.high_temperature(), use_sampling=False)
+        result = MAGE(config).solve(DesignTask.from_problem(problem), seed=3)
+        # Pool contains at most the initial candidate.
+        assert len(result.transcript.candidate_scores) <= 1
+
+    def test_custom_llm_injection(self):
+        from repro.llm import SimLLM
+
+        llm = SimLLM("gpt-4o")
+        engine = MAGE(MAGEConfig.high_temperature(), llm=llm)
+        assert engine.llm.model_name == "gpt-4o"
+
+
+class TestGoldenHintPath:
+    def test_solve_with_golden_hint(self):
+        from repro.tb.stimulus import render_testbench
+
+        problem = get_problem("sq_tff")
+        hint = render_testbench(golden_testbench(problem))
+        engine = MAGE(MAGEConfig.high_temperature())
+        result = engine.solve(
+            DesignTask.from_problem(problem), golden_tb_hint=hint, seed=0
+        )
+        assert result.source

@@ -1,0 +1,94 @@
+"""Eq. 2-4 selection algebra."""
+
+from repro.core.scoring import ScoredCandidate, best_candidate, better, select_top_k
+from repro.tb.runner import CheckRecord, TestReport
+from repro.tb.stimulus import TbStep, Testbench
+from repro.hdl.values import LogicVec
+
+import pytest
+
+
+def fake_report(mismatches: int, total: int) -> TestReport:
+    tb = Testbench(kind="comb", inputs=("a",), outputs=("y",), steps=())
+    report = TestReport(testbench=tb)
+    for index in range(total):
+        ok = index >= mismatches
+        value = LogicVec.from_int(1, 1)
+        report.records.append(
+            CheckRecord(
+                step=index,
+                time=index * 10,
+                signal="y",
+                expected=value,
+                actual=value if ok else LogicVec.from_int(0, 1),
+                ok=ok,
+                inputs={},
+            )
+        )
+    return report
+
+
+def cand(name: str, mismatches: int, total: int = 10) -> ScoredCandidate:
+    return ScoredCandidate(source=name, report=fake_report(mismatches, total))
+
+
+class TestScore:
+    def test_score_formula(self):
+        assert cand("a", 3).score == pytest.approx(0.7)
+
+    def test_perfect(self):
+        c = cand("a", 0)
+        assert c.passed and c.score == 1.0
+
+    def test_error_report_scores_zero(self):
+        tb = Testbench(
+            kind="comb",
+            inputs=("a",),
+            outputs=("y",),
+            steps=(TbStep({"a": 1}, {"y": LogicVec.from_int(1, 1)}),),
+        )
+        report = TestReport(testbench=tb, error="boom")
+        assert report.score == 0.0 and report.mismatches == report.total_checks
+
+
+class TestTopK:
+    def test_selects_best(self):
+        pool = [cand("a", 5), cand("b", 1), cand("c", 3)]
+        picked = select_top_k(pool, 2)
+        assert [c.source for c in picked] == ["b", "c"]
+
+    def test_stable_on_ties(self):
+        pool = [cand("a", 2), cand("b", 2), cand("c", 2)]
+        picked = select_top_k(pool, 2)
+        assert [c.source for c in picked] == ["a", "b"]
+
+    def test_k_larger_than_pool(self):
+        pool = [cand("a", 1)]
+        assert len(select_top_k(pool, 5)) == 1
+
+    def test_k_zero(self):
+        assert select_top_k([cand("a", 0)], 0) == []
+
+
+class TestAcceptRollback:
+    def test_improvement_accepted(self):
+        incumbent, trial = cand("old", 4), cand("new", 1)
+        assert better(incumbent, trial).source == "new"
+
+    def test_regression_rolled_back(self):
+        incumbent, trial = cand("old", 1), cand("new", 4)
+        assert better(incumbent, trial).source == "old"
+
+    def test_tie_keeps_incumbent(self):
+        incumbent, trial = cand("old", 2), cand("new", 2)
+        assert better(incumbent, trial).source == "old"
+
+
+class TestBestCandidate:
+    def test_best(self):
+        pool = [cand("a", 5), cand("b", 0)]
+        assert best_candidate(pool).source == "b"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_candidate([])

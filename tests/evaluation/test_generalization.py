@@ -1,0 +1,28 @@
+"""Generalization: MAGE on problems outside the calibration suites.
+
+The model profiles were fitted on the two VerilogEval-style suites
+only; the ``rtllm-like`` suite is held out.  MAGE's advantage must
+transfer -- if it only worked on the problems the profiles were tuned
+against, the pipeline effects would be calibration artifacts.
+"""
+
+from repro.core.config import MAGEConfig
+from repro.evaluation.harness import evaluate_mage, evaluate_system
+from repro.baselines import VanillaLLM
+from repro.llm.interface import SamplingParams
+
+
+def test_mage_transfers_to_held_out_suite():
+    mage = evaluate_mage(MAGEConfig.high_temperature(), "rtllm-like", runs=1)
+    vanilla = evaluate_system(
+        lambda: VanillaLLM(
+            "claude-3.5-sonnet", SamplingParams(temperature=0.0, top_p=0.01, n=1)
+        ),
+        "rtllm-like",
+        runs=1,
+    )
+    assert mage.pass_at_1 >= vanilla.pass_at_1, (
+        f"MAGE ({mage.percent:.1f}%) must not lose to vanilla "
+        f"({vanilla.percent:.1f}%) on held-out problems"
+    )
+    assert mage.pass_at_1 >= 0.7, f"MAGE too weak on held-out suite: {mage.percent:.1f}%"

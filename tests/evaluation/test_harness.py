@@ -1,0 +1,125 @@
+"""Evaluation harness over small problem subsets (kept quick)."""
+
+import os
+
+import pytest
+
+from repro.baselines import VanillaLLM
+from repro.core.config import MAGEConfig
+from repro.evalsets import get_problem
+from repro.evaluation.ablation import (
+    TABLE3_ARMS,
+    checkpoint_ablation_configs,
+    sampling_ablation_configs,
+)
+from repro.evaluation.harness import (
+    default_runs,
+    evaluate_mage,
+    evaluate_system,
+)
+from repro.llm.interface import SamplingParams
+
+EASY = [get_problem(p) for p in ["cb_and_or_gate", "cb_xor_parity", "sq_dff_ar"]]
+MIXED = [get_problem(p) for p in ["cb_mux2", "cb_kmap_mux", "fs_seq_det_110"]]
+
+
+def low():
+    return SamplingParams(temperature=0.0, top_p=0.01, n=1)
+
+
+class TestEvaluateSystem:
+    def test_vanilla_on_easy_problems(self):
+        result = evaluate_system(
+            lambda: VanillaLLM("claude-3.5-sonnet", low()),
+            "verilogeval-v2",
+            runs=1,
+            problems=EASY,
+        )
+        assert result.pass_at_1 == 1.0
+        assert len(result.outcomes) == 3
+
+    def test_result_accounting(self):
+        result = evaluate_system(
+            lambda: VanillaLLM("itertl-ft", low()),
+            "verilogeval-v2",
+            runs=2,
+            problems=MIXED,
+        )
+        for outcome in result.outcomes:
+            assert outcome.runs == 2
+            assert 0 <= outcome.passes <= 2
+            assert len(outcome.scores) == 2
+        assert 0.0 <= result.pass_at_1 <= 1.0
+
+    def test_failures_listed(self):
+        result = evaluate_system(
+            lambda: VanillaLLM("itertl-ft", low()),
+            "verilogeval-v2",
+            runs=1,
+            problems=MIXED,
+        )
+        for pid in result.failures():
+            assert pid in {p.id for p in MIXED}
+
+    def test_progress_callback(self):
+        lines = []
+        evaluate_system(
+            lambda: VanillaLLM("claude-3.5-sonnet", low()),
+            "verilogeval-v2",
+            runs=1,
+            problems=EASY[:1],
+            progress=lines.append,
+        )
+        assert len(lines) == 1
+
+    def test_render_row(self):
+        result = evaluate_system(
+            lambda: VanillaLLM("claude-3.5-sonnet", low()),
+            "verilogeval-v2",
+            runs=1,
+            problems=EASY[:1],
+        )
+        assert "Pass@1" in result.render_row()
+
+
+class TestEvaluateMage:
+    def test_mage_on_mixed_subset(self):
+        result = evaluate_mage(
+            MAGEConfig.high_temperature(),
+            "verilogeval-v2",
+            runs=1,
+            problems=MIXED,
+        )
+        assert result.pass_at_1 >= 2 / 3  # near-perfect on this subset
+
+
+class TestDefaultRuns:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_RUNS", "7")
+        assert default_runs() == 7
+
+    def test_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EVAL_RUNS", raising=False)
+        assert default_runs(4) == 4
+
+
+class TestAblationConfigs:
+    def test_table3_arms(self):
+        assert [arm.key for arm in TABLE3_ARMS] == [
+            "vanilla",
+            "single-agent",
+            "multi-agent",
+        ]
+        for arm in TABLE3_ARMS:
+            system = arm.factory()
+            assert hasattr(system, "solve")
+
+    def test_checkpoint_ablation(self):
+        configs = checkpoint_ablation_configs()
+        assert configs["with-checkpoints"].use_checkpoints
+        assert not configs["without-checkpoints"].use_checkpoints
+
+    def test_sampling_ablation(self):
+        configs = sampling_ablation_configs()
+        assert configs["with-sampling"].use_sampling
+        assert not configs["without-sampling"].use_sampling

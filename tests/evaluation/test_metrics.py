@@ -1,0 +1,75 @@
+"""pass@k estimator (Eq. 7) unit and property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import mean_pass_at_k, pass_at_k
+
+
+class TestPassAtK:
+    def test_all_pass(self):
+        assert pass_at_k(10, 10, 1) == 1.0
+
+    def test_none_pass(self):
+        assert pass_at_k(10, 0, 1) == 0.0
+
+    def test_single_run(self):
+        assert pass_at_k(1, 1, 1) == 1.0
+        assert pass_at_k(1, 0, 1) == 0.0
+
+    def test_pass_at_1_equals_fraction(self):
+        # With k=1 the estimator reduces to c/n.
+        assert pass_at_k(20, 5, 1) == pytest.approx(5 / 20)
+
+    def test_pass_at_k_examples(self):
+        # 1 - C(8,2)/C(10,2) = 1 - 28/45
+        assert pass_at_k(10, 2, 2) == pytest.approx(1 - 28 / 45)
+
+    def test_k_greater_than_failures_is_one(self):
+        assert pass_at_k(5, 4, 2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pass_at_k(0, 0, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 6, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 2, 6)
+
+
+@given(st.integers(1, 50), st.data())
+def test_property_bounds(n, data):
+    c = data.draw(st.integers(0, n))
+    k = data.draw(st.integers(1, n))
+    value = pass_at_k(n, c, k)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.integers(2, 50), st.data())
+def test_property_monotone_in_c(n, data):
+    k = data.draw(st.integers(1, n))
+    c = data.draw(st.integers(0, n - 1))
+    assert pass_at_k(n, c + 1, k) >= pass_at_k(n, c, k)
+
+
+@given(st.integers(2, 50), st.data())
+def test_property_monotone_in_k(n, data):
+    c = data.draw(st.integers(0, n))
+    k = data.draw(st.integers(1, n - 1))
+    assert pass_at_k(n, c, k + 1) >= pass_at_k(n, c, k)
+
+
+@given(st.integers(1, 30), st.data())
+def test_property_pass1_is_mean(n, data):
+    c = data.draw(st.integers(0, n))
+    assert pass_at_k(n, c, 1) == pytest.approx(c / n)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean_pass_at_k([(1, 1), (1, 0)], 1) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_pass_at_k([], 1)

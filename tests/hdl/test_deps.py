@@ -1,0 +1,66 @@
+"""Dependency-graph and cone-of-influence analysis."""
+
+from repro.hdl.compile import compile_design
+from repro.hdl.deps import (
+    cone_of_influence,
+    dependency_graph,
+    fan_in_cone,
+    outputs_in_cone,
+)
+
+SRC = """
+module t (input clk, input a, input b, output wire y, output reg q);
+    wire mid;
+    assign mid = a & b;
+    assign y = mid | a;
+    always @(posedge clk) q <= mid;
+endmodule
+"""
+
+
+def test_edges_follow_data_flow():
+    graph = dependency_graph(compile_design(SRC))
+    assert graph.has_edge("a", "mid")
+    assert graph.has_edge("mid", "y")
+    assert graph.has_edge("mid", "q")
+    assert not graph.has_edge("y", "mid")
+
+
+def test_clock_influences_registers():
+    graph = dependency_graph(compile_design(SRC))
+    assert graph.has_edge("clk", "q")
+
+
+def test_cone_of_influence_transitive():
+    design = compile_design(SRC)
+    cone = cone_of_influence(design, "a")
+    assert {"a", "mid", "y", "q"} <= cone
+
+
+def test_fan_in_cone():
+    design = compile_design(SRC)
+    fan_in = fan_in_cone(design, "q")
+    assert {"q", "mid", "a", "b", "clk"} <= fan_in
+    assert "y" not in fan_in
+
+
+def test_outputs_in_cone():
+    design = compile_design(SRC)
+    assert outputs_in_cone(design, "b") == {"y", "q"}
+    assert outputs_in_cone(design, "mid") == {"y", "q"}
+
+
+def test_unknown_signal_has_empty_cone():
+    design = compile_design(SRC)
+    assert cone_of_influence(design, "ghost") == frozenset()
+
+
+def test_memory_participates():
+    design = compile_design(
+        "module t (input clk, input [1:0] a, input [7:0] d, output [7:0] q);\n"
+        "reg [7:0] mem [0:3];\n"
+        "always @(posedge clk) mem[a] <= d;\n"
+        "assign q = mem[a];\nendmodule"
+    )
+    assert "q" in cone_of_influence(design, "d")
+    assert outputs_in_cone(design, "mem") == {"q"}

@@ -1,0 +1,201 @@
+"""Elaboration tests: parameters, hierarchy, renaming, diagnostics."""
+
+import pytest
+
+from repro.hdl.compile import compile_design
+from repro.hdl.elaborator import const_eval, const_int
+from repro.hdl.errors import ElaborationError
+from repro.hdl.parser import parse_expr_text
+from repro.hdl.values import LogicVec
+
+
+def const(text, **params):
+    env = {k: LogicVec.from_int(v, 32) for k, v in params.items()}
+    return const_int(parse_expr_text(text), env)
+
+
+class TestConstEval:
+    def test_arithmetic(self):
+        assert const("3 + 4 * 2") == 11
+
+    def test_parameter_reference(self):
+        assert const("W - 1", W=8) == 7
+
+    def test_ternary(self):
+        assert const("W > 4 ? 1 : 0", W=8) == 1
+
+    def test_clog2(self):
+        assert const("$clog2(16)") == 4
+        assert const("$clog2(17)") == 5
+        assert const("$clog2(1)") == 0
+
+    def test_concat_replicate(self):
+        env = {}
+        v = const_eval(parse_expr_text("{2{2'b10}}"), env)
+        assert v.to_bits() == "1010"
+
+    def test_signal_reference_rejected(self):
+        with pytest.raises(ElaborationError):
+            const("undeclared + 1")
+
+
+class TestSignals:
+    def test_port_widths_and_direction(self):
+        d = compile_design(
+            "module m (input wire [7:0] a, output reg [3:0] q);\n"
+            "always @(*) q = a[3:0];\nendmodule"
+        )
+        assert d.signals["a"].width == 8 and d.signals["a"].is_input
+        assert d.signals["q"].kind == "reg" and d.signals["q"].is_output
+
+    def test_parameterised_width(self):
+        d = compile_design(
+            "module m #(parameter W = 8) (input [W-1:0] a, output [W-1:0] y);\n"
+            "assign y = a;\nendmodule"
+        )
+        assert d.signals["a"].width == 8
+
+    def test_top_level_override(self):
+        d = compile_design(
+            "module m #(parameter W = 8) (input [W-1:0] a, output [W-1:0] y);\n"
+            "assign y = a;\nendmodule",
+            overrides={"W": 4},
+        )
+        assert d.signals["a"].width == 4
+
+    def test_localparam_chain(self):
+        d = compile_design(
+            "module m #(parameter W = 4) (input [W-1:0] a, output [2*W-1:0] y);\n"
+            "localparam D = W * 2;\n"
+            "assign y = {{W{1'b0}}, a};\nendmodule"
+        )
+        assert d.signals["y"].width == 8
+
+    def test_classic_port_reg_merge(self):
+        d = compile_design(
+            "module m (a, q); input a; output q; reg q;\n"
+            "always @(*) q = a;\nendmodule"
+        )
+        assert d.signals["q"].kind == "reg"
+
+    def test_nonzero_lsb_range(self):
+        d = compile_design(
+            "module m (input [7:4] a, output [3:0] y); assign y = a[7:4]; endmodule"
+        )
+        assert d.signals["a"].width == 4 and d.signals["a"].lsb == 4
+
+    def test_memory(self):
+        d = compile_design(
+            "module m (input clk, input [1:0] w, input [7:0] v, output [7:0] q);\n"
+            "reg [7:0] mem [0:3];\n"
+            "always @(posedge clk) mem[w] <= v;\n"
+            "assign q = mem[w];\nendmodule"
+        )
+        assert d.memories["mem"].size == 4 and d.memories["mem"].width == 8
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(ElaborationError):
+            compile_design(
+                "module m (input a); wire w; wire w; endmodule"
+            )
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(ElaborationError) as err:
+            compile_design("module m (input a, output y); assign y = ghost; endmodule")
+        assert "ghost" in str(err.value)
+
+    def test_descending_vector_range_rejected(self):
+        with pytest.raises(ElaborationError):
+            compile_design("module m (input [0:7] a); endmodule")
+
+    def test_inout_rejected(self):
+        with pytest.raises(ElaborationError):
+            compile_design("module m (inout a); endmodule")
+
+    def test_port_without_direction(self):
+        with pytest.raises(ElaborationError):
+            compile_design("module m (a); assign a = 1'b0; endmodule")
+
+
+class TestProcesses:
+    def test_continuous_assign_is_comb(self):
+        d = compile_design("module m (input a, output y); assign y = a; endmodule")
+        proc = d.processes[0]
+        assert proc.kind == "comb" and proc.continuous
+        assert proc.reads == {"a"} and proc.writes == {"y"}
+
+    def test_star_sensitivity_is_reads(self):
+        d = compile_design(
+            "module m (input a, input b, output reg y);\n"
+            "always @(*) y = a ? b : 1'b0;\nendmodule"
+        )
+        proc = next(p for p in d.processes if not p.continuous)
+        assert proc.reads == {"a", "b"}
+
+    def test_clocked_edges(self):
+        d = compile_design(
+            "module m (input clk, input rst_n, input d, output reg q);\n"
+            "always @(posedge clk or negedge rst_n)\n"
+            "    if (!rst_n) q <= 0; else q <= d;\nendmodule"
+        )
+        proc = next(p for p in d.processes if p.kind == "clocked")
+        assert set(proc.edges) == {("pos", "clk"), ("neg", "rst_n")}
+
+    def test_mixed_edge_level_rejected(self):
+        with pytest.raises(ElaborationError):
+            compile_design(
+                "module m (input clk, input a, output reg q);\n"
+                "always @(posedge clk or a) q <= a;\nendmodule"
+            )
+
+
+class TestHierarchy:
+    SRC = (
+        "module leaf #(parameter W = 2) (input [W-1:0] x, output [W-1:0] y);\n"
+        "    assign y = ~x;\nendmodule\n"
+        "module top (input [3:0] a, output [3:0] b);\n"
+        "    leaf #(.W(4)) u0 (.x(a), .y(b));\nendmodule"
+    )
+
+    def test_flattened_names(self):
+        d = compile_design(self.SRC, "top")
+        assert "u0.x" in d.signals and d.signals["u0.x"].width == 4
+
+    def test_port_bindings_simulate(self):
+        from repro.hdl.simulator import Simulation
+
+        sim = Simulation(compile_design(self.SRC, "top"))
+        sim.step({"a": 0b1010})
+        assert sim.peek("b").to_uint() == 0b0101
+
+    def test_ordered_connections(self):
+        src = self.SRC.replace(".x(a), .y(b)", "a, b")
+        d = compile_design(src, "top")
+        assert "u0.x" in d.signals
+
+    def test_missing_module(self):
+        with pytest.raises(ElaborationError):
+            compile_design("module top (input a); ghost u0 (.x(a)); endmodule")
+
+    def test_unknown_port(self):
+        with pytest.raises(ElaborationError):
+            compile_design(self.SRC.replace(".x(a)", ".nope(a)"), "top")
+
+    def test_unknown_param_override(self):
+        with pytest.raises(ElaborationError):
+            compile_design(self.SRC.replace("#(.W(4))", "#(.NOPE(4))"), "top")
+
+    def test_recursive_instantiation_rejected(self):
+        with pytest.raises(ElaborationError):
+            compile_design(
+                "module a (input x); a u (.x(x)); endmodule", "a"
+            )
+
+    def test_two_level_hierarchy(self):
+        src = (
+            "module inv (input x, output y); assign y = ~x; endmodule\n"
+            "module mid (input x, output y); inv u (.x(x), .y(y)); endmodule\n"
+            "module top (input a, output b); mid m (.x(a), .y(b)); endmodule"
+        )
+        d = compile_design(src, "top")
+        assert "m.u.x" in d.signals

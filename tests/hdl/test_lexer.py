@@ -1,0 +1,136 @@
+"""Unit tests for the Verilog tokenizer."""
+
+import pytest
+
+from repro.hdl.errors import LexError
+from repro.hdl.lexer import TokKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source_is_just_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is TokKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("module foo_1 endmodule")
+        assert toks[0].kind is TokKind.KEYWORD
+        assert toks[1].kind is TokKind.IDENT
+        assert toks[1].text == "foo_1"
+
+    def test_source_ending_mid_identifier(self):
+        # Regression: "" in "_$" is vacuously True; must not hang.
+        toks = tokenize("endmodule")
+        assert toks[0].text == "endmodule"
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].loc.line, toks[0].loc.col) == (1, 1)
+        assert (toks[1].loc.line, toks[1].loc.col) == (2, 3)
+
+    def test_dollar_names(self):
+        toks = tokenize("$display $signed")
+        assert all(t.kind is TokKind.SYSNAME for t in toks[:-1])
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_compiler_directives_skipped(self):
+        assert texts("`timescale 1ns/1ps\nmodule") == ["module"]
+
+
+class TestOperators:
+    def test_longest_match(self):
+        assert texts("a <<< b") == ["a", "<<<", "b"]
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a === b") == ["a", "===", "b"]
+
+    def test_reduction_prefixes(self):
+        assert texts("~&a") == ["~&", "a"]
+        assert texts("~^a") == ["~^", "a"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a \x01 b")
+
+
+class TestNumbers:
+    def test_unsized_decimal_is_32bit_signed(self):
+        tok = tokenize("42")[0]
+        assert tok.kind is TokKind.NUMBER
+        assert tok.value.width == 32 and tok.value.signed
+        assert tok.value.to_uint() == 42
+
+    def test_sized_hex(self):
+        tok = tokenize("8'hFF")[0]
+        assert tok.value.width == 8 and tok.value.to_uint() == 255
+
+    def test_sized_binary_with_x(self):
+        tok = tokenize("4'b1x0z")[0]
+        assert tok.value.to_bits() == "1x0x"
+
+    def test_sized_octal(self):
+        tok = tokenize("6'o52")[0]
+        assert tok.value.to_uint() == 0o52
+
+    def test_signed_marker(self):
+        tok = tokenize("8'sd5")[0]
+        assert tok.value.signed
+
+    def test_underscores_in_digits(self):
+        tok = tokenize("16'hAB_CD")[0]
+        assert tok.value.to_uint() == 0xABCD
+
+    def test_decimal_x(self):
+        tok = tokenize("4'dx")[0]
+        assert tok.value.has_x
+
+    def test_space_between_size_and_base(self):
+        tok = tokenize("4 'b1010")[0]
+        assert tok.value.to_uint() == 10
+
+    def test_default_width_32(self):
+        tok = tokenize("'h10")[0]
+        assert tok.value.width == 32 and tok.value.to_uint() == 16
+
+    def test_bad_base(self):
+        with pytest.raises(LexError):
+            tokenize("4'q1010")
+
+    def test_bad_digit_for_base(self):
+        with pytest.raises(LexError):
+            tokenize("4'b1021")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0'b0")
+
+    def test_truncation_to_declared_width(self):
+        tok = tokenize("4'hFF")[0]
+        assert tok.value.to_uint() == 0xF
+
+
+class TestStrings:
+    def test_string_literal(self):
+        toks = tokenize('"hello"')
+        assert toks[0].kind is TokKind.STRING and toks[0].text == "hello"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')

@@ -1,0 +1,89 @@
+"""Lint diagnostics: the syntax gate of the agents' fix loop."""
+
+from repro.hdl.lint import lint
+
+
+class TestErrors:
+    def test_clean_module(self):
+        report = lint("module m (input a, output y); assign y = a; endmodule")
+        assert report.ok and report.design is not None
+
+    def test_parse_error_reported_with_line(self):
+        report = lint("module m (input a, output y)\nassign y = a;\nendmodule")
+        assert not report.ok
+        assert report.errors[0].line is not None
+
+    def test_undeclared_identifier(self):
+        report = lint("module m (input a, output y); assign y = nope; endmodule")
+        assert not report.ok and "undeclared" in report.errors[0].message
+
+    def test_procedural_assign_to_wire(self):
+        report = lint(
+            "module m (input a, output wire y); always @(*) y = a; endmodule"
+        )
+        assert any("declare it as 'reg'" in d.message for d in report.errors)
+
+    def test_continuous_assign_to_reg(self):
+        report = lint(
+            "module m (input a, output reg y); assign y = a; endmodule"
+        )
+        assert any("continuous assignment to reg" in d.message for d in report.errors)
+
+    def test_multiple_drivers(self):
+        report = lint(
+            "module m (input a, input b, output y);\n"
+            "assign y = a;\nassign y = b;\nendmodule"
+        )
+        assert any("multiple drivers" in d.message for d in report.errors)
+
+    def test_driving_an_input(self):
+        report = lint("module m (input a, output y);\n"
+                      "assign a = 1'b0;\nassign y = a;\nendmodule")
+        assert any("input port" in d.message for d in report.errors)
+
+
+class TestWarnings:
+    def test_case_without_default_warns(self):
+        report = lint(
+            "module m (input [1:0] s, output reg y);\n"
+            "always @(*) case (s) 2'd0: y = 1'b0; 2'd1: y = 1'b1; endcase\n"
+            "endmodule"
+        )
+        assert report.ok
+        assert any("default" in d.message for d in report.warnings)
+
+    def test_clocked_case_without_default_is_fine(self):
+        report = lint(
+            "module m (input clk, input [1:0] s, output reg y);\n"
+            "always @(posedge clk) case (s) 2'd0: y <= 1'b0; 2'd1: y <= 1'b1; endcase\n"
+            "endmodule"
+        )
+        assert not any("default" in d.message for d in report.warnings)
+
+    def test_undriven_signal_warns(self):
+        report = lint(
+            "module m (input a, output y); wire w; assign y = a & w; endmodule"
+        )
+        assert any("never driven" in d.message for d in report.warnings)
+
+    def test_unread_signal_warns(self):
+        report = lint(
+            "module m (input a, output y);\n"
+            "wire w;\nassign w = a;\nassign y = a;\nendmodule"
+        )
+        assert any("never read" in d.message for d in report.warnings)
+
+    def test_render_includes_severity(self):
+        report = lint("module m (input a, output y); assign y = b; endmodule")
+        assert report.render().startswith("error:")
+
+    def test_clean_render(self):
+        report = lint("module m (input a, output y); assign y = a; endmodule")
+        assert report.render() == "clean: no diagnostics"
+
+
+class TestGoldenDesignsAreClean:
+    def test_all_golden_designs_lint_without_errors(self, problems):
+        for problem in problems:
+            report = lint(problem.golden, problem.top)
+            assert report.ok, f"{problem.id}: {report.render()}"

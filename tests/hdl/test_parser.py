@@ -1,0 +1,322 @@
+"""Unit tests for the recursive-descent Verilog parser."""
+
+import pytest
+
+from repro.hdl import ast_nodes as ast
+from repro.hdl.errors import ParseError
+from repro.hdl.parser import parse_expr_text, parse_module, parse_source
+
+
+def parse_expr(text: str) -> ast.Expr:
+    return parse_expr_text(text)
+
+
+class TestModuleStructure:
+    def test_ansi_ports(self):
+        m = parse_module(
+            "module m (input wire a, output reg [3:0] b); endmodule"
+        )
+        assert m.ports == ("a", "b")
+        decls = [i for i in m.items if isinstance(i, ast.PortDecl)]
+        assert decls[1].net_kind == "reg"
+
+    def test_ansi_port_continuation(self):
+        m = parse_module("module m (input [1:0] a, b, output y); endmodule")
+        assert m.ports == ("a", "b", "y")
+        decls = [i for i in m.items if isinstance(i, ast.PortDecl)]
+        assert decls[0].range is not None and decls[1].range is not None
+
+    def test_classic_ports(self):
+        m = parse_module(
+            "module m (a, y); input a; output y; assign y = a; endmodule"
+        )
+        assert m.ports == ("a", "y")
+
+    def test_header_parameters(self):
+        m = parse_module(
+            "module m #(parameter W = 8, D = 2) (input [W-1:0] a); endmodule"
+        )
+        params = [i for i in m.items if isinstance(i, ast.ParamDecl)]
+        assert [p.name for p in params] == ["W", "D"]
+
+    def test_multiple_modules(self):
+        src = parse_source(
+            "module a (input x); endmodule\nmodule b (input y); endmodule"
+        )
+        assert [m.name for m in src.modules] == ["a", "b"]
+        assert src.module().name == "b"
+        assert src.module("a").name == "a"
+
+    def test_missing_module_keyword(self):
+        with pytest.raises(ParseError):
+            parse_module("endmodule")
+
+    def test_unterminated_module(self):
+        with pytest.raises(ParseError):
+            parse_module("module m (input a); assign")
+
+    def test_empty_source(self):
+        with pytest.raises(ParseError):
+            parse_source("   ")
+
+
+class TestDeclarations:
+    def test_wire_with_init(self):
+        m = parse_module("module m (input a); wire w = a & 1'b1; endmodule")
+        decl = next(i for i in m.items if isinstance(i, ast.NetDecl))
+        assert decl.init is not None
+
+    def test_reg_init_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("module m (input a); reg r = 1'b0; endmodule")
+
+    def test_memory_array(self):
+        m = parse_module("module m (input a); reg [7:0] mem [0:15]; endmodule")
+        decl = next(i for i in m.items if isinstance(i, ast.NetDecl))
+        assert decl.array_range is not None
+
+    def test_integer_decl(self):
+        m = parse_module("module m (input a); integer i, j; endmodule")
+        decl = next(i for i in m.items if isinstance(i, ast.NetDecl))
+        assert decl.net_kind == "integer" and decl.names == ("i", "j")
+
+    def test_localparam(self):
+        m = parse_module("module m (input a); localparam X = 3, Y = 4; endmodule")
+        params = [i for i in m.items if isinstance(i, ast.ParamDecl)]
+        assert all(p.local for p in params) and len(params) == 2
+
+    def test_signed_declaration(self):
+        m = parse_module("module m (input signed [7:0] a); endmodule")
+        decl = next(i for i in m.items if isinstance(i, ast.PortDecl))
+        assert decl.signed
+
+
+class TestStatements:
+    def _body(self, stmt_text):
+        m = parse_module(
+            f"module m (input clk, input a, output reg q);\n"
+            f"always @(posedge clk) {stmt_text}\nendmodule"
+        )
+        block = next(i for i in m.items if isinstance(i, ast.AlwaysBlock))
+        return block.body
+
+    def test_nonblocking_assign(self):
+        body = self._body("q <= a;")
+        assert isinstance(body, ast.NonblockingAssign)
+
+    def test_blocking_assign(self):
+        body = self._body("begin q = a; end")
+        assert isinstance(body.stmts[0], ast.BlockingAssign)
+
+    def test_if_else_chain(self):
+        body = self._body("if (a) q <= 1; else if (!a) q <= 0; else q <= a;")
+        assert isinstance(body, ast.If)
+        assert isinstance(body.else_stmt, ast.If)
+
+    def test_case_with_default(self):
+        body = self._body(
+            "case (a) 1'b0: q <= 0; 1'b1: q <= 1; default: q <= a; endcase"
+        )
+        assert isinstance(body, ast.Case)
+        assert body.items[-1].exprs == ()
+
+    def test_case_multiple_labels(self):
+        body = self._body("case (a) 1'b0, 1'b1: q <= 1; endcase")
+        assert len(body.items[0].exprs) == 2
+
+    def test_casez(self):
+        body = self._body("casez (a) 1'b?: q <= 1; endcase")
+        assert body.kind == "casez"
+
+    def test_for_loop(self):
+        m = parse_module(
+            "module m (input a, output reg [3:0] q);\n"
+            "integer i;\n"
+            "always @(*) for (i = 0; i < 4; i = i + 1) q[i] = a;\n"
+            "endmodule"
+        )
+        block = next(i for i in m.items if isinstance(i, ast.AlwaysBlock))
+        assert isinstance(block.body, ast.For)
+
+    def test_named_block(self):
+        body = self._body("begin : blk q <= a; end")
+        assert body.name == "blk"
+
+    def test_syscall_statement(self):
+        body = self._body('begin $display("q=%d", q); end')
+        assert isinstance(body.stmts[0], ast.SysCall)
+
+    def test_null_statement(self):
+        body = self._body("begin ; end")
+        assert isinstance(body.stmts[0], ast.NullStmt)
+
+    def test_concat_lvalue(self):
+        m = parse_module(
+            "module m (input [1:0] a, output wire c, output wire [1:0] s);\n"
+            "assign {c, s} = a + 1;\nendmodule"
+        )
+        assign = next(i for i in m.items if isinstance(i, ast.ContinuousAssign))
+        assert isinstance(assign.target, ast.Concat)
+
+    def test_missing_assign_op(self):
+        with pytest.raises(ParseError):
+            parse_module("module m (input a, output reg q); always @(*) q; endmodule")
+
+
+class TestSensitivity:
+    def _sens(self, text):
+        m = parse_module(
+            f"module m (input clk, input rst, input a, output reg q);\n"
+            f"always {text} q <= a;\nendmodule"
+        )
+        return next(i for i in m.items if isinstance(i, ast.AlwaysBlock)).sensitivity
+
+    def test_star_forms(self):
+        assert self._sens("@(*)").star
+        assert self._sens("@*").star
+
+    def test_posedge(self):
+        s = self._sens("@(posedge clk)")
+        assert s.is_clocked and s.events[0].edge == "pos"
+
+    def test_dual_edge_or(self):
+        s = self._sens("@(posedge clk or negedge rst)")
+        assert [e.edge for e in s.events] == ["pos", "neg"]
+
+    def test_comma_separator(self):
+        s = self._sens("@(posedge clk, negedge rst)")
+        assert len(s.events) == 2
+
+    def test_level_sensitive_list(self):
+        s = self._sens("@(a or rst)")
+        assert not s.is_clocked and len(s.events) == 2
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("a + b * c")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_precedence_shift_vs_relational(self):
+        e = parse_expr("a << 1 < b")
+        assert e.op == "<" and e.left.op == "<<"
+
+    def test_power_right_assoc(self):
+        e = parse_expr("a ** b ** c")
+        assert e.op == "**" and isinstance(e.right, ast.Binary)
+
+    def test_ternary_nesting(self):
+        e = parse_expr("a ? b : c ? d : f")
+        assert isinstance(e, ast.Ternary) and isinstance(e.els, ast.Ternary)
+
+    def test_unary_reduction(self):
+        e = parse_expr("^a & b")
+        assert e.op == "&" and isinstance(e.left, ast.Unary)
+
+    def test_concat_and_replicate(self):
+        e = parse_expr("{a, {3{b}}, c}")
+        assert isinstance(e, ast.Concat)
+        assert isinstance(e.parts[1], ast.Replicate)
+
+    def test_replicate_of_concat(self):
+        e = parse_expr("{2{a, b}}")
+        assert isinstance(e, ast.Replicate)
+        assert isinstance(e.inner, ast.Concat)
+
+    def test_bit_and_part_select(self):
+        e = parse_expr("x[3][2:1]")
+        assert isinstance(e, ast.PartSelect)
+        assert isinstance(e.base, ast.BitSelect)
+
+    def test_indexed_part_select_up(self):
+        e = parse_expr("x[i +: 4]")
+        assert isinstance(e, ast.IndexedPartSelect) and not e.down
+
+    def test_indexed_part_select_down(self):
+        e = parse_expr("x[i -: 2]")
+        assert isinstance(e, ast.IndexedPartSelect) and e.down
+
+    def test_indexed_select_with_sum_start(self):
+        e = parse_expr("x[i + 1 +: 4]")
+        assert isinstance(e, ast.IndexedPartSelect)
+        assert isinstance(e.start, ast.Binary)
+
+    def test_function_call(self):
+        e = parse_expr("f(a, b + 1)")
+        assert isinstance(e, ast.FuncCall) and len(e.args) == 2
+
+    def test_system_function(self):
+        e = parse_expr("$signed(a)")
+        assert isinstance(e, ast.FuncCall) and e.name == "$signed"
+
+    def test_case_equality_ops(self):
+        assert parse_expr("a === b").op == "==="
+        assert parse_expr("a !== b").op == "!=="
+
+    def test_parenthesised_select(self):
+        e = parse_expr("(a + b)")
+        assert isinstance(e, ast.Binary)
+
+
+class TestInstances:
+    def test_named_connections(self):
+        m = parse_module(
+            "module m (input a, output y);\n"
+            "sub u0 (.x(a), .z(y));\nendmodule"
+        )
+        inst = next(i for i in m.items if isinstance(i, ast.Instance))
+        assert inst.module_name == "sub" and inst.inst_name == "u0"
+        assert [c.name for c in inst.ports] == ["x", "z"]
+
+    def test_ordered_connections(self):
+        m = parse_module("module m (input a, output y); sub u0 (a, y); endmodule")
+        inst = next(i for i in m.items if isinstance(i, ast.Instance))
+        assert all(c.name is None for c in inst.ports)
+
+    def test_parameter_overrides(self):
+        m = parse_module(
+            "module m (input a); sub #(.W(4), .D(2)) u0 (.x(a)); endmodule"
+        )
+        inst = next(i for i in m.items if isinstance(i, ast.Instance))
+        assert [p[0] for p in inst.params] == ["W", "D"]
+
+    def test_ordered_parameter_overrides(self):
+        m = parse_module("module m (input a); sub #(4) u0 (.x(a)); endmodule")
+        inst = next(i for i in m.items if isinstance(i, ast.Instance))
+        assert inst.params[0][0] is None
+
+    def test_unconnected_port(self):
+        m = parse_module("module m (input a); sub u0 (.x(a), .y()); endmodule")
+        inst = next(i for i in m.items if isinstance(i, ast.Instance))
+        assert inst.ports[1].expr is None
+
+
+class TestFunctions:
+    def test_function_decl(self):
+        m = parse_module(
+            "module m (input [3:0] a, output [3:0] y);\n"
+            "function [3:0] inc;\n"
+            "    input [3:0] v;\n"
+            "    inc = v + 1;\n"
+            "endfunction\n"
+            "assign y = inc(a);\nendmodule"
+        )
+        fn = next(i for i in m.items if isinstance(i, ast.FunctionDecl))
+        assert fn.name == "inc" and len(fn.inputs) == 1
+
+    def test_function_with_locals(self):
+        m = parse_module(
+            "module m (input [3:0] a, output [3:0] y);\n"
+            "function [3:0] popcnt;\n"
+            "    input [3:0] v;\n"
+            "    integer i;\n"
+            "    begin\n"
+            "        popcnt = 0;\n"
+            "        for (i = 0; i < 4; i = i + 1) popcnt = popcnt + v[i];\n"
+            "    end\n"
+            "endfunction\n"
+            "assign y = popcnt(a);\nendmodule"
+        )
+        fn = next(i for i in m.items if isinstance(i, ast.FunctionDecl))
+        assert len(fn.locals) == 1

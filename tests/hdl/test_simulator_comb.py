@@ -1,0 +1,213 @@
+"""Combinational simulation semantics, checked through real modules."""
+
+import pytest
+
+from repro.hdl.compile import simulate
+from repro.hdl.errors import SimulationError
+
+
+def eval_expr(expr, width=8, **inputs):
+    """Evaluate a Verilog expression over 8-bit inputs a, b and 1-bit c."""
+    sim = simulate(
+        f"module t (input [7:0] a, input [7:0] b, input c,\n"
+        f"          output wire [{width - 1}:0] y);\n"
+        f"    assign y = {expr};\nendmodule"
+    )
+    sim.step({name: value for name, value in inputs.items()})
+    return sim.peek("y")
+
+
+class TestExpressionSemantics:
+    def test_add_carry_with_concat_target(self):
+        sim = simulate(
+            "module t (input [7:0] a, input [7:0] b, input c,\n"
+            "          output [7:0] s, output co);\n"
+            "    assign {co, s} = a + b + c;\nendmodule"
+        )
+        sim.step({"a": 255, "b": 255, "c": 1})
+        assert sim.peek("s").to_uint() == 255
+        assert sim.peek("co").to_uint() == 1
+
+    def test_context_widening_in_comparison_operand(self):
+        # a + b inside a comparison must not widen to the target width;
+        # operands are self-determined at max(a, b) width.
+        value = eval_expr("(a + b) > 8'd10", width=1, a=200, b=100)
+        assert value.to_uint() == int(((200 + 100) & 0xFF) > 10)
+
+    def test_ternary(self):
+        assert eval_expr("c ? a : b", a=1, b=2, c=1).to_uint() == 1
+        assert eval_expr("c ? a : b", a=1, b=2, c=0).to_uint() == 2
+
+    def test_reduction_in_condition(self):
+        assert eval_expr("(&a) ? 8'd1 : 8'd0", a=0xFF, b=0, c=0).to_uint() == 1
+
+    def test_shift_by_variable(self):
+        assert eval_expr("a << b[2:0]", a=1, b=3, c=0).to_uint() == 8
+
+    def test_arithmetic_right_shift(self):
+        assert eval_expr("$signed(a) >>> 2", a=0x80, b=0, c=0).to_uint() == 0xE0
+
+    def test_part_select(self):
+        assert eval_expr("a[7:4]", width=4, a=0xAB, b=0, c=0).to_uint() == 0xA
+
+    def test_indexed_part_select(self):
+        assert eval_expr("a[b[2:0] +: 4]", width=4, a=0xAB, b=4, c=0).to_uint() == 0xA
+
+    def test_bit_select_with_x_index_reads_x(self):
+        sim = simulate(
+            "module t (input [7:0] a, output y);\n"
+            "    wire [2:0] idx;\n"
+            "    assign y = a[idx];\nendmodule"
+        )
+        sim.step({"a": 0xFF})
+        assert sim.peek("y").has_x  # idx is undriven
+
+    def test_concat_and_replicate(self):
+        assert eval_expr("{b[3:0], {4{c}}}", a=0, b=0x5, c=1).to_uint() == 0x5F
+
+    def test_signed_function(self):
+        assert eval_expr("$signed(b) < 0 ? 8'd1 : 8'd0", a=0, b=0x80, c=0).to_uint() == 1
+
+    def test_clog2_runtime(self):
+        assert eval_expr("$clog2(a)", a=16, b=0, c=0).to_uint() == 4
+
+
+class TestAlwaysComb:
+    def test_case_statement(self):
+        sim = simulate(
+            "module t (input [1:0] s, output reg [3:0] y);\n"
+            "always @(*) begin\n"
+            "    case (s)\n"
+            "        2'd0: y = 4'd1;\n"
+            "        2'd1: y = 4'd2;\n"
+            "        2'd2: y = 4'd4;\n"
+            "        default: y = 4'd8;\n"
+            "    endcase\nend\nendmodule"
+        )
+        for s, expected in [(0, 1), (1, 2), (2, 4), (3, 8)]:
+            sim.step({"s": s})
+            assert sim.peek("y").to_uint() == expected
+
+    def test_casez_wildcards(self):
+        sim = simulate(
+            "module t (input [3:0] req, output reg [1:0] g);\n"
+            "always @(*) begin\n"
+            "    casez (req)\n"
+            "        4'b1???: g = 2'd3;\n"
+            "        4'b01??: g = 2'd2;\n"
+            "        4'b001?: g = 2'd1;\n"
+            "        default: g = 2'd0;\n"
+            "    endcase\nend\nendmodule"
+        )
+        for req, expected in [(0b1000, 3), (0b0101, 2), (0b0010, 1), (0b0001, 0)]:
+            sim.step({"req": req})
+            assert sim.peek("g").to_uint() == expected
+
+    def test_first_matching_case_arm_wins(self):
+        sim = simulate(
+            "module t (input [1:0] s, output reg y);\n"
+            "always @(*) begin\n"
+            "    casez (s)\n"
+            "        2'b1?: y = 1'b1;\n"
+            "        2'b11: y = 1'b0;\n"
+            "        default: y = 1'b0;\n"
+            "    endcase\nend\nendmodule"
+        )
+        sim.step({"s": 3})
+        assert sim.peek("y").to_uint() == 1
+
+    def test_latch_holds_value(self):
+        sim = simulate(
+            "module t (input en, input d, output reg q);\n"
+            "always @(*) if (en) q = d;\nendmodule"
+        )
+        sim.step({"en": 1, "d": 1})
+        assert sim.peek("q").to_uint() == 1
+        sim.step({"en": 0, "d": 0})
+        assert sim.peek("q").to_uint() == 1  # latched
+
+    def test_chained_comb_propagation(self):
+        sim = simulate(
+            "module t (input [3:0] a, output [3:0] d);\n"
+            "    wire [3:0] b, c;\n"
+            "    assign b = a + 1;\n"
+            "    assign c = b << 1;\n"
+            "    assign d = c ^ 4'hF;\nendmodule"
+        )
+        sim.step({"a": 3})
+        assert sim.peek("d").to_uint() == ((((3 + 1) << 1) & 0xF) ^ 0xF)
+
+    def test_for_loop_popcount(self):
+        sim = simulate(
+            "module t (input [7:0] a, output reg [3:0] n);\n"
+            "integer i;\n"
+            "always @(*) begin\n"
+            "    n = 0;\n"
+            "    for (i = 0; i < 8; i = i + 1) n = n + {3'b0, a[i]};\n"
+            "end\nendmodule"
+        )
+        sim.step({"a": 0xB7})
+        assert sim.peek("n").to_uint() == bin(0xB7).count("1")
+
+    def test_function_call(self):
+        sim = simulate(
+            "module t (input [7:0] a, output [7:0] y);\n"
+            "function [7:0] swap;\n"
+            "    input [7:0] v;\n"
+            "    swap = {v[3:0], v[7:4]};\n"
+            "endfunction\n"
+            "assign y = swap(a);\nendmodule"
+        )
+        sim.step({"a": 0xA5})
+        assert sim.peek("y").to_uint() == 0x5A
+
+    def test_self_feedback_runs_once_per_trigger(self):
+        # Real simulators miss events raised while the process runs.
+        sim = simulate(
+            "module t (input a, output reg x);\n"
+            "always @(*) x = ~x ^ a;\nendmodule"
+        )
+        sim.step({"a": 1})  # must not raise / hang
+
+    def test_x_ring_settles_at_x(self):
+        # A cross-coupled ring with undefined state reaches an x fixpoint.
+        sim = simulate(
+            "module t (input a, output wire y);\n"
+            "    wire p;\n"
+            "    wire q;\n"
+            "    assign p = ~q & a;\n"
+            "    assign q = ~p & a;\n"
+            "    assign y = q;\nendmodule"
+        )
+        sim.step({"a": 1})
+        assert sim.peek("y").has_x
+
+    def test_cross_process_oscillation_detected(self):
+        # A ring whose logic maps x to defined values truly oscillates
+        # (the case default fires for an x subject), and must be caught.
+        sim_src = (
+            "module t (input a, output reg q);\n"
+            "    reg r;\n"
+            "    always @(*) case (q) 1'b0: r = 1'b1; default: r = 1'b0; endcase\n"
+            "    always @(*) q = r;\nendmodule"
+        )
+        with pytest.raises(SimulationError):
+            simulate(sim_src)
+
+    def test_display_logging(self):
+        sim = simulate(
+            "module t (input [3:0] a, output [3:0] y);\n"
+            "    assign y = a;\n"
+            "    initial $display(42);\nendmodule"
+        )
+        assert any("42" in line for line in sim.display_log)
+
+    def test_poke_non_input_rejected(self):
+        sim = simulate("module t (input a, output y); assign y = a; endmodule")
+        with pytest.raises(SimulationError):
+            sim.poke("y", 1)
+
+    def test_peek_unknown_signal(self):
+        sim = simulate("module t (input a, output y); assign y = a; endmodule")
+        with pytest.raises(SimulationError):
+            sim.peek("nope")

@@ -1,0 +1,331 @@
+"""Unit tests for the 4-state LogicVec value system."""
+
+import pytest
+
+from repro.hdl.values import LogicVec
+
+
+class TestConstruction:
+    def test_from_int_masks_to_width(self):
+        assert LogicVec.from_int(0x1FF, 8).to_uint() == 0xFF
+
+    def test_from_int_negative_two_complement(self):
+        assert LogicVec.from_int(-1, 4).to_uint() == 0xF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            LogicVec(0, 0)
+
+    def test_from_bits_parses_x(self):
+        v = LogicVec.from_bits("1x0z")
+        assert v.width == 4
+        assert v.to_bits() == "1x0x"  # z folds into x
+
+    def test_from_bits_underscores_ignored(self):
+        assert LogicVec.from_bits("1010_1010").to_uint() == 0xAA
+
+    def test_from_bits_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LogicVec.from_bits("")
+
+    def test_from_bits_bad_char(self):
+        with pytest.raises(ValueError):
+            LogicVec.from_bits("102")
+
+    def test_all_x(self):
+        v = LogicVec.all_x(5)
+        assert v.has_x and v.xmask == 0b11111
+
+    def test_val_never_overlaps_xmask(self):
+        v = LogicVec(4, 0b1111, 0b0101)
+        assert v.val & v.xmask == 0
+        assert v.to_bits() == "1x1x"
+
+
+class TestInspection:
+    def test_to_uint_rejects_x(self):
+        with pytest.raises(ValueError):
+            LogicVec.from_bits("1x").to_uint()
+
+    def test_to_int_signed(self):
+        assert LogicVec.from_int(0b1000, 4, signed=True).to_int() == -8
+        assert LogicVec.from_int(0b0111, 4, signed=True).to_int() == 7
+
+    def test_bit_out_of_range_is_x(self):
+        v = LogicVec.from_int(3, 2)
+        assert v.bit(5).has_x
+        assert v.bit(-1).has_x
+
+    def test_slice_basic(self):
+        v = LogicVec.from_int(0b110101, 6)
+        assert v.slice(3, 1).to_uint() == 0b010
+
+    def test_slice_out_of_range_bits_are_x(self):
+        v = LogicVec.from_int(0b11, 2)
+        s = v.slice(3, 0)
+        assert s.to_bits() == "xx11"
+
+    def test_slice_bad_bounds(self):
+        with pytest.raises(ValueError):
+            LogicVec.from_int(1, 4).slice(0, 2)
+
+
+class TestResize:
+    def test_zero_extend_unsigned(self):
+        assert LogicVec.from_int(0b10, 2).resize(4).to_bits() == "0010"
+
+    def test_sign_extend_signed(self):
+        v = LogicVec.from_int(0b10, 2, signed=True)
+        assert v.resize(4).to_bits() == "1110"
+
+    def test_x_sign_extends_as_x(self):
+        v = LogicVec.from_bits("x1", signed=True)
+        assert v.resize(4).to_bits() == "xxx1"
+
+    def test_truncate(self):
+        assert LogicVec.from_int(0b1101, 4).resize(2).to_bits() == "01"
+
+    def test_resize_same_width_changes_signedness_only(self):
+        v = LogicVec.from_int(5, 4).resize(4, signed=True)
+        assert v.signed and v.to_uint() == 5
+
+
+class TestBitwise:
+    def test_and_dominance_zero_beats_x(self):
+        a = LogicVec.from_bits("0x")
+        b = LogicVec.from_bits("xx")
+        assert a.bit_and(b).to_bits() == "0x"
+
+    def test_or_dominance_one_beats_x(self):
+        a = LogicVec.from_bits("1x")
+        b = LogicVec.from_bits("xx")
+        assert a.bit_or(b).to_bits() == "1x"
+
+    def test_xor_any_x_is_x(self):
+        a = LogicVec.from_bits("1x")
+        b = LogicVec.from_bits("11")
+        assert a.bit_xor(b).to_bits() == "0x"
+
+    def test_not_preserves_x(self):
+        assert LogicVec.from_bits("1x0").bit_not().to_bits() == "0x1"
+
+    def test_xnor(self):
+        a = LogicVec.from_bits("10")
+        b = LogicVec.from_bits("11")
+        assert a.bit_xnor(b).to_bits() == "10"
+
+    def test_width_coercion(self):
+        a = LogicVec.from_int(0b1, 1)
+        b = LogicVec.from_int(0b1010, 4)
+        assert a.bit_or(b).width == 4
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        a = LogicVec.from_int(255, 8)
+        assert a.add(LogicVec.from_int(2, 8)).to_uint() == 1
+
+    def test_add_with_x_is_all_x(self):
+        a = LogicVec.from_bits("000x")
+        r = a.add(LogicVec.from_int(1, 4))
+        assert r.xmask == 0xF
+
+    def test_sub(self):
+        a = LogicVec.from_int(3, 8)
+        assert a.sub(LogicVec.from_int(5, 8)).to_uint() == 254
+
+    def test_signed_mul(self):
+        a = LogicVec.from_int(-3, 8, signed=True)
+        b = LogicVec.from_int(5, 8, signed=True)
+        assert a.mul(b).as_signed().to_int() == -15
+
+    def test_div_by_zero_is_x(self):
+        a = LogicVec.from_int(7, 4)
+        assert a.div(LogicVec.from_int(0, 4)).has_x
+
+    def test_div_truncates_toward_zero_signed(self):
+        a = LogicVec.from_int(-7, 8, signed=True)
+        b = LogicVec.from_int(2, 8, signed=True)
+        assert a.div(b).as_signed().to_int() == -3
+
+    def test_mod_sign_follows_dividend(self):
+        a = LogicVec.from_int(-7, 8, signed=True)
+        b = LogicVec.from_int(2, 8, signed=True)
+        assert a.mod(b).as_signed().to_int() == -1
+
+    def test_pow(self):
+        a = LogicVec.from_int(3, 8)
+        assert a.pow(LogicVec.from_int(4, 8)).to_uint() == 81
+
+    def test_neg(self):
+        assert LogicVec.from_int(1, 4).neg().to_uint() == 0xF
+
+
+class TestShifts:
+    def test_shl_drops_high_bits(self):
+        v = LogicVec.from_int(0b1001, 4)
+        assert v.shl(LogicVec.from_int(1, 3)).to_bits() == "0010"
+
+    def test_shr_zero_fills(self):
+        v = LogicVec.from_int(0b1000, 4)
+        assert v.shr(LogicVec.from_int(3, 3)).to_bits() == "0001"
+
+    def test_ashr_sign_fills(self):
+        v = LogicVec.from_int(0b1000, 4, signed=True)
+        assert v.ashr(LogicVec.from_int(2, 3)).to_bits() == "1110"
+
+    def test_ashr_unsigned_is_logical(self):
+        v = LogicVec.from_int(0b1000, 4)
+        assert v.ashr(LogicVec.from_int(2, 3)).to_bits() == "0010"
+
+    def test_shift_by_x_is_all_x(self):
+        v = LogicVec.from_int(1, 4)
+        assert v.shl(LogicVec.from_bits("x")).xmask == 0xF
+
+    def test_shift_moves_x_bits(self):
+        v = LogicVec.from_bits("00x1")
+        assert v.shl(LogicVec.from_int(1, 2)).to_bits() == "0x10"
+
+
+class TestComparisons:
+    def test_eq_known(self):
+        a = LogicVec.from_int(5, 4)
+        assert a.eq(LogicVec.from_int(5, 4)).is_true()
+        assert a.eq(LogicVec.from_int(6, 4)).is_false()
+
+    def test_eq_with_x_undecided(self):
+        a = LogicVec.from_bits("1x")
+        b = LogicVec.from_bits("11")
+        assert a.eq(b).has_x
+
+    def test_eq_decided_by_known_conflict(self):
+        # 0x vs 11: bit 1 differs (0 vs 1) regardless of the x.
+        a = LogicVec.from_bits("0x")
+        b = LogicVec.from_bits("11")
+        assert a.eq(b).is_false()
+        assert a.neq(b).is_true()
+
+    def test_case_eq_exact_pattern(self):
+        a = LogicVec.from_bits("1x")
+        assert a.case_eq(LogicVec.from_bits("1x")).is_true()
+        assert a.case_eq(LogicVec.from_bits("11")).is_false()
+
+    def test_relational_unsigned(self):
+        a = LogicVec.from_int(200, 8)
+        b = LogicVec.from_int(100, 8)
+        assert a.gt(b).is_true()
+        assert a.le(b).is_false()
+
+    def test_relational_signed_when_both_signed(self):
+        a = LogicVec.from_int(-1, 8, signed=True)
+        b = LogicVec.from_int(1, 8, signed=True)
+        assert a.lt(b).is_true()
+
+    def test_relational_mixed_signedness_is_unsigned(self):
+        a = LogicVec.from_int(-1, 8, signed=True)  # 255 unsigned
+        b = LogicVec.from_int(1, 8, signed=False)
+        assert a.lt(b).is_false()
+
+    def test_relational_with_x(self):
+        a = LogicVec.from_bits("x1")
+        assert a.lt(LogicVec.from_int(2, 2)).has_x
+
+
+class TestLogical:
+    def test_and_short_circuit_false(self):
+        x = LogicVec.all_x(4)
+        zero = LogicVec.from_int(0, 4)
+        assert zero.logical_and(x).is_false()
+
+    def test_or_short_circuit_true(self):
+        x = LogicVec.all_x(4)
+        one = LogicVec.from_int(2, 4)
+        assert one.logical_or(x).is_true()
+
+    def test_not_x(self):
+        assert LogicVec.all_x(1).logical_not().has_x
+
+    def test_truth_values(self):
+        assert LogicVec.from_int(2, 4).truth().is_true()
+        assert LogicVec.from_int(0, 4).truth().is_false()
+        assert LogicVec.from_bits("x0").truth().has_x
+
+
+class TestReductions:
+    def test_reduce_and(self):
+        assert LogicVec.from_bits("111").reduce_and().is_true()
+        assert LogicVec.from_bits("1x1").reduce_and().has_x
+        assert LogicVec.from_bits("10x").reduce_and().is_false()
+
+    def test_reduce_or(self):
+        assert LogicVec.from_bits("00x").reduce_or().has_x
+        assert LogicVec.from_bits("001").reduce_or().is_true()
+        assert LogicVec.from_bits("000").reduce_or().is_false()
+
+    def test_reduce_xor_parity(self):
+        assert LogicVec.from_bits("1011").reduce_xor().is_true()
+        assert LogicVec.from_bits("1001").reduce_xor().is_false()
+        assert LogicVec.from_bits("1x01").reduce_xor().has_x
+
+    def test_reduce_negated_forms(self):
+        assert LogicVec.from_bits("111").reduce_nand().is_false()
+        assert LogicVec.from_bits("000").reduce_nor().is_true()
+        assert LogicVec.from_bits("11").reduce_xnor().is_true()
+
+
+class TestComposition:
+    def test_concat_msb_first(self):
+        a = LogicVec.from_int(0b10, 2)
+        b = LogicVec.from_int(0b011, 3)
+        assert LogicVec.concat([a, b]).to_bits() == "10011"
+
+    def test_concat_preserves_x(self):
+        a = LogicVec.from_bits("x")
+        b = LogicVec.from_bits("10")
+        assert LogicVec.concat([a, b]).to_bits() == "x10"
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LogicVec.concat([])
+
+    def test_replicate(self):
+        assert LogicVec.from_bits("10").replicate(3).to_bits() == "101010"
+
+    def test_replicate_zero_rejected(self):
+        with pytest.raises(ValueError):
+            LogicVec.from_bits("1").replicate(0)
+
+    def test_set_slice(self):
+        v = LogicVec.from_int(0, 8)
+        out = v.set_slice(5, 2, LogicVec.from_int(0b1111, 4))
+        assert out.to_bits() == "00111100"
+
+    def test_set_slice_with_x(self):
+        v = LogicVec.from_int(0xFF, 8)
+        out = v.set_slice(3, 2, LogicVec.from_bits("x0"))
+        assert out.to_bits() == "1111x011"
+
+
+class TestCaseMatching:
+    def test_casez_item_x_is_dont_care(self):
+        subject = LogicVec.from_bits("101")
+        assert subject.matches_casez(LogicVec.from_bits("1x1"))
+        assert not subject.matches_casez(LogicVec.from_bits("0x1"))
+
+    def test_plain_case_needs_exact(self):
+        subject = LogicVec.from_bits("1x")
+        assert subject.matches_case(LogicVec.from_bits("1x"))
+        assert not subject.matches_case(LogicVec.from_bits("11"))
+
+
+class TestFormatting:
+    def test_format_verilog(self):
+        assert LogicVec.from_int(42, 8).format_verilog() == "8'd42"
+        assert LogicVec.from_bits("1x").format_verilog() == "2'b1x"
+
+    def test_format_display(self):
+        assert LogicVec.from_int(9, 4).format_display() == "9"
+        assert LogicVec.from_bits("1x0").format_display() == "1x0"
+
+    def test_str(self):
+        assert str(LogicVec.from_bits("01")) == "2'b01"

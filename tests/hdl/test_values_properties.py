@@ -1,0 +1,138 @@
+"""Property-based tests: LogicVec must agree with Python integer
+semantics on fully-known values, and preserve structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.values import LogicVec
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def known_pair(draw):
+    """Two fully-known vectors of one width."""
+    width = draw(widths)
+    mask = (1 << width) - 1
+    a = draw(st.integers(min_value=0, max_value=mask))
+    b = draw(st.integers(min_value=0, max_value=mask))
+    return LogicVec.from_int(a, width), LogicVec.from_int(b, width), width
+
+
+@st.composite
+def any_vec(draw):
+    """A vector that may contain x bits."""
+    width = draw(widths)
+    mask = (1 << width) - 1
+    val = draw(st.integers(min_value=0, max_value=mask))
+    xmask = draw(st.integers(min_value=0, max_value=mask))
+    return LogicVec(width, val, xmask)
+
+
+@given(known_pair())
+def test_add_matches_python(pair):
+    a, b, width = pair
+    assert a.add(b).to_uint() == (a.to_uint() + b.to_uint()) & ((1 << width) - 1)
+
+
+@given(known_pair())
+def test_sub_matches_python(pair):
+    a, b, width = pair
+    assert a.sub(b).to_uint() == (a.to_uint() - b.to_uint()) & ((1 << width) - 1)
+
+
+@given(known_pair())
+def test_mul_matches_python(pair):
+    a, b, width = pair
+    assert a.mul(b).to_uint() == (a.to_uint() * b.to_uint()) & ((1 << width) - 1)
+
+
+@given(known_pair())
+def test_bitwise_matches_python(pair):
+    a, b, _ = pair
+    assert a.bit_and(b).to_uint() == a.to_uint() & b.to_uint()
+    assert a.bit_or(b).to_uint() == a.to_uint() | b.to_uint()
+    assert a.bit_xor(b).to_uint() == a.to_uint() ^ b.to_uint()
+
+
+@given(known_pair())
+def test_comparisons_match_python(pair):
+    a, b, _ = pair
+    assert a.lt(b).is_true() == (a.to_uint() < b.to_uint())
+    assert a.ge(b).is_true() == (a.to_uint() >= b.to_uint())
+    assert a.eq(b).is_true() == (a.to_uint() == b.to_uint())
+
+
+@given(known_pair())
+def test_signed_comparisons_match_python(pair):
+    a, b, _ = pair
+    sa, sb = a.as_signed(), b.as_signed()
+    assert sa.lt(sb).is_true() == (sa.to_int() < sb.to_int())
+
+
+@given(any_vec())
+def test_invariant_val_disjoint_from_xmask(v):
+    assert v.val & v.xmask == 0
+
+
+@given(any_vec())
+def test_double_not_is_identity(v):
+    assert v.bit_not().bit_not() == v
+
+
+@given(any_vec())
+def test_to_bits_roundtrip(v):
+    assert LogicVec.from_bits(v.to_bits()) == LogicVec(v.width, v.val, v.xmask)
+
+
+@given(any_vec(), widths)
+def test_resize_then_back_preserves_low_bits(v, new_width):
+    grown = v.resize(v.width + new_width)
+    back = grown.resize(v.width)
+    assert back.val == v.val and back.xmask == v.xmask
+
+
+@given(any_vec(), any_vec())
+def test_concat_slices_back(a, b):
+    joined = LogicVec.concat([a, b])
+    assert joined.width == a.width + b.width
+    hi = joined.slice(joined.width - 1, b.width)
+    lo = joined.slice(b.width - 1, 0)
+    assert (hi.val, hi.xmask) == (a.val, a.xmask)
+    assert (lo.val, lo.xmask) == (b.val, b.xmask)
+
+
+@given(any_vec())
+def test_case_eq_reflexive(v):
+    assert v.case_eq(v).is_true()
+
+
+@given(any_vec(), any_vec())
+def test_and_or_de_morgan(a, b):
+    b = b.resize(a.width) if b.width < a.width else b
+    a2 = a.resize(b.width) if a.width < b.width else a
+    left = a2.bit_and(b).bit_not()
+    right = a2.bit_not().bit_or(b.bit_not())
+    assert left == right
+
+
+@given(any_vec())
+def test_reduce_or_false_means_all_zero(v):
+    if v.reduce_or().is_false():
+        assert v.val == 0 and v.xmask == 0
+
+
+@given(known_pair())
+@settings(max_examples=60)
+def test_shift_matches_python(pair):
+    a, b, width = pair
+    amount = LogicVec.from_int(b.to_uint() % (width + 2), 8)
+    mask = (1 << width) - 1
+    assert a.shl(amount).to_uint() == (a.to_uint() << amount.to_uint()) & mask
+    assert a.shr(amount).to_uint() == a.to_uint() >> amount.to_uint()
+
+
+@given(any_vec())
+def test_truth_trichotomy(v):
+    t = v.truth()
+    assert t.is_true() + t.is_false() + t.has_x == 1

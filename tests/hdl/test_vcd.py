@@ -1,0 +1,82 @@
+"""VCD waveform export."""
+
+import pytest
+
+from repro.evalsets import get_problem, golden_testbench
+from repro.hdl.compile import simulate
+from repro.hdl.vcd import VcdRecorder, _identifier
+from repro.tb.runner import run_testbench
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        assert all(all(33 <= ord(c) <= 126 for c in i) for i in ids)
+
+
+class TestManualRecording:
+    def test_header_and_changes(self):
+        sim = simulate(
+            "module t (input clk, input d, output reg q);\n"
+            "always @(posedge clk) q <= d;\nendmodule"
+        )
+        recorder = VcdRecorder(sim)
+        sim.step({"clk": 0, "d": 1})
+        recorder.snapshot()
+        sim.step({"clk": 1})
+        recorder.snapshot()
+        text = recorder.render()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+        assert "#0" in text and "#10" in text
+
+    def test_only_changes_emitted(self):
+        sim = simulate("module t (input a, output y); assign y = a; endmodule")
+        recorder = VcdRecorder(sim)
+        sim.step({"a": 1})
+        recorder.snapshot()
+        recorder.snapshot()  # no change: no new timestamp section needed
+        text = recorder.render()
+        assert text.count("1!") <= 2  # initial dump only, not repeated
+
+    def test_signal_filter(self):
+        sim = simulate(
+            "module t (input a, output y);\n"
+            "wire mid;\nassign mid = ~a;\nassign y = ~mid;\nendmodule"
+        )
+        recorder = VcdRecorder(sim, signals=["a", "y"])
+        sim.step({"a": 1})
+        recorder.snapshot()
+        text = recorder.render()
+        assert " mid " not in text
+
+    def test_x_values_rendered(self):
+        sim = simulate("module t (input a, output [3:0] y); wire [3:0] w; assign y = w; endmodule")
+        recorder = VcdRecorder(sim, signals=["y"])
+        recorder.snapshot()
+        assert "bxxxx" in recorder.render()
+
+    def test_unbound_recorder_rejects(self):
+        recorder = VcdRecorder.for_runner()
+        with pytest.raises(ValueError):
+            recorder.snapshot()
+        with pytest.raises(ValueError):
+            recorder.render()
+
+
+class TestRunnerIntegration:
+    def test_runner_hook_produces_full_trace(self, tmp_path):
+        problem = get_problem("sq_counter_ud")
+        tb = golden_testbench(problem)
+        recorder = VcdRecorder.for_runner(signals=["count", "clk"])
+        report = run_testbench(
+            problem.golden, tb, problem.top, on_step=recorder.on_step
+        )
+        assert report.passed
+        path = tmp_path / "trace.vcd"
+        recorder.write(path)
+        text = path.read_text()
+        assert text.count("#") >= len(tb.steps)
+        assert "$var wire 8" in text  # count[7:0]

@@ -1,0 +1,54 @@
+"""Genome registry: text-to-fault-content bookkeeping."""
+
+from repro.llm.genome import (
+    CandidateGenome,
+    GenomeRegistry,
+    TestbenchGenome,
+)
+
+
+class TestCandidateGenome:
+    def test_clean(self):
+        genome = CandidateGenome("p1")
+        assert genome.is_clean
+
+    def test_syntax_error_not_clean(self):
+        genome = CandidateGenome("p1", (), "missing semicolon")
+        assert not genome.is_clean
+        assert genome.without_syntax_error().is_clean
+
+    def test_with_faults_preserves_syntax_state(self):
+        genome = CandidateGenome("p1", (), "broken")
+        updated = genome.with_faults(())
+        assert updated.syntax_error == "broken"
+
+
+class TestTestbenchGenome:
+    def test_clean(self):
+        assert TestbenchGenome("p1").is_clean
+        assert not TestbenchGenome("p1", ((0, "q"),)).is_clean
+
+
+class TestRegistry:
+    def test_code_lookup_ignores_whitespace(self):
+        registry = GenomeRegistry()
+        genome = CandidateGenome("p1")
+        registry.remember_code("module m;\n  endmodule\n", genome)
+        assert registry.lookup_code("module m;   endmodule") is genome
+
+    def test_unknown_code(self):
+        assert GenomeRegistry().lookup_code("module x; endmodule") is None
+
+    def test_tb_lookup(self):
+        registry = GenomeRegistry()
+        genome = TestbenchGenome("p1", ((2, "y"),))
+        registry.remember_tb("TESTBENCH comb\nSTEP a=1\n", genome)
+        assert registry.lookup_tb("TESTBENCH comb\n STEP a=1") is genome
+
+    def test_later_registration_wins(self):
+        registry = GenomeRegistry()
+        first = CandidateGenome("p1")
+        second = CandidateGenome("p2")
+        registry.remember_code("same text", first)
+        registry.remember_code("same  text", second)
+        assert registry.lookup_code("same text") is second

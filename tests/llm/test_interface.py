@@ -1,0 +1,78 @@
+"""LLM-agnostic interface layer."""
+
+import pytest
+
+from repro.llm.interface import (
+    HIGH_TEMPERATURE,
+    LOW_TEMPERATURE,
+    ChatMessage,
+    Conversation,
+    SamplingParams,
+    create_llm,
+    register_llm,
+)
+
+
+class TestChatMessage:
+    def test_valid_roles(self):
+        for role in ("system", "user", "assistant"):
+            assert ChatMessage(role, "x").role == role
+
+    def test_invalid_role(self):
+        with pytest.raises(ValueError):
+            ChatMessage("robot", "x")
+
+
+class TestSamplingParams:
+    def test_paper_presets(self):
+        assert LOW_TEMPERATURE.temperature == 0.0
+        assert LOW_TEMPERATURE.top_p == 0.01
+        assert LOW_TEMPERATURE.n == 1
+        assert HIGH_TEMPERATURE.temperature == 0.85
+        assert HIGH_TEMPERATURE.top_p == 0.95
+        assert HIGH_TEMPERATURE.n == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingParams(temperature=-0.1)
+        with pytest.raises(ValueError):
+            SamplingParams(top_p=0.0)
+        with pytest.raises(ValueError):
+            SamplingParams(n=0)
+
+
+class TestConversation:
+    def test_message_ordering(self):
+        conv = Conversation(system_prompt="sys")
+        conv.add_user("q1")
+        conv.add_assistant("a1")
+        conv.add_user("q2")
+        roles = [m.role for m in conv.as_list()]
+        assert roles == ["system", "user", "assistant", "user"]
+
+    def test_turns_excludes_system(self):
+        conv = Conversation(system_prompt="sys")
+        assert conv.turns == 0
+        conv.add_user("q")
+        assert conv.turns == 1
+
+    def test_transcript_chars(self):
+        conv = Conversation(system_prompt="abc")
+        conv.add_user("de")
+        assert conv.transcript_chars() == 5
+
+
+class TestProviderRegistry:
+    def test_custom_provider(self):
+        class Stub:
+            model_name = "stub"
+
+            def complete(self, messages, params):
+                return "ok"
+
+            def sample(self, messages, params):
+                return ["ok"] * params.n
+
+        register_llm("stub-provider", lambda: Stub())
+        llm = create_llm("stub-provider")
+        assert llm.complete([], LOW_TEMPERATURE) == "ok"

@@ -1,0 +1,158 @@
+"""Fault-injection engine: operators, paths, application invariants."""
+
+import numpy as np
+import pytest
+
+from repro.hdl.lint import lint
+from repro.hdl.parser import parse_module
+from repro.hdl.unparse import unparse_module
+from repro.llm.mutation import (
+    apply_faults,
+    collect_sites,
+    corrupt_syntax,
+    declared_widths,
+    node_at,
+    replace_at,
+    sample_faults,
+)
+
+SRC = """
+module demo (input clk, input rst, input [3:0] a, input [3:0] b,
+             output reg [3:0] y, output wire p);
+    assign p = ^a;
+    always @(posedge clk) begin
+        if (rst)
+            y <= 4'd0;
+        else begin
+            case (a[1:0])
+                2'd0: y <= a + b;
+                2'd1: y <= a & b;
+                default: y <= a ^ b;
+            endcase
+        end
+    end
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return parse_module(SRC, "demo")
+
+
+@pytest.fixture(scope="module")
+def sites(demo):
+    return collect_sites(demo)
+
+
+class TestPathInfrastructure:
+    def test_node_at_and_replace_at_invert(self, demo, sites):
+        for site in sites[:20]:
+            assert node_at(demo, site.path) == site.node
+            replaced = replace_at(demo, site.path, site.node)
+            assert unparse_module(replaced) == unparse_module(demo)
+
+    def test_replace_at_none_removes_tuple_entry(self, demo, sites):
+        # Deletion is only defined for tuple members (e.g. Block stmts).
+        tuple_sites = [s for s in sites if s.path[-1][1] is not None]
+        assert tuple_sites, "expected at least one tuple-member site"
+        victim = tuple_sites[0]
+        removed = replace_at(demo, victim.path, None)
+        assert unparse_module(removed) != unparse_module(demo)
+
+
+class TestSiteCollection:
+    def test_sites_found(self, sites):
+        assert len(sites) > 10
+
+    def test_lvalues_not_mutable(self, sites):
+        # No site should be the bare target of an assignment.
+        for site in sites:
+            assert site.path[-1] != ("target", None)
+
+    def test_affected_signals_tracked(self, sites):
+        named = {name for s in sites for name in s.affected}
+        assert "y" in named and "p" in named
+
+    def test_clocked_flag(self, sites):
+        clocked = [s for s in sites if s.in_clocked]
+        assert clocked and all("y" in s.affected for s in clocked)
+
+    def test_declared_widths(self, demo):
+        widths = declared_widths(demo)
+        assert widths["a"] == 4 and widths["p"] == 1 and widths["clk"] == 1
+
+
+class TestSampling:
+    def test_deterministic_given_seed(self, demo, sites):
+        a = sample_faults(demo, 3, np.random.default_rng(7), sites)
+        b = sample_faults(demo, 3, np.random.default_rng(7), sites)
+        assert [f.key() for f in a] == [f.key() for f in b]
+
+    def test_prefix_disjoint_paths(self, demo, sites):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            faults = sample_faults(demo, 4, rng, sites)
+            paths = [f.path for f in faults]
+            for i, p in enumerate(paths):
+                for q in paths[i + 1 :]:
+                    shorter, longer = sorted((p, q), key=len)
+                    assert longer[: len(shorter)] != shorter
+
+    def test_zero_count(self, demo, sites):
+        assert sample_faults(demo, 0, np.random.default_rng(0), sites) == ()
+
+    def test_descriptions_are_informative(self, demo, sites):
+        rng = np.random.default_rng(3)
+        faults = sample_faults(demo, 4, rng, sites)
+        assert all(len(f.description) > 8 for f in faults)
+
+
+class TestApplication:
+    def test_mutants_compile(self, demo, sites):
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            faults = sample_faults(demo, int(rng.integers(1, 4)), rng, sites)
+            source = unparse_module(apply_faults(demo, faults))
+            assert lint(source, "demo").ok, source
+
+    def test_mutants_differ_from_golden(self, demo, sites):
+        rng = np.random.default_rng(5)
+        golden = unparse_module(demo)
+        changed = 0
+        for _ in range(20):
+            faults = sample_faults(demo, 1, rng, sites)
+            if faults:
+                mutated = unparse_module(apply_faults(demo, faults))
+                changed += mutated != golden
+        assert changed >= 18  # operators almost always change the text
+
+    def test_subset_application_removes_bug(self, demo, sites):
+        rng = np.random.default_rng(9)
+        faults = sample_faults(demo, 2, rng, sites)
+        assert len(faults) == 2
+        both = unparse_module(apply_faults(demo, faults))
+        one = unparse_module(apply_faults(demo, faults[:1]))
+        none = unparse_module(apply_faults(demo, ()))
+        assert none == unparse_module(demo)
+        assert both != one != none
+
+    def test_empty_fault_set_is_identity(self, demo):
+        assert unparse_module(apply_faults(demo, ())) == unparse_module(demo)
+
+
+class TestSyntaxCorruption:
+    def test_corruption_breaks_compilation(self):
+        rng = np.random.default_rng(2)
+        broken = 0
+        for _ in range(20):
+            bad, description = corrupt_syntax(SRC, rng)
+            assert description
+            if not lint(bad, "demo").ok:
+                broken += 1
+        assert broken >= 18
+
+    def test_corruption_is_textual(self):
+        rng = np.random.default_rng(4)
+        bad, _ = corrupt_syntax(SRC, rng)
+        assert bad != SRC

@@ -1,0 +1,121 @@
+"""State checkpoints: Eq. 5 earliest mismatch, Eq. 6 window, feedback."""
+
+from repro.tb.checkpoint import (
+    checkpoints_from_report,
+    earliest_mismatch,
+    mismatch_window,
+    render_checkpoint_feedback,
+    render_logonly_feedback,
+)
+from repro.tb.runner import run_testbench
+from repro.tb.stimulus import parse_testbench
+from repro.tb.textlog import render_textlog
+
+COUNTER = """
+module counter (input clk, input rst, input en, output reg [3:0] q);
+    always @(posedge clk) begin
+        if (rst) q <= 0;
+        else if (en) q <= q + 1;
+    end
+endmodule
+"""
+
+TB = parse_testbench(
+    "TESTBENCH clocked clock=clk\nINPUTS rst en\nOUTPUTS q\n"
+    "STEP rst=1 en=0 ; EXPECT q=0\n"
+    "STEP rst=0 en=1 ; EXPECT q=1\n"
+    "STEP ; EXPECT q=2\n"
+    "STEP ; EXPECT q=3\n"
+    "STEP ; EXPECT q=4\n"
+    "STEP ; EXPECT q=5\n"
+)
+
+BUGGY = COUNTER.replace("q <= q + 1;", "q <= q + 2;")
+
+
+def report_for(source):
+    return run_testbench(source, TB)
+
+
+class TestCheckpoints:
+    def test_one_checkpoint_per_checked_step(self):
+        cps = checkpoints_from_report(report_for(COUNTER))
+        assert len(cps) == 6
+        assert all(cp.ok for cp in cps)
+
+    def test_earliest_mismatch_time(self):
+        cp = earliest_mismatch(report_for(BUGGY))
+        assert cp is not None and cp.step == 1  # first enabled increment
+
+    def test_earliest_mismatch_none_on_pass(self):
+        assert earliest_mismatch(report_for(COUNTER)) is None
+
+    def test_mismatching_signals(self):
+        cp = earliest_mismatch(report_for(BUGGY))
+        assert cp.mismatching_signals() == ["q"]
+
+    def test_window_ends_at_first_mismatch(self):
+        window = mismatch_window(report_for(BUGGY), window=2)
+        assert [cp.step for cp in window] == [0, 1]
+        assert window[-1].ok is False
+
+    def test_window_clamps_at_zero(self):
+        window = mismatch_window(report_for(BUGGY), window=50)
+        assert window[0].step == 0
+
+    def test_window_empty_on_pass(self):
+        assert mismatch_window(report_for(COUNTER)) == []
+
+    def test_late_mismatch_window_excludes_old_steps(self):
+        late_bug = COUNTER.replace(
+            "else if (en) q <= q + 1;",
+            "else if (en) begin if (q == 4'd3) q <= 4'd9; else q <= q + 1; end",
+        )
+        window = mismatch_window(report_for(late_bug), window=2)
+        steps = [cp.step for cp in window]
+        assert steps == [steps[-1] - 2, steps[-1] - 1, steps[-1]]
+
+
+class TestFeedbackRendering:
+    def test_checkpoint_feedback_contains_got_expected(self):
+        text = render_checkpoint_feedback(report_for(BUGGY))
+        assert "First mismatch at time" in text
+        assert "Got q=" in text and "expected q=" in text
+        assert "Inputs:" in text
+
+    def test_checkpoint_feedback_on_pass(self):
+        assert "passed" in render_checkpoint_feedback(report_for(COUNTER))
+
+    def test_logonly_feedback_is_aggregate(self):
+        text = render_logonly_feedback(report_for(BUGGY))
+        assert "has" in text and "mismatches" in text
+        assert "Got" not in text  # no per-edge values leak
+
+    def test_error_feedback(self):
+        report = run_testbench("module broken (", TB)
+        assert "SIMULATION ERROR" in render_checkpoint_feedback(report)
+        assert "SIMULATION ERROR" in render_logonly_feedback(report)
+
+
+class TestTextlog:
+    def test_full_log_has_all_rows(self):
+        text = render_textlog(report_for(COUNTER))
+        assert text.count("\n") >= 7  # header + separator + 6 rows
+        assert "q(dut)" in text and "q(exp)" in text
+
+    def test_mismatch_marker(self):
+        text = render_textlog(report_for(BUGGY))
+        assert "MISMATCH" in text and "ok" in text
+
+    def test_step_filter(self):
+        text = render_textlog(report_for(COUNTER), only_steps={0, 1})
+        assert text.count("ok") == 2
+
+    def test_max_rows_truncates(self):
+        text = render_textlog(report_for(COUNTER), max_rows=3)
+        assert "..." in text
+
+    def test_no_records(self):
+        tb = parse_testbench("TESTBENCH comb\nINPUTS a\nOUTPUTS y\nSTEP a=1\n")
+        report = run_testbench("module m (input a, output y); assign y = a; endmodule", tb)
+        assert render_textlog(report) == "no checks were performed"

@@ -1,0 +1,59 @@
+"""Waveform diffing between candidate designs."""
+
+from repro.evalsets import get_problem, golden_testbench
+from repro.tb.diff import diff_waveforms
+from repro.tb.stimulus import parse_testbench
+
+MUX = """
+module mux (input [3:0] a, input [3:0] b, input s, output [3:0] y);
+    assign y = s ? b : a;
+endmodule
+"""
+
+MUX_SWAPPED = MUX.replace("s ? b : a", "s ? a : b")
+
+TB = parse_testbench(
+    "TESTBENCH comb\nINPUTS a b s\nOUTPUTS y\n"
+    "STEP a=1 b=2 s=0 ; EXPECT y=1\n"
+    "STEP s=1 ; EXPECT y=2\n"
+    "STEP a=7 b=7 ; EXPECT y=7\n"
+)
+
+
+class TestDiff:
+    def test_identical_designs(self):
+        diff = diff_waveforms(MUX, MUX, TB)
+        assert diff.identical
+        assert diff.steps_compared == 3
+        assert "identical" in diff.render()
+
+    def test_divergence_located(self):
+        diff = diff_waveforms(MUX, MUX_SWAPPED, TB)
+        assert not diff.identical
+        # Steps 0 and 1 diverge; step 2 (a == b) agrees.
+        assert [d.step for d in diff.divergences] == [0, 1]
+        first = diff.first
+        assert first.signal == "y"
+        assert first.left.to_uint() == 1 and first.right.to_uint() == 2
+
+    def test_render_contains_inputs(self):
+        diff = diff_waveforms(MUX, MUX_SWAPPED, TB)
+        text = diff.render()
+        assert "left=1" in text and "right=2" in text and "s=0" in text
+
+    def test_render_limit(self):
+        diff = diff_waveforms(MUX, MUX_SWAPPED, TB)
+        assert "more" in diff.render(limit=1)
+
+    def test_compile_error_side(self):
+        diff = diff_waveforms(MUX, "module broken (", TB)
+        assert not diff.identical and diff.right_error is not None
+        assert "cannot diff" in diff.render()
+
+    def test_golden_vs_mutant_on_real_problem(self):
+        problem = get_problem("sq_counter_ud")
+        tb = golden_testbench(problem)
+        mutant = problem.golden.replace("count + 8'd1", "count + 8'd2")
+        diff = diff_waveforms(problem.golden, mutant, tb, problem.top)
+        assert not diff.identical
+        assert all(d.signal == "count" for d in diff.divergences)

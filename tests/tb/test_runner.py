@@ -1,0 +1,125 @@
+"""Testbench runner: scoring, don't-cares, failure accounting."""
+
+from repro.tb.runner import run_testbench
+from repro.tb.stimulus import parse_testbench
+
+COUNTER = """
+module counter (input clk, input rst, input en, output reg [3:0] q);
+    always @(posedge clk) begin
+        if (rst) q <= 0;
+        else if (en) q <= q + 1;
+    end
+endmodule
+"""
+
+COUNTER_TB = """
+TESTBENCH clocked clock=clk
+INPUTS rst en
+OUTPUTS q
+STEP rst=1 en=0 ; EXPECT q=0
+STEP rst=0 en=1 ; EXPECT q=1
+STEP ; EXPECT q=2
+STEP en=0 ; EXPECT q=2
+STEP en=1 ; EXPECT q=3
+"""
+
+MUX = """
+module mux (input [3:0] a, input [3:0] b, input s, output [3:0] y);
+    assign y = s ? b : a;
+endmodule
+"""
+
+
+class TestScoring:
+    def test_correct_design_scores_one(self):
+        report = run_testbench(COUNTER, parse_testbench(COUNTER_TB))
+        assert report.passed and report.score == 1.0
+        assert report.total_checks == 5 and report.mismatches == 0
+
+    def test_buggy_design_counts_mismatches(self):
+        buggy = COUNTER.replace("else if (en) q <= q + 1;", "else q <= q + 1;")
+        report = run_testbench(buggy, parse_testbench(COUNTER_TB))
+        assert not report.passed
+        assert report.mismatches == 2  # the two en=0-sensitive checks
+        assert abs(report.score - (1 - 2 / 5)) < 1e-9
+
+    def test_first_mismatch_is_earliest(self):
+        buggy = COUNTER.replace("q <= q + 1;", "q <= q + 2;")
+        report = run_testbench(buggy, parse_testbench(COUNTER_TB))
+        first = report.first_mismatch
+        assert first is not None and first.step == 1
+
+    def test_mismatch_signals_breakdown(self):
+        buggy = COUNTER.replace("q <= q + 1;", "q <= q + 2;")
+        report = run_testbench(buggy, parse_testbench(COUNTER_TB))
+        assert set(report.mismatch_signals()) == {"q"}
+
+    def test_records_capture_inputs(self):
+        report = run_testbench(COUNTER, parse_testbench(COUNTER_TB))
+        assert report.records[1].inputs == {"rst": 0, "en": 1}
+
+
+class TestErrorHandling:
+    def test_compile_error_scores_zero(self):
+        report = run_testbench("module broken (", parse_testbench(COUNTER_TB))
+        assert report.error is not None
+        assert report.score == 0.0 and not report.passed
+        assert report.total_checks >= 1
+
+    def test_elaboration_error_scores_zero(self):
+        src = "module counter (input clk, output [3:0] q); assign q = ghost; endmodule"
+        report = run_testbench(src, parse_testbench(COUNTER_TB))
+        assert report.error is not None and "ghost" in report.error
+
+    def test_unknown_output_counts_as_mismatch(self):
+        tb = parse_testbench(
+            "TESTBENCH comb\nINPUTS a b s\nOUTPUTS nope\nSTEP a=1 b=2 s=0 ; EXPECT nope=1\n"
+        )
+        report = run_testbench(MUX, tb)
+        assert report.mismatches == 1
+
+    def test_unknown_input_ignored(self):
+        tb = parse_testbench(
+            "TESTBENCH comb\nINPUTS a b s ghost\nOUTPUTS y\n"
+            "STEP a=5 b=9 s=1 ghost=1 ; EXPECT y=9\n"
+        )
+        report = run_testbench(MUX, tb)
+        assert report.passed
+
+
+class TestDontCares:
+    def test_x_bits_ignore_mismatch(self):
+        tb = parse_testbench(
+            "TESTBENCH comb\nINPUTS a b s\nOUTPUTS y\n"
+            "STEP a=0b0101 b=0 s=0 ; EXPECT y=0xxx\n"
+        )
+        assert run_testbench(MUX, tb).passed
+
+    def test_x_output_fails_concrete_expectation(self):
+        src = "module m (input a, output [1:0] y); assign y[0] = a; endmodule"
+        tb = parse_testbench(
+            "TESTBENCH comb\nINPUTS a\nOUTPUTS y\nSTEP a=1 ; EXPECT y=0b11\n"
+        )
+        report = run_testbench(src, tb)  # y[1] undriven -> x
+        assert not report.passed
+
+    def test_x_output_passes_when_bit_dont_care(self):
+        src = "module m (input a, output [1:0] y); assign y[0] = a; endmodule"
+        tb = parse_testbench(
+            "TESTBENCH comb\nINPUTS a\nOUTPUTS y\nSTEP a=1 ; EXPECT y=x1\n"
+        )
+        assert run_testbench(src, tb).passed
+
+
+class TestClockedProtocol:
+    def test_checks_observe_post_edge_state(self):
+        report = run_testbench(COUNTER, parse_testbench(COUNTER_TB))
+        # Step 1 expects q=1: the increment from the first enabled edge.
+        assert report.records[1].ok
+
+    def test_comb_testbench_on_comb_design(self):
+        tb = parse_testbench(
+            "TESTBENCH comb\nINPUTS a b s\nOUTPUTS y\n"
+            "STEP a=3 b=12 s=0 ; EXPECT y=3\nSTEP s=1 ; EXPECT y=12\n"
+        )
+        assert run_testbench(MUX, tb).passed

@@ -1,0 +1,106 @@
+"""Testbench DSL: parsing, rendering, validation."""
+
+import pytest
+
+from repro.hdl.values import LogicVec
+from repro.tb.stimulus import (
+    TbStep,
+    Testbench,
+    TestbenchFormatError,
+    parse_testbench,
+    render_testbench,
+)
+
+BASIC = """
+TESTBENCH clocked clock=clk
+INPUTS rst en
+OUTPUTS q carry
+STEP rst=1 en=0 ; EXPECT q=0 carry=0
+STEP rst=0 en=1 ; EXPECT q=1
+STEP ; EXPECT q=2 carry=x
+STEP en=0
+"""
+
+
+class TestParsing:
+    def test_basic_structure(self):
+        tb = parse_testbench(BASIC)
+        assert tb.kind == "clocked" and tb.clock == "clk"
+        assert tb.inputs == ("rst", "en")
+        assert tb.outputs == ("q", "carry")
+        assert len(tb.steps) == 4
+
+    def test_sparse_inputs(self):
+        tb = parse_testbench(BASIC)
+        assert tb.steps[2].inputs == {}
+        assert tb.steps[3].inputs == {"en": 0}
+
+    def test_whole_signal_dont_care_dropped(self):
+        tb = parse_testbench(BASIC)
+        assert "carry" not in tb.steps[2].checks
+
+    def test_hex_and_binary_values(self):
+        tb = parse_testbench(
+            "TESTBENCH comb\nINPUTS a\nOUTPUTS y\nSTEP a=0xFF ; EXPECT y=0b101\n"
+        )
+        assert tb.steps[0].inputs["a"] == 255
+        assert tb.steps[0].checks["y"].to_uint() == 5
+
+    def test_x_bits_in_expectation(self):
+        tb = parse_testbench(
+            "TESTBENCH comb\nINPUTS a\nOUTPUTS y\nSTEP a=1 ; EXPECT y=1x0\n"
+        )
+        assert tb.steps[0].checks["y"].to_bits() == "1x0"
+
+    def test_comments_ignored(self):
+        tb = parse_testbench("# hello\n" + BASIC + "# trailing\n")
+        assert len(tb.steps) == 4
+
+    def test_total_checks(self):
+        assert parse_testbench(BASIC).total_checks == 4  # q*3 + carry*1
+
+    def test_missing_header(self):
+        with pytest.raises(TestbenchFormatError):
+            parse_testbench("INPUTS a\nSTEP a=1\n")
+
+    def test_bad_directive(self):
+        with pytest.raises(TestbenchFormatError):
+            parse_testbench("TESTBENCH comb\nBOGUS x\n")
+
+    def test_bad_drive_token(self):
+        with pytest.raises(TestbenchFormatError):
+            parse_testbench("TESTBENCH comb\nINPUTS a\nSTEP a\n")
+
+    def test_bad_expect_keyword(self):
+        with pytest.raises(TestbenchFormatError):
+            parse_testbench("TESTBENCH comb\nINPUTS a\nSTEP a=1 ; WANT y=1\n")
+
+
+class TestRendering:
+    def test_roundtrip(self):
+        tb = parse_testbench(BASIC)
+        assert parse_testbench(render_testbench(tb)) == tb
+
+    def test_renders_x_patterns(self):
+        tb = Testbench(
+            kind="comb",
+            inputs=("a",),
+            outputs=("y",),
+            steps=(TbStep({"a": 1}, {"y": LogicVec.from_bits("1x")}),),
+        )
+        assert "y=1x" in render_testbench(tb)
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Testbench(kind="sortof", inputs=(), outputs=(), steps=())
+
+    def test_clocked_requires_clock(self):
+        with pytest.raises(ValueError):
+            Testbench(kind="clocked", inputs=(), outputs=(), steps=())
+
+    def test_with_steps_preserves_metadata(self):
+        tb = parse_testbench(BASIC)
+        trimmed = tb.with_steps(tb.steps[:2])
+        assert trimmed.clock == "clk" and len(trimmed.steps) == 2

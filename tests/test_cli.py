@@ -1,0 +1,52 @@
+"""CLI smoke tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_problems_lists_all(self, capsys):
+        assert main(["problems"]) == 0
+        out = capsys.readouterr().out
+        assert "cb_kmap_mux" in out and "me_fifo4" in out
+
+    def test_lint_clean_file(self, tmp_path, capsys):
+        path = tmp_path / "ok.v"
+        path.write_text("module m (input a, output y); assign y = a; endmodule\n")
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_broken_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.v"
+        path.write_text("module m (input a, output y); assign y = b; endmodule\n")
+        assert main(["lint", str(path)]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_tb_run_with_vcd(self, tmp_path, capsys):
+        design = tmp_path / "mux.v"
+        design.write_text(
+            "module mux (input [3:0] a, input [3:0] b, input s, "
+            "output [3:0] y); assign y = s ? b : a; endmodule\n"
+        )
+        bench = tmp_path / "mux.tb"
+        bench.write_text(
+            "TESTBENCH comb\nINPUTS a b s\nOUTPUTS y\n"
+            "STEP a=3 b=12 s=0 ; EXPECT y=3\nSTEP s=1 ; EXPECT y=12\n"
+        )
+        vcd = tmp_path / "mux.vcd"
+        assert main(["tb", str(design), str(bench), "--vcd", str(vcd)]) == 0
+        assert "score 1.000" in capsys.readouterr().out
+        assert vcd.read_text().startswith("$date")
+
+    def test_solve_easy_problem(self, capsys):
+        assert main(["solve", "cb_and_or_gate", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "golden testbench: PASS" in out
+
+    def test_eval_unknown_system(self, capsys):
+        assert main(["eval", "martian"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
