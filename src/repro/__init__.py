@@ -20,7 +20,9 @@ Packages:
 - ``repro.core`` -- the five-step MAGE engine;
 - ``repro.evalsets`` -- VerilogEval-style problem suites;
 - ``repro.baselines`` -- Table II comparison systems;
-- ``repro.evaluation`` -- pass@k, harness, ablations, figure data.
+- ``repro.evaluation`` -- pass@k, harness, ablations, figure data;
+- ``repro.runtime`` -- parallel executors, content-addressed simulation
+  cache, batch evaluation over the ``problems x runs`` grid.
 """
 
 from repro.core.config import MAGEConfig

@@ -13,7 +13,8 @@ from repro.agents.base import Agent
 from repro.agents.messages import ScoreMessage, SpecMessage, VerdictMessage
 from repro.core.task import DesignTask
 from repro.llm.interface import SamplingParams
-from repro.tb.runner import TestReport, run_testbench
+from repro.runtime.cache import cached_run_testbench
+from repro.tb.runner import TestReport
 from repro.tb.stimulus import Testbench
 
 
@@ -26,8 +27,14 @@ class JudgeAgent(Agent):
     )
 
     def score(self, source: str, testbench: Testbench, top: str) -> TestReport:
-        """Run one candidate against the optimized testbench (tool call)."""
-        return run_testbench(source, testbench, top)
+        """Run one candidate against the optimized testbench (tool call).
+
+        Simulation is deterministic, so identical (source, testbench,
+        top) triples are served from the runtime's content-addressed
+        cache -- re-scored debug candidates and duplicate samples cost
+        nothing.
+        """
+        return cached_run_testbench(source, testbench, top)
 
     def rank(
         self, scored: list[tuple[str, TestReport]], k: int

@@ -1,8 +1,16 @@
-"""Named systems matching the rows of the paper's Table II."""
+"""Named systems matching the rows of the paper's Table II.
+
+Factories are :func:`functools.partial` objects over module-level
+classes (never lambdas) so they cross process boundaries: the runtime's
+:class:`~repro.runtime.executor.ProcessExecutor` can ship any registered
+system to worker processes.  :func:`evaluate_registered` is the registry
+front door onto the batch evaluation API.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Protocol
 
 from repro.baselines.single_agent import SelfReflection
@@ -87,7 +95,7 @@ _register(
         table_label="GPT-4o",
         system_type="generic-llm",
         model_label="GPT-4o",
-        factory=lambda: VanillaLLM("gpt-4o", _low()),
+        factory=partial(VanillaLLM, "gpt-4o", _low()),
         paper_v1=51.3,
     )
 )
@@ -97,7 +105,7 @@ _register(
         table_label="Claude 3.5 Sonnet 2024-10-22",
         system_type="generic-llm",
         model_label="Claude 3.5 Sonnet",
-        factory=lambda: VanillaLLM("claude-3.5-sonnet", _low()),
+        factory=partial(VanillaLLM, "claude-3.5-sonnet", _low()),
         paper_v1=75.0,
         paper_v2=72.4,
     )
@@ -108,7 +116,7 @@ _register(
         table_label="ITERTL",
         system_type="rtl-llm",
         model_label="ITERTL (fine-tuned)",
-        factory=lambda: VanillaLLM("itertl-ft", _low()),
+        factory=partial(VanillaLLM, "itertl-ft", _low()),
         paper_v1=42.9,
     )
 )
@@ -118,7 +126,7 @@ _register(
         table_label="CodeV",
         system_type="rtl-llm",
         model_label="CodeV (fine-tuned)",
-        factory=lambda: VanillaLLM("codev-ft", _low()),
+        factory=partial(VanillaLLM, "codev-ft", _low()),
         paper_v1=53.2,
     )
 )
@@ -128,7 +136,7 @@ _register(
         table_label="OriGen",
         system_type="agent-open",
         model_label="DeepSeek-Coder-7B + LoRA",
-        factory=lambda: SelfReflection("deepseek-coder-7b-lora"),
+        factory=partial(SelfReflection, "deepseek-coder-7b-lora"),
         paper_v1=54.4,
     )
 )
@@ -138,7 +146,7 @@ _register(
         table_label="VeriAssist",
         system_type="agent-closed",
         model_label="GPT-4",
-        factory=lambda: SelfReflection("gpt-4", rounds=3),
+        factory=partial(SelfReflection, "gpt-4", rounds=3),
         paper_v1=50.5,
     )
 )
@@ -148,7 +156,7 @@ _register(
         table_label="AutoVCoder",
         system_type="agent-closed",
         model_label="CodeQwen1.5-7B",
-        factory=lambda: SelfReflection("codeqwen-1.5-7b", rounds=3),
+        factory=partial(SelfReflection, "codeqwen-1.5-7b", rounds=3),
         paper_v1=48.5,
     )
 )
@@ -158,7 +166,7 @@ _register(
         table_label="VerilogCoder",
         system_type="agent-closed",
         model_label="GPT-4 Turbo",
-        factory=lambda: VerilogCoderStyle("gpt-4-turbo"),
+        factory=partial(VerilogCoderStyle, "gpt-4-turbo"),
         paper_v2=94.2,
     )
 )
@@ -168,7 +176,7 @@ _register(
         table_label="AIVRIL",
         system_type="agent-closed",
         model_label="Claude 3.5 Sonnet",
-        factory=lambda: TwoAgentSystem("claude-3.5-sonnet"),
+        factory=partial(TwoAgentSystem, "claude-3.5-sonnet"),
         paper_v1=64.7,
     )
 )
@@ -178,7 +186,7 @@ _register(
         table_label="MAGE (ours)",
         system_type="mage",
         model_label="Claude 3.5 Sonnet",
-        factory=lambda: MAGESystem(MAGEConfig.high_temperature()),
+        factory=partial(MAGESystem, MAGEConfig.high_temperature()),
         paper_v1=94.8,
         paper_v2=95.7,
     )
@@ -195,3 +203,35 @@ def create_system(key: str) -> RTLSystem:
             f"unknown system {key!r}; known: {', '.join(system_names())}"
         )
     return SYSTEMS[key].factory()
+
+
+def evaluate_registered(
+    key: str,
+    suite: str = "verilogeval-v2",
+    runs: int = 1,
+    seed0: int = 0,
+    executor=None,
+    cache=None,
+    progress=None,
+):
+    """Evaluate a registered system through the batch runtime API.
+
+    Returns ``(EvalResult, BatchReport)`` -- the Table II row plus the
+    throughput/cache statistics of the run.
+    """
+    from repro.runtime.batch import evaluate_many
+
+    if key not in SYSTEMS:
+        raise KeyError(
+            f"unknown system {key!r}; known: {', '.join(system_names())}"
+        )
+    spec = SYSTEMS[key]
+    return evaluate_many(
+        spec.factory,
+        suite,
+        runs=runs,
+        seed0=seed0,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+    )

@@ -5,8 +5,15 @@ Commands:
 - ``problems``                    list the benchmark problems
 - ``solve <problem_id>``          run MAGE on one problem
 - ``eval <system> <suite>``       evaluate a registered system
+- ``bench <system> <suite>``      benchmark the runtime (speedup, cache)
 - ``lint <file.v>``               lint a Verilog file
 - ``tb <file.v> <bench.tb>``      run a testbench against a design
+
+``eval`` and ``bench`` accept ``--jobs N`` (parallel workers; results
+are bit-identical at any worker count for fixed seeds) and
+``--cache/--no-cache`` (content-addressed simulation memoization).
+``eval --runs`` defaults to the ``REPRO_EVAL_RUNS`` environment
+override, falling back to 1.
 """
 
 from __future__ import annotations
@@ -48,24 +55,134 @@ def _cmd_solve(args) -> int:
     return 0 if golden.passed else 1
 
 
+def _choose_problems(suite: str, limit: int | None):
+    if limit is None:
+        return None
+    from repro.evalsets.suites import get_suite
+
+    return get_suite(suite)[:limit]
+
+
 def _cmd_eval(args) -> int:
     from repro.baselines.registry import SYSTEMS, system_names
-    from repro.evaluation.harness import evaluate_system
+    from repro.evaluation.harness import default_runs
+    from repro.runtime import create_executor, evaluate_many
 
     if args.system not in SYSTEMS:
         print(f"unknown system; choose from: {', '.join(system_names())}")
         return 2
     spec = SYSTEMS[args.system]
-    result = evaluate_system(
-        spec.factory,
-        args.suite,
-        runs=args.runs,
-        progress=(lambda line: print("  " + line)) if args.verbose else None,
-    )
-    print(result.render_row())
-    if result.failures():
-        print("failures:", ", ".join(result.failures()))
+    runs = args.runs if args.runs is not None else default_runs(1)
+    try:
+        executor = create_executor(jobs=args.jobs, kind=args.executor)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    try:
+        result, report = evaluate_many(
+            spec.factory,
+            args.suite,
+            runs=runs,
+            seed0=args.seed0,
+            problems=_choose_problems(args.suite, args.limit),
+            executor=executor,
+            cache=args.cache,
+            progress=(lambda line: print("  " + line)) if args.verbose else None,
+        )
+        print(result.render_row())
+        if args.verbose:
+            print(report.render())
+        if result.failures():
+            print("failures:", ", ".join(result.failures()))
+    except (KeyError, ValueError) as exc:
+        # Bad suite name, zero runs, an empty problem slice, ...
+        print(f"error: {exc}")
+        return 2
+    finally:
+        executor.shutdown()
     return 0
+
+
+def _cmd_bench(args) -> int:
+    """Benchmark the runtime on a repeated-runs workload.
+
+    Pass 1 is the cold baseline (serial, empty cache); every later pass
+    reuses the warmed cache on ``--jobs`` workers.  Reports per-pass
+    wall-clock, simulations/second, cache hit-rate, and the end-to-end
+    speedup -- and verifies that every pass reproduced the baseline
+    Pass@1 exactly.
+    """
+    from repro.baselines.registry import SYSTEMS, system_names
+    from repro.runtime import SerialExecutor, SimulationCache, create_executor
+    from repro.runtime.batch import evaluate_many
+
+    if args.system not in SYSTEMS:
+        print(f"unknown system; choose from: {', '.join(system_names())}")
+        return 2
+    spec = SYSTEMS[args.system]
+    try:
+        problems = _choose_problems(args.suite, args.limit)
+    except KeyError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.repeat < 2:
+        print("error: --repeat must be >= 2 (pass 1 is the cold baseline)")
+        return 2
+    try:
+        warm_executor = create_executor(jobs=args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    cache_dir = args.cache_dir
+    if args.cache and cache_dir is None and warm_executor.kind == "process":
+        # Process workers can't see the parent's in-memory cache; the
+        # disk layer is the only cross-process medium for warm passes.
+        import tempfile
+
+        cache_dir = tempfile.mkdtemp(prefix="repro-simcache-")
+        print(f"note: process executor; sharing the cache via {cache_dir}")
+    cache = SimulationCache(cache_dir) if args.cache else False
+    passes = []
+    deterministic = True
+    try:
+        for index in range(args.repeat):
+            cold = index == 0
+            executor = SerialExecutor() if cold else warm_executor
+            try:
+                result, report = evaluate_many(
+                    spec.factory,
+                    args.suite,
+                    runs=args.runs,
+                    seed0=args.seed0,
+                    problems=problems,
+                    executor=executor,
+                    cache=cache,
+                )
+            except (KeyError, ValueError) as exc:
+                print(f"error: {exc}")
+                return 2
+            passes.append((result, report))
+            if result.outcomes != passes[0][0].outcomes:
+                deterministic = False
+            label = "cold serial" if cold else f"warm {report.executor}"
+            print(
+                f"pass {index + 1} ({label:>16s}): "
+                f"{report.wall_seconds:7.2f} s  "
+                f"{report.sims_per_second:7.1f} sims/s  "
+                f"hit-rate {100.0 * report.cache.hit_rate:5.1f}%"
+            )
+    finally:
+        warm_executor.shutdown()
+    first, last = passes[0][1], passes[-1][1]
+    speedup = (
+        first.wall_seconds / last.wall_seconds if last.wall_seconds > 0 else 0.0
+    )
+    print()
+    print(passes[-1][0].render_row())
+    print(last.render())
+    print(f"speedup         {speedup:8.2f}x  (pass 1 vs pass {len(passes)})")
+    print(f"deterministic   {'yes' if deterministic else 'NO -- MISMATCH'}")
+    return 0 if deterministic else 1
 
 
 def _cmd_lint(args) -> int:
@@ -122,9 +239,69 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser("eval", help="evaluate a system on a suite")
     evaluate.add_argument("system")
     evaluate.add_argument("suite", nargs="?", default="verilogeval-v2")
-    evaluate.add_argument("--runs", type=int, default=1)
+    evaluate.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="evaluation runs per problem (default: $REPRO_EVAL_RUNS or 1)",
+    )
+    evaluate.add_argument(
+        "--seed0", type=int, default=0, help="base seed; run r uses seed0+r"
+    )
+    evaluate.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel workers (default: $REPRO_JOBS or 1)",
+    )
+    evaluate.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default=None,
+        help="execution backend (default: $REPRO_EXECUTOR or auto)",
+    )
+    evaluate.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="content-addressed simulation cache (default: on)",
+    )
+    evaluate.add_argument(
+        "--limit", type=int, default=None, help="use only the first N problems"
+    )
     evaluate.add_argument("--verbose", action="store_true")
     evaluate.set_defaults(fn=_cmd_eval)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark runtime throughput and cache on a workload"
+    )
+    bench.add_argument("system")
+    bench.add_argument("suite", nargs="?", default="verilogeval-v2")
+    bench.add_argument("--runs", type=int, default=2)
+    bench.add_argument("--seed0", type=int, default=0)
+    bench.add_argument(
+        "--jobs", type=int, default=None, help="workers for the warm passes"
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="total passes over the workload, at least 2 "
+        "(pass 1 is the cold baseline)",
+    )
+    bench.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="simulation cache shared across passes",
+    )
+    bench.add_argument(
+        "--cache-dir", default=None, help="optional on-disk cache directory"
+    )
+    bench.add_argument(
+        "--limit", type=int, default=None, help="use only the first N problems"
+    )
+    bench.set_defaults(fn=_cmd_bench)
 
     lint_cmd = sub.add_parser("lint", help="lint a Verilog file")
     lint_cmd.add_argument("file")

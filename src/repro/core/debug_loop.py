@@ -16,6 +16,7 @@ from repro.agents.judge_agent import JudgeAgent
 from repro.core.config import MAGEConfig
 from repro.core.scoring import ScoredCandidate, best_candidate, better
 from repro.core.task import DesignTask
+from repro.runtime.context import get_runtime
 from repro.tb.stimulus import Testbench
 
 
@@ -45,10 +46,12 @@ def debug_candidates(
     for _round in range(config.debug_iterations):
         if any(c.passed for c in outcome.survivors):
             break
-        updated: list[ScoredCandidate] = []
-        for incumbent in outcome.survivors:
+        # Phase 1 (serial): draw one debug trial per active incumbent.
+        # LLM-call ordering is part of the reproducibility contract, so
+        # the trials themselves are never reordered by worker count.
+        trials: list[tuple[int, str]] = []
+        for index, incumbent in enumerate(outcome.survivors):
             if incumbent.passed or incumbent.report.error is not None:
-                updated.append(incumbent)
                 continue
             trial_source = debug_agent.debug(
                 task,
@@ -58,10 +61,17 @@ def debug_candidates(
                 use_checkpoints=config.use_checkpoints,
                 window=config.checkpoint_window,
             )
-            trial = ScoredCandidate(
-                trial_source, judge.score(trial_source, testbench, task.top)
-            )
-            updated.append(better(incumbent, trial))
+            trials.append((index, trial_source))
+        # Phase 2 (parallel): score the trials -- pure simulation, fanned
+        # across the runtime executor with input-order results.
+        reports = get_runtime().executor.map(
+            lambda source: judge.score(source, testbench, task.top),
+            [source for _, source in trials],
+        )
+        updated = list(outcome.survivors)
+        for (index, trial_source), report in zip(trials, reports):
+            trial = ScoredCandidate(trial_source, report)
+            updated[index] = better(outcome.survivors[index], trial)
         outcome.survivors = updated
         outcome.round_scores.append([c.score for c in outcome.survivors])
     return outcome

@@ -16,6 +16,7 @@ from repro.agents.rtl_agent import RTLAgent
 from repro.core.config import MAGEConfig
 from repro.core.scoring import ScoredCandidate, select_top_k
 from repro.core.task import DesignTask
+from repro.runtime.context import get_runtime
 from repro.tb.stimulus import Testbench
 
 
@@ -57,8 +58,13 @@ def sample_and_rank(
         sources = rtl_agent.sample_candidates(
             task, tb_text, config.generation, count
         )
-        for source in sources:
-            report = judge.score(source, testbench, task.top)
+        # Scoring is pure simulation (no LLM calls, no shared state), so
+        # it fans out across the runtime executor; results come back in
+        # source order, keeping the ranking bit-identical to serial.
+        reports = get_runtime().executor.map(
+            lambda source: judge.score(source, testbench, task.top), sources
+        )
+        for source, report in zip(sources, reports):
             outcome.candidates.append(ScoredCandidate(source, report))
     outcome.selected = select_top_k(outcome.candidates, config.top_k)
     return outcome

@@ -165,7 +165,13 @@ def derive_testbench(
         clock=clock,
         name=name,
     )
-    report = run_testbench(source, probe, top)
+    # Probing is a deterministic simulation of a fixed source, so it is
+    # served by the runtime's content-addressed cache; testbench agents
+    # re-deriving expectations for the same design pay only once.
+    # (Imported lazily: repro.runtime.batch imports this module.)
+    from repro.runtime.cache import cached_run_testbench
+
+    report = cached_run_testbench(source, probe, top)
     if report.error is not None:
         raise RuntimeError(
             f"golden design failed to simulate for {name}: {report.error}"

@@ -15,21 +15,29 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 from repro.core.config import MAGEConfig
 from repro.core.engine import MAGE
 from repro.core.task import DesignTask
-from repro.evalsets.problem import Problem, golden_testbench
-from repro.evalsets.suites import get_suite
+from repro.evalsets.problem import Problem
 from repro.evaluation.metrics import mean_pass_at_k, pass_at_k
-from repro.tb.runner import run_testbench
 
 
 def default_runs(fallback: int = 3) -> int:
-    """Run count for sampled (nondeterministic) settings."""
+    """Run count for sampled (nondeterministic) settings.
+
+    A malformed ``REPRO_EVAL_RUNS`` falls back rather than raising,
+    matching how the runtime treats its env knobs.
+    """
     value = os.environ.get("REPRO_EVAL_RUNS")
-    return int(value) if value else fallback
+    if not value:
+        return fallback
+    try:
+        return int(value)
+    except ValueError:
+        return fallback
 
 
 @dataclass
@@ -77,32 +85,55 @@ def evaluate_system(
     seed0: int = 0,
     problems: list[Problem] | None = None,
     progress: Callable[[str], None] | None = None,
+    name: str | None = None,
+    executor=None,
+    cache=None,
 ) -> EvalResult:
     """Evaluate ``system_factory()`` instances over a suite.
 
     A fresh system instance per run keeps conversation histories
     independent across runs, as separate API sessions would be.
+
+    Execution routes through :func:`repro.runtime.batch.evaluate_many`:
+    the ``problems x runs`` grid fans out across the ambient runtime's
+    executor (or an explicit ``executor``), with results reassembled in
+    deterministic grid order -- Pass@1 is identical at any worker count.
+
+    ``name`` labels the result directly; without it, one throwaway
+    ``system_factory()`` instance is built just to read ``.name``.
+    ``cache`` overrides the ambient simulation-cache choice
+    (:class:`~repro.runtime.cache.SimulationCache`, ``True``/``False``,
+    or ``None`` to inherit).
     """
-    chosen = problems if problems is not None else get_suite(suite)
-    name = system_factory().name
-    result = EvalResult(system=name, suite=suite)
-    for problem in chosen:
-        outcome = ProblemOutcome(problem.id, problem.difficulty)
-        golden_tb = golden_testbench(problem)
-        task = DesignTask.from_problem(problem)
-        for run in range(runs):
-            system = system_factory()
-            source = system.solve(task, seed=seed0 + run)
-            report = run_testbench(source, golden_tb, problem.top)
-            outcome.runs += 1
-            outcome.passes += int(report.passed)
-            outcome.scores.append(report.score)
-        result.outcomes.append(outcome)
-        if progress is not None:
-            progress(
-                f"{name} {problem.id}: {outcome.passes}/{outcome.runs} passed"
-            )
+    from repro.runtime.batch import evaluate_many
+
+    result, _report = evaluate_many(
+        system_factory,
+        suite,
+        runs=runs,
+        seed0=seed0,
+        problems=problems,
+        name=name,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+    )
     return result
+
+
+class _MageSystem:
+    """MAGE behind the harness interface (module-level, so picklable)."""
+
+    def __init__(self, config: MAGEConfig) -> None:
+        self.config = config
+        self.name = _mage_name(config)
+
+    def solve(self, task: DesignTask, seed: int = 0) -> str:
+        return MAGE(self.config).solve(task, seed=seed).source
+
+
+def _mage_name(config: MAGEConfig) -> str:
+    return f"mage[{config.model},T={config.generation.temperature}]"
 
 
 def evaluate_mage(
@@ -112,15 +143,18 @@ def evaluate_mage(
     seed0: int = 0,
     problems: list[Problem] | None = None,
     progress: Callable[[str], None] | None = None,
+    executor=None,
+    cache=None,
 ) -> EvalResult:
     """Evaluate a MAGE configuration (convenience wrapper)."""
-
-    class _System:
-        def __init__(self) -> None:
-            temp = config.generation.temperature
-            self.name = f"mage[{config.model},T={temp}]"
-
-        def solve(self, task: DesignTask, seed: int = 0) -> str:
-            return MAGE(config).solve(task, seed=seed).source
-
-    return evaluate_system(_System, suite, runs, seed0, problems, progress)
+    return evaluate_system(
+        partial(_MageSystem, config),
+        suite,
+        runs,
+        seed0,
+        problems,
+        progress,
+        name=_mage_name(config),
+        executor=executor,
+        cache=cache,
+    )

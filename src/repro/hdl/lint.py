@@ -19,6 +19,7 @@ warnings
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.hdl import ast_nodes as ast
 from repro.hdl.compile import compile_design
@@ -74,7 +75,27 @@ def lint(
     A failed parse/elaboration yields a single-error report with
     ``design`` left as None -- the caller can treat ``report.ok`` as the
     syntax gate.
+
+    Linting is a pure function of its arguments, so the common
+    no-overrides form is memoized: agents' syntax-fix loops re-lint the
+    same candidate text constantly, and repeated evaluation runs re-lint
+    identical candidates.
     """
+    if overrides is None:
+        return _lint_cached(source, top)
+    return _lint_uncached(source, top, overrides)
+
+
+@lru_cache(maxsize=4096)
+def _lint_cached(source: str, top: str | None) -> LintReport:
+    return _lint_uncached(source, top, None)
+
+
+def _lint_uncached(
+    source: str,
+    top: str | None,
+    overrides: dict[str, int] | None,
+) -> LintReport:
     try:
         design = compile_design(source, top, overrides)
     except HdlError as exc:

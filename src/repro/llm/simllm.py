@@ -64,6 +64,13 @@ _TB_FENCE = re.compile(r"```testbench\n(.*?)```", re.DOTALL)
 # instance; shared so every agent talking to the same model sees them.
 _MISCONCEPTIONS: dict[tuple[str, str], tuple] = {}
 
+# Golden-module parses and cone-of-influence sets depend only on the
+# problem registry; shared across instances (apply_faults is pure, so
+# handing the same AST to every client is safe).  Values are
+# deterministic, so racing writers at worst duplicate work.
+_PARSED_GOLDENS: dict[str, tuple[ast.Module, list[MutationSite]]] = {}
+_CONE_CACHE: dict[tuple[str, str], frozenset[str]] = {}
+
 
 def extract_code_block(text: str) -> str | None:
     """Last fenced Verilog block in a message, if any."""
@@ -97,8 +104,11 @@ class SimLLM:
     ):
         self.profile = profile if profile is not None else get_profile(model)
         self.registry = registry if registry is not None else GenomeRegistry()
-        self._module_cache: dict[str, tuple[ast.Module, list[MutationSite]]] = {}
-        self._cone_cache: dict[tuple[str, str], frozenset[str]] = {}
+        # Parsed goldens and influence cones are pure functions of the
+        # problem registry, shared across client instances (a fresh
+        # SimLLM per evaluation run must not mean a fresh parse).
+        self._module_cache = _PARSED_GOLDENS
+        self._cone_cache = _CONE_CACHE
         self._spec_index: list[tuple[str, Problem]] | None = None
         self.calls = 0  # for cost accounting in transcripts
 

@@ -1,0 +1,63 @@
+"""``repro.runtime``: parallel execution + content-addressed simulation cache.
+
+The scaling layer under the MAGE engine and the evaluation harness:
+
+- :mod:`repro.runtime.executor` -- serial / thread / process executors
+  behind one ``map``/``submit`` API with deterministic result ordering;
+- :mod:`repro.runtime.cache` -- memoized ``run_testbench`` keyed by
+  ``hash(design_source, testbench, top_module)`` with hit/miss counters
+  and an optional on-disk layer;
+- :mod:`repro.runtime.context` -- the ambient (executor, cache) pair the
+  engine's hot paths pick up without signature threading;
+- :mod:`repro.runtime.batch` -- ``evaluate_many``, fanning the Eq. 7
+  ``problems x runs`` grid across workers with progress callbacks and
+  timing/throughput stats.
+
+Parallelism is applied only where it is provably bit-deterministic:
+whole evaluation cells (fresh system instance each, no shared state) and
+pure simulation scoring.  LLM-call ordering inside one engine run stays
+serial, so ``--jobs N`` reproduces ``--jobs 1`` exactly for fixed seeds.
+"""
+
+from repro.runtime.batch import BatchReport, evaluate_many
+from repro.runtime.cache import (
+    CacheStats,
+    SimulationCache,
+    cached_run_testbench,
+    simulation_count,
+    simulation_key,
+)
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.context import (
+    RuntimeContext,
+    configure,
+    get_runtime,
+    runtime_session,
+)
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+)
+
+__all__ = [
+    "BatchReport",
+    "CacheStats",
+    "Executor",
+    "ProcessExecutor",
+    "RuntimeConfig",
+    "RuntimeContext",
+    "SerialExecutor",
+    "SimulationCache",
+    "ThreadExecutor",
+    "cached_run_testbench",
+    "configure",
+    "create_executor",
+    "evaluate_many",
+    "get_runtime",
+    "runtime_session",
+    "simulation_count",
+    "simulation_key",
+]

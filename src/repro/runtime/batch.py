@@ -1,0 +1,212 @@
+"""Batch evaluation: fan the Eq. 7 ``problems x runs`` grid out.
+
+This is the runtime's top-level API: :func:`evaluate_many` takes the
+same inputs as the classic serial harness, cuts the grid into
+:class:`~repro.runtime.workers.EvalCell` units, runs them on the ambient
+(or given) executor, and reassembles a deterministic
+:class:`~repro.evaluation.harness.EvalResult` -- cells are keyed by
+(problem, run) index, and per-run seeds are fixed as ``seed0 + run``
+before dispatch, so worker count and completion order cannot change the
+outcome.
+
+Alongside the result it returns a :class:`BatchReport` with wall-clock,
+per-cell timings, simulation throughput, and cache hit accounting --
+the numbers the ``bench`` CLI subcommand prints.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.evalsets.problem import Problem, golden_testbench
+from repro.evalsets.suites import get_suite
+from repro.runtime.cache import CacheStats, SimulationCache, simulation_count
+from repro.runtime.context import get_runtime
+from repro.runtime.executor import Executor, _picklable
+from repro.runtime.workers import CellResult, EvalCell, run_cell
+
+
+@dataclass
+class BatchReport:
+    """Execution statistics for one batch evaluation."""
+
+    executor: str
+    wall_seconds: float = 0.0
+    cells: int = 0
+    simulations: int = 0
+    cell_seconds: list[float] = field(default_factory=list)
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def total_cell_seconds(self) -> float:
+        return sum(self.cell_seconds)
+
+    @property
+    def sims_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.simulations / self.wall_seconds
+
+    @property
+    def cells_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cells / self.wall_seconds
+
+    def render(self) -> str:
+        lines = [
+            f"executor        {self.executor}",
+            f"wall clock      {self.wall_seconds:8.2f} s",
+            f"grid cells      {self.cells:8d}  "
+            f"({self.cells_per_second:.2f} cells/s)",
+            f"simulations     {self.simulations:8d}  "
+            f"({self.sims_per_second:.1f} sims/s)",
+            f"cache lookups   {self.cache.lookups:8d}  "
+            f"(hits {self.cache.hits}, misses {self.cache.misses}, "
+            f"hit-rate {100.0 * self.cache.hit_rate:.1f}%)",
+        ]
+        return "\n".join(lines)
+
+
+def _resolve_cache(
+    cache: SimulationCache | bool | None,
+) -> SimulationCache | None:
+    if isinstance(cache, SimulationCache):
+        return cache
+    if cache is False:
+        return None
+    ambient = get_runtime().cache
+    if cache is True and ambient is None:
+        return SimulationCache()
+    return ambient
+
+
+def evaluate_many(
+    system_factory: Callable[[], object],
+    suite: str,
+    runs: int = 1,
+    seed0: int = 0,
+    problems: list[Problem] | None = None,
+    name: str | None = None,
+    executor: Executor | None = None,
+    cache: SimulationCache | bool | None = None,
+    progress: Callable[[str], None] | None = None,
+):
+    """Evaluate one system over a suite, fanned across workers.
+
+    Returns ``(EvalResult, BatchReport)``.  Semantics match the serial
+    harness exactly: a fresh ``system_factory()`` instance per run, run
+    seeds ``seed0 + run``, and per-problem progress lines emitted in
+    suite order (buffered until every earlier problem completes, so
+    output is deterministic too).
+
+    ``name`` labels the result without constructing a throwaway system
+    instance; when omitted, one instance is built just to read ``.name``.
+    """
+    from repro.evaluation.harness import EvalResult, ProblemOutcome
+
+    chosen = problems if problems is not None else get_suite(suite)
+    resolved_name = name if name is not None else system_factory().name
+    live_cache = _resolve_cache(cache)
+    pool = executor if executor is not None else get_runtime().executor
+
+    cells: list[EvalCell] = []
+    for problem_index, problem in enumerate(chosen):
+        golden_tb = golden_testbench(problem)
+        for run in range(runs):
+            cells.append(
+                EvalCell(
+                    problem_index=problem_index,
+                    run_index=run,
+                    factory=system_factory,
+                    problem=problem,
+                    golden_tb=golden_tb,
+                    seed=seed0 + run,
+                    cache_enabled=live_cache is not None,
+                    cache_dir=(
+                        live_cache.directory if live_cache is not None else None
+                    ),
+                )
+            )
+
+    cache_before = (
+        live_cache.stats.snapshot() if live_cache is not None else CacheStats()
+    )
+    sims_before = simulation_count()
+    started = time.perf_counter()
+
+    # Cells only cross a process boundary when they actually can; an
+    # unpicklable factory on a process pool would silently fall back to
+    # threads inside the executor, which must then receive the live
+    # cache like any other in-process path (not per-process caches).
+    crosses_processes = (
+        pool.kind == "process" and bool(cells) and _picklable(cells[0])
+    )
+    if crosses_processes:
+        # Self-contained cells; workers build per-process caches
+        # (shared on disk when a directory is set).  Picklability was
+        # probed once above, so skip the per-call probe.
+        submit = lambda cell: pool.submit_unchecked(run_cell, cell)  # noqa: E731
+    else:
+        submit = lambda cell: pool.submit(run_cell, cell, live_cache)  # noqa: E731
+
+    futures = [submit(cell) for cell in cells]
+    by_problem: dict[int, list[CellResult]] = {}
+    next_to_report = 0
+
+    def flush_progress() -> int:
+        flushed = next_to_report
+        while flushed < len(chosen) and len(by_problem.get(flushed, [])) == runs:
+            if progress is not None:
+                done = by_problem[flushed]
+                passes = sum(1 for r in done if r.passed)
+                progress(
+                    f"{resolved_name} {chosen[flushed].id}: "
+                    f"{passes}/{runs} passed"
+                )
+            flushed += 1
+        return flushed
+
+    for future in cf.as_completed(futures):
+        cell_result = future.result()
+        by_problem.setdefault(cell_result.problem_index, []).append(cell_result)
+        next_to_report = flush_progress()
+
+    wall = time.perf_counter() - started
+
+    result = EvalResult(system=resolved_name, suite=suite)
+    report = BatchReport(executor=pool.describe(), wall_seconds=wall)
+    for problem_index, problem in enumerate(chosen):
+        outcome = ProblemOutcome(problem.id, problem.difficulty)
+        ordered = sorted(
+            by_problem.get(problem_index, []), key=lambda r: r.run_index
+        )
+        for cell_result in ordered:
+            outcome.runs += 1
+            outcome.passes += int(cell_result.passed)
+            outcome.scores.append(cell_result.score)
+            report.cell_seconds.append(cell_result.seconds)
+        result.outcomes.append(outcome)
+    report.cells = len(cells)
+
+    if crosses_processes:
+        # Child-process counters never reach this process; sum the exact
+        # per-cell deltas the workers report instead (pool workers run
+        # one cell at a time, so the deltas don't interleave).
+        collected = [r for rs in by_problem.values() for r in rs]
+        report.cache = CacheStats(
+            hits=sum(r.cache_hits for r in collected),
+            misses=sum(r.cache_misses for r in collected),
+        )
+        report.simulations = sum(r.simulations for r in collected)
+    else:
+        report.cache = (
+            live_cache.stats.delta(cache_before)
+            if live_cache is not None
+            else CacheStats()
+        )
+        report.simulations = simulation_count() - sims_before
+    return result, report

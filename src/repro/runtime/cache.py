@@ -1,0 +1,217 @@
+"""Content-addressed simulation cache.
+
+Simulation is deterministic: the same (design source, testbench, top
+module) triple always produces the same :class:`TestReport`.  That makes
+``run_testbench`` memoizable under a content hash -- the dominant cost
+of evaluation (Eq. 7 runs ``problems x runs`` full workflows, each with
+many judge scorings) collapses whenever a triple repeats: re-scored
+debug candidates, duplicate sampled sources, T=0 stages recurring
+across runs, and whole repeated evaluation passes.
+
+Keys are SHA-256 over length-prefixed fields, so no concatenation of
+(source, testbench, top) can collide with a different split of the same
+bytes.  The in-memory layer is a plain dict behind a lock; an optional
+on-disk layer (pickled reports, atomically written) persists across
+processes and sessions and is shared by process-pool workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.tb.runner import TestReport, run_testbench
+from repro.tb.stimulus import Testbench, render_testbench
+
+
+def simulation_key(
+    source: str, testbench: Testbench | str, top: str | None = None
+) -> str:
+    """Content hash of one simulation request.
+
+    Fields are length-prefixed before hashing so the boundary between
+    source and testbench is part of the content: the same concatenated
+    bytes split differently hash differently.
+    """
+    tb_text = (
+        testbench if isinstance(testbench, str) else render_testbench(testbench)
+    )
+    digest = hashlib.sha256()
+    for part in (source, tb_text, top or ""):
+        data = part.encode()
+        digest.update(len(data).to_bytes(8, "little"))
+        digest.update(data)
+    return digest.hexdigest()
+
+
+class _SimCounter:
+    """Process-wide count of simulations actually executed (not cache hits)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self) -> None:
+        with self._lock:
+            self._value += 1
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+_SIMULATIONS = _SimCounter()
+
+
+def simulation_count() -> int:
+    """Simulations executed in this process via :func:`cached_run_testbench`."""
+    return _SIMULATIONS.value
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (disk hits also count as hits)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores, self.disk_hits)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            stores=self.stores - earlier.stores,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+        )
+
+
+class SimulationCache:
+    """Two-layer (memory + optional disk) report cache.
+
+    The memory layer is LRU-bounded by ``max_entries`` (reports carry
+    per-check records, so an unbounded map would grow with every unique
+    candidate ever simulated); evicted entries remain on disk when a
+    directory is configured.  Cached reports are shared objects; callers
+    treat :class:`TestReport` as read-only, which every consumer in the
+    engine already does.
+    """
+
+    def __init__(self, directory: str | None = None, max_entries: int = 8192):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.directory = directory
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, TestReport]" = OrderedDict()
+        self._lock = threading.Lock()
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def _remember(self, key: str, report: TestReport) -> None:
+        # Callers hold self._lock.
+        self._memory[key] = report
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def get(self, key: str) -> TestReport | None:
+        with self._lock:
+            report = self._memory.get(key)
+            if report is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                return report
+        if self.directory is not None:
+            report = self._read_disk(key)
+            if report is not None:
+                with self._lock:
+                    self._remember(key, report)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                return report
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, report: TestReport) -> None:
+        with self._lock:
+            self._remember(key, report)
+            self.stats.stores += 1
+        if self.directory is not None:
+            self._write_disk(key, report)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+
+    def _read_disk(self, key: str) -> TestReport | None:
+        try:
+            with open(self._disk_path(key), "rb") as handle:
+                report = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return report if isinstance(report, TestReport) else None
+
+    def _write_disk(self, key: str, report: TestReport) -> None:
+        # Atomic write: concurrent workers may race on the same key, and
+        # a reader must never observe a half-written pickle.
+        try:
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(report, handle)
+            os.replace(tmp_path, self._disk_path(key))
+        except OSError:
+            pass  # disk layer is best-effort; memory layer already has it
+
+
+def cached_run_testbench(
+    source: str,
+    testbench: Testbench,
+    top: str | None = None,
+    cache: SimulationCache | None = None,
+) -> TestReport:
+    """Memoized :func:`run_testbench` (drop-in for the no-hook form).
+
+    Uses the ambient runtime's cache unless one is passed explicitly;
+    with caching disabled it degrades to a plain simulation call.
+    """
+    if cache is None:
+        from repro.runtime.context import get_runtime
+
+        cache = get_runtime().cache
+    if cache is None:
+        _SIMULATIONS.increment()
+        return run_testbench(source, testbench, top)
+    key = simulation_key(source, testbench, top)
+    report = cache.get(key)
+    if report is None:
+        _SIMULATIONS.increment()
+        report = run_testbench(source, testbench, top)
+        cache.put(key, report)
+    return report

@@ -1,0 +1,80 @@
+"""Runtime configuration: how much parallelism, which backend, caching.
+
+Everything is selectable three ways, in priority order: explicit
+arguments (CLI flags), environment variables, and defaults.
+
+Environment variables:
+
+- ``REPRO_JOBS``           worker count (default 1 = serial)
+- ``REPRO_EXECUTOR``       ``auto`` | ``serial`` | ``thread`` | ``process``
+- ``REPRO_SIM_CACHE``      ``1``/``0`` to enable/disable the simulation cache
+- ``REPRO_SIM_CACHE_DIR``  directory for the optional on-disk cache layer
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+_EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
+
+
+def _env_int(name: str, fallback: int) -> int:
+    value = os.environ.get(name)
+    if not value:
+        return fallback
+    try:
+        return int(value)
+    except ValueError:
+        return fallback
+
+
+def _env_flag(name: str, fallback: bool) -> bool:
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return fallback
+    return value.strip().lower() not in ("0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Resolved runtime settings (see module docstring for env vars)."""
+
+    jobs: int = 1
+    executor: str = "auto"  # auto | serial | thread | process
+    cache: bool = True
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.executor not in _EXECUTOR_KINDS:
+            raise ValueError(
+                f"bad executor kind {self.executor!r}; "
+                f"choose from {', '.join(_EXECUTOR_KINDS)}"
+            )
+
+    @staticmethod
+    def from_env(
+        jobs: int | None = None,
+        executor: str | None = None,
+        cache: bool | None = None,
+        cache_dir: str | None = None,
+    ) -> "RuntimeConfig":
+        """Resolve settings: explicit args beat env vars beat defaults."""
+        return RuntimeConfig(
+            jobs=jobs if jobs is not None else _env_int("REPRO_JOBS", 1),
+            executor=(
+                executor
+                if executor is not None
+                else os.environ.get("REPRO_EXECUTOR", "auto")
+            ),
+            cache=(
+                cache if cache is not None else _env_flag("REPRO_SIM_CACHE", True)
+            ),
+            cache_dir=(
+                cache_dir
+                if cache_dir is not None
+                else os.environ.get("REPRO_SIM_CACHE_DIR") or None
+            ),
+        )

@@ -1,0 +1,133 @@
+"""Ambient runtime context: which executor and cache the engine uses.
+
+The engine's hot paths (candidate scoring in Step 4, trial scoring in
+Step 5, judge scorings everywhere) reach their executor and cache
+through :func:`get_runtime` rather than threading them through every
+call signature.  Resolution order:
+
+1. a thread-local override (pushed by :func:`runtime_session`, or by a
+   batch worker pinning itself to serial execution);
+2. the process-global context (set by :func:`configure`, lazily built
+   from :class:`RuntimeConfig` env vars on first use).
+
+Thread-local overrides are what keep nested parallelism sane: a batch
+worker thread runs its whole evaluation cell under a serial inner
+context, so ``--jobs N`` parallelises the problems x runs grid without
+worker threads spawning pools of their own.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.runtime.cache import SimulationCache
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.executor import Executor, SerialExecutor, create_executor
+
+
+@dataclass
+class RuntimeContext:
+    """One resolved runtime: an executor plus a cache (None = disabled).
+
+    ``owns_executor`` records whether this context created its executor
+    (and is therefore responsible for shutting it down) or was handed a
+    caller-managed one.
+    """
+
+    executor: Executor
+    cache: SimulationCache | None
+    owns_executor: bool = False
+
+    def describe(self) -> str:
+        cache = "cache=off" if self.cache is None else "cache=on"
+        return f"{self.executor.describe()} {cache}"
+
+
+_GLOBAL: RuntimeContext | None = None
+_GLOBAL_LOCK = threading.Lock()
+_LOCAL = threading.local()
+
+
+def _build(config: RuntimeConfig, executor: Executor | None = None) -> RuntimeContext:
+    return RuntimeContext(
+        executor=(
+            executor
+            if executor is not None
+            else create_executor(config.jobs, config.executor)
+        ),
+        cache=SimulationCache(config.cache_dir) if config.cache else None,
+        owns_executor=executor is None,
+    )
+
+
+def get_runtime() -> RuntimeContext:
+    """The active context: thread-local override, else the global one."""
+    stack = getattr(_LOCAL, "stack", None)
+    if stack:
+        return stack[-1]
+    global _GLOBAL
+    if _GLOBAL is None:
+        with _GLOBAL_LOCK:
+            if _GLOBAL is None:
+                _GLOBAL = _build(RuntimeConfig.from_env())
+    return _GLOBAL
+
+
+def configure(
+    jobs: int | None = None,
+    executor: Executor | str | None = None,
+    cache: bool | None = None,
+    cache_dir: str | None = None,
+) -> RuntimeContext:
+    """Replace the process-global context (CLI and long-lived services).
+
+    ``executor`` accepts a ready :class:`Executor` or a kind string;
+    anything unset falls back to env vars, then defaults.
+    """
+    global _GLOBAL
+    kind = executor if isinstance(executor, str) else None
+    ready = executor if isinstance(executor, Executor) else None
+    config = RuntimeConfig.from_env(
+        jobs=jobs, executor=kind, cache=cache, cache_dir=cache_dir
+    )
+    with _GLOBAL_LOCK:
+        previous = _GLOBAL
+        _GLOBAL = _build(config, ready)
+        if previous is not None and previous.owns_executor:
+            previous.executor.shutdown()  # don't leak replaced pools
+        return _GLOBAL
+
+
+@contextmanager
+def runtime_session(
+    jobs: int | None = None,
+    executor: Executor | str | None = None,
+    cache: bool | None = None,
+    cache_dir: str | None = None,
+    context: RuntimeContext | None = None,
+):
+    """Thread-local context override, restored on exit.
+
+    Executors created here (not passed in ready-made) are shut down when
+    the session closes.
+    """
+    owns_executor = not isinstance(executor, Executor) and context is None
+    if context is None:
+        kind = executor if isinstance(executor, str) else None
+        ready = executor if isinstance(executor, Executor) else None
+        config = RuntimeConfig.from_env(
+            jobs=jobs, executor=kind, cache=cache, cache_dir=cache_dir
+        )
+        context = _build(config, ready)
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    stack.append(context)
+    try:
+        yield context
+    finally:
+        stack.pop()
+        if owns_executor:
+            context.executor.shutdown()

@@ -1,0 +1,113 @@
+"""Picklable work units for the batch evaluation grid.
+
+One :class:`EvalCell` is one (problem, run) point of the Eq. 7 grid:
+build a fresh system instance, solve the task, score the result against
+the hidden golden testbench.  Cells are self-contained frozen dataclasses
+so a :class:`~repro.runtime.executor.ProcessExecutor` can ship them to
+worker processes; in-process executors pass the live cache alongside.
+
+Each cell runs under a thread-local **serial** runtime so the grid is
+parallelised exactly once: worker threads and processes never spawn
+nested pools, and a cell's internal LLM-call ordering stays identical
+to a plain serial run -- which is what makes ``--jobs N`` bit-identical
+to ``--jobs 1`` for fixed seeds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.task import DesignTask
+from repro.evalsets.problem import Problem
+from repro.runtime.cache import (
+    CacheStats,
+    SimulationCache,
+    cached_run_testbench,
+    simulation_count,
+)
+from repro.runtime.context import RuntimeContext, runtime_session
+from repro.runtime.executor import SerialExecutor
+from repro.tb.stimulus import Testbench
+
+
+@dataclass(frozen=True)
+class EvalCell:
+    """One (problem, run) evaluation: everything a worker needs."""
+
+    problem_index: int
+    run_index: int
+    factory: Callable[[], object]
+    problem: Problem
+    golden_tb: Testbench
+    seed: int
+    cache_enabled: bool = True
+    cache_dir: str | None = None
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """What comes back: the tally entry plus timing and cache accounting.
+
+    Cache counters are exact per-cell in serial and process execution;
+    under thread execution concurrent cells share counters, so batch
+    totals are taken from the live cache instead.
+    """
+
+    problem_index: int
+    run_index: int
+    problem_id: str
+    passed: bool
+    score: float
+    seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulations: int = 0
+
+
+# Per-process cache registry for pool workers: cells landing in the same
+# worker process share one in-memory cache (keyed by disk directory).
+_WORKER_CACHES: dict[str | None, SimulationCache] = {}
+
+
+def _resolve_cache(cell: EvalCell) -> SimulationCache | None:
+    if not cell.cache_enabled:
+        return None
+    cache = _WORKER_CACHES.get(cell.cache_dir)
+    if cache is None:
+        cache = SimulationCache(cell.cache_dir)
+        _WORKER_CACHES[cell.cache_dir] = cache
+    return cache
+
+
+def run_cell(cell: EvalCell, cache: SimulationCache | None = None) -> CellResult:
+    """Execute one cell (module-level, hence process-pool picklable)."""
+    if cache is None and cell.cache_enabled:
+        cache = _resolve_cache(cell)
+    before = cache.stats.snapshot() if cache is not None else CacheStats()
+    sims_before = simulation_count()
+    started = time.perf_counter()
+    inner = RuntimeContext(executor=SerialExecutor(), cache=cache)
+    with runtime_session(context=inner):
+        system = cell.factory()
+        task = DesignTask.from_problem(cell.problem)
+        source = system.solve(task, seed=cell.seed)
+        report = cached_run_testbench(
+            source, cell.golden_tb, cell.problem.top, cache=cache
+        )
+    elapsed = time.perf_counter() - started
+    delta = (
+        cache.stats.delta(before) if cache is not None else CacheStats()
+    )
+    return CellResult(
+        problem_index=cell.problem_index,
+        run_index=cell.run_index,
+        problem_id=cell.problem.id,
+        passed=report.passed,
+        score=report.score,
+        seconds=elapsed,
+        cache_hits=delta.hits,
+        cache_misses=delta.misses,
+        simulations=simulation_count() - sims_before,
+    )

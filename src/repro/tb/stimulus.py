@@ -173,7 +173,15 @@ def _render_expected(value: LogicVec) -> str:
 
 
 def render_testbench(tb: Testbench) -> str:
-    """Render a testbench in the textual exchange format."""
+    """Render a testbench in the textual exchange format.
+
+    The rendering is memoized on the (immutable) instance: the runtime's
+    simulation cache renders the same testbench once per scored
+    candidate to compute content keys.
+    """
+    memo = getattr(tb, "_rendered", None)
+    if memo is not None:
+        return memo
     lines = []
     header = f"TESTBENCH {tb.kind}"
     if tb.clock:
@@ -190,4 +198,6 @@ def render_testbench(tb: Testbench) -> str:
             )
             line += f" ; EXPECT {expects}"
         lines.append(line)
-    return "\n".join(lines) + "\n"
+    text = "\n".join(lines) + "\n"
+    object.__setattr__(tb, "_rendered", text)  # frozen-dataclass memo slot
+    return text

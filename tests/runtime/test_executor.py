@@ -1,0 +1,113 @@
+"""Executor backends: ordering, submit semantics, selection."""
+
+import operator
+
+import pytest
+
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+)
+
+
+def square(x):
+    return x * x
+
+
+def boom(_x):
+    raise ValueError("boom")
+
+
+class TestOrdering:
+    @pytest.mark.parametrize(
+        "make",
+        [SerialExecutor, lambda: ThreadExecutor(4), lambda: ProcessExecutor(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_map_preserves_input_order(self, make):
+        with make() as executor:
+            assert executor.map(square, range(20)) == [i * i for i in range(20)]
+
+    def test_thread_order_independent_of_completion(self):
+        import time
+
+        def slow_first(x):
+            time.sleep(0.05 if x == 0 else 0.0)
+            return x
+
+        with ThreadExecutor(4) as executor:
+            assert executor.map(slow_first, range(8)) == list(range(8))
+
+    def test_map_empty(self):
+        with ThreadExecutor(2) as executor:
+            assert executor.map(square, []) == []
+
+
+class TestSubmit:
+    def test_serial_submit_future(self):
+        future = SerialExecutor().submit(square, 7)
+        assert future.result() == 49
+
+    def test_serial_submit_exception(self):
+        future = SerialExecutor().submit(boom, 1)
+        with pytest.raises(ValueError):
+            future.result()
+
+    def test_thread_submit(self):
+        with ThreadExecutor(2) as executor:
+            assert executor.submit(operator.add, 2, 3).result() == 5
+
+
+class TestProcessFallback:
+    def test_closure_downgrades_to_threads(self):
+        captured = 10
+        with ProcessExecutor(2) as executor:
+            results = executor.map(lambda x: x + captured, range(4))
+            assert results == [10, 11, 12, 13]
+            assert executor.fallbacks == 1
+
+    def test_picklable_work_uses_processes(self):
+        with ProcessExecutor(2) as executor:
+            assert executor.map(square, range(4)) == [0, 1, 4, 9]
+            assert executor.fallbacks == 0
+
+
+class TestCreateExecutor:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert create_executor().kind == "serial"
+
+    def test_jobs_selects_threads(self):
+        executor = create_executor(jobs=3)
+        try:
+            assert executor.kind == "thread"
+            assert executor.workers == 3
+        finally:
+            executor.shutdown()
+
+    def test_env_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        executor = create_executor()
+        try:
+            assert executor.kind == "thread"
+            assert executor.workers == 2
+        finally:
+            executor.shutdown()
+
+    def test_explicit_kind(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        executor = create_executor(jobs=2)
+        try:
+            assert executor.kind == "process"
+        finally:
+            executor.shutdown()
+
+    def test_serial_kind_wins_over_jobs(self):
+        assert create_executor(jobs=8, kind="serial").kind == "serial"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            create_executor(jobs=2, kind="quantum")

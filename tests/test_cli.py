@@ -50,3 +50,85 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliRuntime:
+    def test_eval_jobs_parity(self, capsys):
+        argv = ["eval", "vanilla-claude", "--runs", "2", "--limit", "3"]
+        assert main(argv + ["--jobs", "1"]) in (0,)
+        serial_row = capsys.readouterr().out.splitlines()[0]
+        assert main(argv + ["--jobs", "4"]) in (0,)
+        parallel_row = capsys.readouterr().out.splitlines()[0]
+        assert serial_row == parallel_row
+
+    def test_eval_runs_env_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_RUNS", "2")
+        assert main(["eval", "vanilla-claude", "--limit", "1", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "0/2 passed" in out or "2/2 passed" in out
+
+    def test_eval_seed0_flag(self, capsys):
+        argv = ["eval", "mage", "--runs", "1", "--limit", "2"]
+        assert main(argv + ["--seed0", "5"]) == 0
+        capsys.readouterr()
+
+    def test_eval_verbose_reports_cache(self, capsys):
+        argv = [
+            "eval", "vanilla-claude", "--runs", "2", "--limit", "2", "--verbose"
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache lookups" in out
+        assert "executor" in out
+
+    def test_eval_no_cache(self, capsys):
+        argv = [
+            "eval", "vanilla-claude", "--runs", "1", "--limit", "1",
+            "--no-cache", "--verbose",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "hits 0, misses 0" in out  # cache fully bypassed
+        assert "simulations" in out
+
+    def test_bench_reports_speedup_and_hits(self, capsys):
+        argv = [
+            "bench", "vanilla-claude", "--runs", "2", "--limit", "3",
+            "--jobs", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "hit-rate 100.0%" in out
+        assert "deterministic   yes" in out
+
+    def test_bench_unknown_system(self, capsys):
+        assert main(["bench", "martian"]) == 2
+
+    def test_bench_rejects_single_pass(self, capsys):
+        assert main(["bench", "mage", "--repeat", "1", "--limit", "1"]) == 2
+        assert "--repeat must be >= 2" in capsys.readouterr().out
+
+    def test_eval_bad_jobs_clean_error(self, capsys):
+        assert main(["eval", "mage", "--jobs", "0", "--limit", "1"]) == 2
+        assert "jobs must be >= 1" in capsys.readouterr().out
+
+    def test_eval_unknown_suite_clean_error(self, capsys):
+        assert main(["eval", "mage", "nosuchsuite"]) == 2
+        assert "unknown suite" in capsys.readouterr().out
+
+    def test_eval_malformed_runs_env_falls_back(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_RUNS", "twenty")
+        assert main(["eval", "vanilla-claude", "--limit", "1"]) == 0
+        capsys.readouterr()
+
+    def test_bench_process_executor_shares_cache(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        argv = [
+            "bench", "vanilla-itertl", "--runs", "1", "--limit", "2",
+            "--jobs", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sharing the cache via" in out
+        assert "hit-rate 100.0%" in out  # warm pass saw the cold pass's work
