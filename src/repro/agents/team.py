@@ -1,0 +1,56 @@
+"""Shared agent wiring: the four-role team every solve path assembles.
+
+MAGE proper gives each role a private conversation; the merged-history
+systems (Table III single-agent, the AIVRIL-style coder) hand one
+shared conversation to every role -- which is exactly the context
+pollution Sec. II-A warns against.  Both spellings used to be
+duplicated across ``core/engine.py`` and ``baselines/*.py``; this is
+the one place that knows how to build them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.debug_agent import DebugAgent
+from repro.agents.judge_agent import JudgeAgent
+from repro.agents.rtl_agent import RTLAgent
+from repro.agents.testbench_agent import TestbenchAgent
+from repro.llm.interface import Conversation, LLMClient
+
+
+@dataclass
+class AgentTeam:
+    """The four specialised roles over one LLM client."""
+
+    llm: LLMClient
+    tb: TestbenchAgent
+    rtl: RTLAgent
+    judge: JudgeAgent
+    debug: DebugAgent
+
+    @classmethod
+    def build(
+        cls, llm: LLMClient, shared_prompt: str | None = None
+    ) -> "AgentTeam":
+        """Wire the team; ``shared_prompt`` merges all histories into
+        one conversation with that system prompt (the ablation mode)."""
+        shared = (
+            Conversation(system_prompt=shared_prompt)
+            if shared_prompt is not None
+            else None
+        )
+        return cls(
+            llm=llm,
+            tb=TestbenchAgent(llm, shared),
+            rtl=RTLAgent(llm, shared),
+            judge=JudgeAgent(llm, shared),
+            debug=DebugAgent(llm, shared),
+        )
+
+    @property
+    def llm_calls(self) -> int:
+        """Total completions consumed across the four roles."""
+        return (
+            self.tb.calls + self.rtl.calls + self.judge.calls + self.debug.calls
+        )

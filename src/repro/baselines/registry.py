@@ -18,6 +18,7 @@ from repro.baselines.two_agent import TwoAgentSystem
 from repro.baselines.vanilla import VanillaLLM
 from repro.core.config import MAGEConfig
 from repro.core.engine import MAGE
+from repro.core.events import EventSink
 from repro.core.task import DesignTask
 from repro.llm.interface import SamplingParams
 
@@ -38,8 +39,10 @@ class MAGESystem:
         temp = self.config.generation.temperature
         self.name = f"mage[{self.config.model},T={temp}]"
 
-    def solve(self, task: DesignTask, seed: int = 0) -> str:
-        return MAGE(self.config).solve(task, seed=seed).source
+    def solve(
+        self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
+    ) -> str:
+        return MAGE(self.config).solve(task, seed=seed, sink=sink).source
 
 
 class VerilogCoderStyle:
@@ -61,8 +64,10 @@ class VerilogCoderStyle:
         )
         self.name = f"verilogcoder-style[{model}]"
 
-    def solve(self, task: DesignTask, seed: int = 0) -> str:
-        return MAGE(self.config).solve(task, seed=seed).source
+    def solve(
+        self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
+    ) -> str:
+        return MAGE(self.config).solve(task, seed=seed, sink=sink).source
 
 
 @dataclass(frozen=True)

@@ -9,16 +9,84 @@ Two families from the literature the paper compares against:
   simulate -> fix loop executed by ONE agent with ONE conversation
   history, paying the context-pollution penalty of Sec. II-A; feedback
   is an aggregate pass-rate log, not state checkpoints.
+
+Both run as staged pipelines: :class:`SelfReflection` is a generate
+stage plus one unrolled reflection stage per round, and
+:class:`SingleAgentPipeline` is the MAGE stage list executed with a
+merged-history configuration.
 """
 
 from __future__ import annotations
 
 from repro.core.config import MAGEConfig
 from repro.core.engine import MAGE, MAGEResult
+from repro.core.events import EventSink, InitialGenerated, RunStarted, as_sink
+from repro.core.pipeline import DONE, Pipeline, RunState, Stage
 from repro.core.task import DesignTask
 from repro.hdl.lint import lint
+from repro.llm.factory import build_llm
 from repro.llm.interface import ChatMessage, LLMClient, SamplingParams
-from repro.llm.simllm import SimLLM, extract_code_block
+from repro.llm.simllm import extract_code_block
+
+
+def _stage_generate(state: RunState, emit) -> None:
+    data = state.data
+    task: DesignTask = data["task"]
+    messages = [
+        ChatMessage(
+            "system",
+            "You are an RTL engineer improving your own code through "
+            "self-reflection.",
+        ),
+        ChatMessage(
+            "user",
+            "Write a synthesizable Verilog module that implements the "
+            f"specification.\n\n## Specification\n{task.spec}\n\n"
+            f"Top module name: {task.top}.",
+        ),
+    ]
+    reply = data["llm"].complete(messages, data["params"])
+    data["llm_calls"] = data.get("llm_calls", 0) + 1
+    data["messages"] = messages
+    data["reply"] = reply
+    data["code"] = extract_code_block(reply) or ""
+    emit(InitialGenerated(clean=lint(data["code"], task.top).ok))
+
+
+def _stage_reflect(state: RunState, emit) -> str | None:
+    """One self-reflection round on compiler feedback only."""
+    data = state.data
+    task: DesignTask = data["task"]
+    code = data["code"]
+    report = lint(code, task.top)
+    if report.ok:
+        return DONE
+    messages = data["messages"]
+    messages.append(ChatMessage("assistant", data["reply"]))
+    messages.append(
+        ChatMessage(
+            "user",
+            "The code fails to compile. Fix the syntax errors.\n\n"
+            f"## Compiler diagnostics\n{report.render()}\n\n"
+            f"## Current code\n```verilog\n{code}```",
+        )
+    )
+    reply = data["reply"] = data["llm"].complete(messages, data["params"])
+    data["llm_calls"] = data.get("llm_calls", 0) + 1
+    data["code"] = extract_code_block(reply) or code
+    return None
+
+
+def _state_calls(state: RunState) -> int:
+    return state.data.get("llm_calls", 0)
+
+
+def self_reflection_pipeline(rounds: int) -> Pipeline:
+    stages = [Stage("generate", _stage_generate)]
+    stages += [
+        Stage(f"reflect-{index + 1}", _stage_reflect) for index in range(rounds)
+    ]
+    return Pipeline("self-reflection", stages, calls_probe=_state_calls)
 
 
 class SelfReflection:
@@ -30,43 +98,29 @@ class SelfReflection:
         rounds: int = 2,
         llm: LLMClient | None = None,
     ):
-        self.llm = llm if llm is not None else SimLLM(model)
+        self.llm = build_llm(model, llm=llm)
         self.rounds = rounds
         self.name = f"self-reflection[{self.llm.model_name}]"
 
-    def solve(self, task: DesignTask, seed: int = 0) -> str:
-        params = SamplingParams(temperature=0.0, top_p=0.01, n=1, seed=seed)
-        messages = [
-            ChatMessage(
-                "system",
-                "You are an RTL engineer improving your own code through "
-                "self-reflection.",
-            ),
-            ChatMessage(
-                "user",
-                "Write a synthesizable Verilog module that implements the "
-                f"specification.\n\n## Specification\n{task.spec}\n\n"
-                f"Top module name: {task.top}.",
-            ),
-        ]
-        reply = self.llm.complete(messages, params)
-        code = extract_code_block(reply) or ""
-        for _ in range(self.rounds):
-            report = lint(code, task.top)
-            if report.ok:
-                break
-            messages.append(ChatMessage("assistant", reply))
-            messages.append(
-                ChatMessage(
-                    "user",
-                    "The code fails to compile. Fix the syntax errors.\n\n"
-                    f"## Compiler diagnostics\n{report.render()}\n\n"
-                    f"## Current code\n```verilog\n{code}```",
-                )
-            )
-            reply = self.llm.complete(messages, params)
-            code = extract_code_block(reply) or code
-        return code
+    def solve(
+        self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
+    ) -> str:
+        state = RunState(
+            seed=seed,
+            data={
+                "task": task,
+                "llm": self.llm,
+                "params": SamplingParams(
+                    temperature=0.0, top_p=0.01, n=1, seed=seed
+                ),
+            },
+        )
+        resolved = as_sink(sink)
+        resolved.emit(
+            RunStarted(system=self.name, task_name=task.name, seed=seed)
+        )
+        self_reflection_pipeline(self.rounds).run(state, sink=resolved)
+        return state.data["code"]
 
 
 class SingleAgentPipeline:
@@ -96,9 +150,13 @@ class SingleAgentPipeline:
         )
         self.name = f"single-agent[{model}]"
 
-    def solve(self, task: DesignTask, seed: int = 0) -> str:
-        return self.solve_full(task, seed).source
+    def solve(
+        self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
+    ) -> str:
+        return self.solve_full(task, seed, sink=sink).source
 
-    def solve_full(self, task: DesignTask, seed: int = 0) -> MAGEResult:
+    def solve_full(
+        self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
+    ) -> MAGEResult:
         engine = MAGE(self.config)
-        return engine.solve(task, seed=seed)
+        return engine.solve(task, seed=seed, sink=sink)

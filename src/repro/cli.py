@@ -4,21 +4,27 @@ Commands:
 
 - ``problems``                    list the benchmark problems
 - ``solve <problem_id>``          run MAGE on one problem
+- ``run <problem_id>``            solve one task with a live event stream
 - ``eval <system> <suite>``       evaluate a registered system
 - ``bench <system> <suite>``      benchmark the runtime (speedup, cache)
+- ``cache``                       report disk-cache hit/miss/size stats
 - ``lint <file.v>``               lint a Verilog file
 - ``tb <file.v> <bench.tb>``      run a testbench against a design
 
 ``eval`` and ``bench`` accept ``--jobs N`` (parallel workers; results
-are bit-identical at any worker count for fixed seeds) and
-``--cache/--no-cache`` (content-addressed simulation memoization).
+are bit-identical at any worker count for fixed seeds),
+``--cache/--no-cache`` (content-addressed simulation memoization), and
+``--solve-cache`` (whole solve-cell memoization: repeated sweeps over
+the same ``config x problem x seed`` grid re-run near-free).
 ``eval --runs`` defaults to the ``REPRO_EVAL_RUNS`` environment
-override, falling back to 1.
+override, falling back to 1; ``eval --progress`` streams typed
+per-cell events as they finish.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -55,6 +61,92 @@ def _cmd_solve(args) -> int:
     return 0 if golden.passed else 1
 
 
+def _cmd_run(args) -> int:
+    """Solve one named task with the typed event stream printed live."""
+    from repro import MAGE, DesignTask, MAGEConfig
+    from repro.baselines.registry import SYSTEMS, create_system, system_names
+    from repro.core.events import StreamSink
+    from repro.evalsets import get_problem, golden_testbench
+    from repro.runtime.cache import cached_run_testbench
+
+    try:
+        problem = get_problem(args.problem)
+    except KeyError as exc:
+        print(f"error: {exc}")
+        return 2
+    task = DesignTask.from_problem(problem)
+    sink = StreamSink(write=lambda line: print(f"  | {line}"))
+    if args.system == "mage":
+        config = (
+            MAGEConfig.low_temperature()
+            if args.low_temperature
+            else MAGEConfig.high_temperature()
+        )
+        result = MAGE(config).solve(task, seed=args.seed, sink=sink)
+        source = result.source
+    else:
+        if args.system not in SYSTEMS:
+            print(f"unknown system; choose from: mage, {', '.join(system_names())}")
+            return 2
+        if args.low_temperature:
+            print(
+                "error: --low-temperature only applies to --system mage "
+                "(registered systems carry their own sampling settings)"
+            )
+            return 2
+        system = create_system(args.system)
+        source = system.solve(task, seed=args.seed, sink=sink)
+    print()
+    print(source)
+    golden = cached_run_testbench(source, golden_testbench(problem), problem.top)
+    print(f"golden testbench: {'PASS' if golden.passed else 'FAIL'}")
+    return 0 if golden.passed else 1
+
+
+def _cmd_cache(args) -> int:
+    """Report hit/miss/size statistics for the configured disk caches."""
+    from repro.runtime.cache import disk_cache_info
+    from repro.runtime.context import get_runtime
+
+    targets = [
+        ("simulation cache", args.sim_dir or os.environ.get("REPRO_SIM_CACHE_DIR")),
+        (
+            "solve-cell cache",
+            args.solve_dir or os.environ.get("REPRO_SOLVE_CACHE_DIR"),
+        ),
+    ]
+    reported = False
+    for label, directory in targets:
+        if not directory:
+            print(f"{label:18s} no disk directory configured")
+            continue
+        info = disk_cache_info(directory)
+        print(
+            f"{label:18s} {info.directory}: {info.entries} entries, "
+            f"{info.megabytes:.2f} MiB"
+        )
+        reported = True
+    runtime = get_runtime()
+    for label, live in (
+        ("simulation cache", runtime.cache),
+        ("solve-cell cache", runtime.solve_cache),
+    ):
+        if live is None:
+            continue
+        stats = live.stats
+        print(
+            f"{label:18s} (this process) lookups {stats.lookups}, "
+            f"hits {stats.hits}, misses {stats.misses}, "
+            f"hit-rate {100.0 * stats.hit_rate:.1f}%"
+        )
+    if not reported:
+        print(
+            "hint: set REPRO_SIM_CACHE_DIR / REPRO_SOLVE_CACHE_DIR (or pass "
+            "--sim-dir / --solve-dir) to persist caches across processes"
+        )
+    return 0
+
+
 def _choose_problems(suite: str, limit: int | None):
     if limit is None:
         return None
@@ -65,6 +157,7 @@ def _choose_problems(suite: str, limit: int | None):
 
 def _cmd_eval(args) -> int:
     from repro.baselines.registry import SYSTEMS, system_names
+    from repro.core.events import StreamSink
     from repro.evaluation.harness import default_runs
     from repro.runtime import create_executor, evaluate_many
 
@@ -78,6 +171,11 @@ def _cmd_eval(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
+    events = (
+        StreamSink(write=lambda line: print("  ~ " + line))
+        if args.progress
+        else None
+    )
     try:
         result, report = evaluate_many(
             spec.factory,
@@ -87,7 +185,9 @@ def _cmd_eval(args) -> int:
             problems=_choose_problems(args.suite, args.limit),
             executor=executor,
             cache=args.cache,
+            solve_cache=args.solve_cache,
             progress=(lambda line: print("  " + line)) if args.verbose else None,
+            events=events,
         )
         print(result.render_row())
         if args.verbose:
@@ -113,7 +213,12 @@ def _cmd_bench(args) -> int:
     Pass@1 exactly.
     """
     from repro.baselines.registry import SYSTEMS, system_names
-    from repro.runtime import SerialExecutor, SimulationCache, create_executor
+    from repro.runtime import (
+        SerialExecutor,
+        SimulationCache,
+        SolveCellCache,
+        create_executor,
+    )
     from repro.runtime.batch import evaluate_many
 
     if args.system not in SYSTEMS:
@@ -134,14 +239,23 @@ def _cmd_bench(args) -> int:
         print(f"error: {exc}")
         return 2
     cache_dir = args.cache_dir
-    if args.cache and cache_dir is None and warm_executor.kind == "process":
-        # Process workers can't see the parent's in-memory cache; the
+    solve_dir = args.solve_cache_dir
+    if warm_executor.kind == "process":
+        # Process workers can't see the parent's in-memory caches; the
         # disk layer is the only cross-process medium for warm passes.
         import tempfile
 
-        cache_dir = tempfile.mkdtemp(prefix="repro-simcache-")
-        print(f"note: process executor; sharing the cache via {cache_dir}")
+        if args.cache and cache_dir is None:
+            cache_dir = tempfile.mkdtemp(prefix="repro-simcache-")
+            print(f"note: process executor; sharing the cache via {cache_dir}")
+        if args.solve_cache and solve_dir is None:
+            solve_dir = tempfile.mkdtemp(prefix="repro-solvecache-")
+            print(
+                "note: process executor; sharing the solve cache via "
+                f"{solve_dir}"
+            )
     cache = SimulationCache(cache_dir) if args.cache else False
+    solve_cache = SolveCellCache(solve_dir) if args.solve_cache else False
     passes = []
     deterministic = True
     try:
@@ -157,6 +271,7 @@ def _cmd_bench(args) -> int:
                     problems=problems,
                     executor=executor,
                     cache=cache,
+                    solve_cache=solve_cache,
                 )
             except (KeyError, ValueError) as exc:
                 print(f"error: {exc}")
@@ -182,7 +297,15 @@ def _cmd_bench(args) -> int:
     print(last.render())
     print(f"speedup         {speedup:8.2f}x  (pass 1 vs pass {len(passes)})")
     print(f"deterministic   {'yes' if deterministic else 'NO -- MISMATCH'}")
-    return 0 if deterministic else 1
+    if not deterministic:
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"error: speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -236,6 +359,19 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--low-temperature", action="store_true")
     solve.set_defaults(fn=_cmd_solve)
 
+    run = sub.add_parser(
+        "run", help="solve one problem with a live typed event stream"
+    )
+    run.add_argument("problem")
+    run.add_argument(
+        "--system",
+        default="mage",
+        help="mage (default) or any registered system key",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--low-temperature", action="store_true")
+    run.set_defaults(fn=_cmd_run)
+
     evaluate = sub.add_parser("eval", help="evaluate a system on a suite")
     evaluate.add_argument("system")
     evaluate.add_argument("suite", nargs="?", default="verilogeval-v2")
@@ -267,9 +403,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed simulation cache (default: on)",
     )
     evaluate.add_argument(
+        "--solve-cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="whole solve-cell memoization (default: $REPRO_SOLVE_CACHE or off)",
+    )
+    evaluate.add_argument(
         "--limit", type=int, default=None, help="use only the first N problems"
     )
     evaluate.add_argument("--verbose", action="store_true")
+    evaluate.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream typed per-cell events as they finish",
+    )
     evaluate.set_defaults(fn=_cmd_eval)
 
     bench = sub.add_parser(
@@ -299,9 +446,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="optional on-disk cache directory"
     )
     bench.add_argument(
+        "--solve-cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="also share a whole solve-cell cache across passes",
+    )
+    bench.add_argument(
+        "--solve-cache-dir",
+        default=None,
+        help="optional on-disk solve-cell cache directory",
+    )
+    bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the warm pass is at least this many times faster",
+    )
+    bench.add_argument(
         "--limit", type=int, default=None, help="use only the first N problems"
     )
     bench.set_defaults(fn=_cmd_bench)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="report disk-cache entry counts and sizes"
+    )
+    cache_cmd.add_argument(
+        "--sim-dir",
+        default=None,
+        help="simulation cache directory (default: $REPRO_SIM_CACHE_DIR)",
+    )
+    cache_cmd.add_argument(
+        "--solve-dir",
+        default=None,
+        help="solve-cell cache directory (default: $REPRO_SOLVE_CACHE_DIR)",
+    )
+    cache_cmd.set_defaults(fn=_cmd_cache)
 
     lint_cmd = sub.add_parser("lint", help="lint a Verilog file")
     lint_cmd.add_argument("file")

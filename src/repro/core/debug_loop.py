@@ -10,6 +10,7 @@ ablated configuration).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.agents.debug_agent import DebugAgent
 from repro.agents.judge_agent import JudgeAgent
@@ -39,10 +40,18 @@ def debug_candidates(
     debug_agent: DebugAgent,
     judge: JudgeAgent,
     config: MAGEConfig,
+    on_round: Callable[[int, list[float]], None] | None = None,
 ) -> DebugOutcome:
-    """Iteratively refine the Top-K candidate set."""
+    """Iteratively refine the Top-K candidate set.
+
+    ``on_round(index, scores)`` streams each appended row of
+    ``round_scores`` as it happens (round 0 is the pre-debug selection),
+    so event sinks see debugging progress live.
+    """
     outcome = DebugOutcome(survivors=list(selected))
     outcome.round_scores.append([c.score for c in outcome.survivors])
+    if on_round is not None:
+        on_round(0, outcome.round_scores[0])
     for _round in range(config.debug_iterations):
         if any(c.passed for c in outcome.survivors):
             break
@@ -74,4 +83,6 @@ def debug_candidates(
             updated[index] = better(outcome.survivors[index], trial)
         outcome.survivors = updated
         outcome.round_scores.append([c.score for c in outcome.survivors])
+        if on_round is not None:
+            on_round(len(outcome.round_scores) - 1, outcome.round_scores[-1])
     return outcome

@@ -1,4 +1,4 @@
-"""The MAGE engine: orchestration of the five-step workflow (Fig. 1a).
+"""The MAGE engine: the five-step workflow (Fig. 1a) as a staged pipeline.
 
 Step 1  testbench agent writes an optimized, checkpoint-logging
         testbench from the spec (plus golden hints when available);
@@ -10,6 +10,15 @@ Step 4  high-temperature sampling of c candidates, simulation scoring,
 Step 5  checkpoint debugging with accept/rollback until s(r)=1 or the
         iteration cap.
 
+Each step is a :class:`~repro.core.pipeline.Stage` over a picklable
+:class:`~repro.core.pipeline.RunState`; progress is narrated as typed
+events (:mod:`repro.core.events`) from which the legacy
+:class:`~repro.core.transcript.RunTranscript` is derived.  Because the
+runner adds no control flow, the staged form issues exactly the same
+LLM calls in the same order as the old imperative loop -- outputs are
+bit-identical at fixed seeds.  States checkpoint and resume mid-run
+(:meth:`MAGE.start_state` / :func:`run_mage_state` / :func:`mage_result`).
+
 The engine never sees the benchmark's golden testbench; final success
 is judged externally (``repro.evaluation``) exactly like VerilogEval
 scores submissions.
@@ -17,21 +26,43 @@ scores submissions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.agents.debug_agent import DebugAgent
-from repro.agents.judge_agent import JudgeAgent
-from repro.agents.rtl_agent import RTLAgent
-from repro.agents.testbench_agent import TestbenchAgent
+from repro.agents.team import AgentTeam
 from repro.core.config import MAGEConfig
 from repro.core.debug_loop import debug_candidates
+from repro.core.events import (
+    CandidateScored,
+    DebugRound,
+    DebugSummary,
+    EarlyFinish,
+    Event,
+    EventSink,
+    InitialGenerated,
+    ListSink,
+    RunFinished,
+    RunStarted,
+    SamplingSummary,
+    StageFinished,
+    TestbenchReady,
+    TestbenchRegenerated,
+    TestbenchVerdict,
+    as_sink,
+)
+from repro.core.pipeline import DONE, Pipeline, RunState, Stage
 from repro.core.sampling import sample_and_rank
 from repro.core.scoring import ScoredCandidate, best_candidate
 from repro.core.task import DesignTask
-from repro.core.transcript import RunTranscript
-from repro.llm.interface import Conversation, LLMClient, create_llm
-from repro.llm.profiles import get_profile
-from repro.llm.simllm import SimLLM
+from repro.core.transcript import RunTranscript, transcript_from_events
+from repro.llm.factory import build_llm
+from repro.llm.interface import LLMClient
+
+_SINGLE_AGENT_PROMPT = (
+    "You are a single engineering agent handling "
+    "specification analysis, testbench writing, RTL "
+    "design, scoring decisions, and debugging in one "
+    "continuous conversation."
+)
 
 
 @dataclass
@@ -42,10 +73,253 @@ class MAGEResult:
     source: str
     internal_score: float  # against the *optimized* testbench
     transcript: RunTranscript
+    events: list[Event] = field(default_factory=list)
 
     @property
     def internal_pass(self) -> bool:
         return self.internal_score >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Stage functions.  Module-level (not bound methods) so checkpointed
+# states stay process-portable; everything they need lives in
+# ``state.data``: config (seed-bound), team, task, golden_tb_hint, and
+# the values earlier stages produced.
+# ----------------------------------------------------------------------
+
+
+def _stage_testbench(state: RunState, emit) -> None:
+    """Step 1: optimized testbench."""
+    data = state.data
+    config: MAGEConfig = data["config"]
+    team: AgentTeam = data["team"]
+    tb_text, testbench = team.tb.generate(
+        data["task"], config.judge_params, golden_hint=data["golden_tb_hint"]
+    )
+    data["tb_text"], data["testbench"] = tb_text, testbench
+    emit(TestbenchReady(total_checks=testbench.total_checks))
+
+
+def _stage_initial(state: RunState, emit) -> None:
+    """Step 2: initial RTL (syntax loop inside), scored."""
+    data = state.data
+    config: MAGEConfig = data["config"]
+    team: AgentTeam = data["team"]
+    task: DesignTask = data["task"]
+    source, clean = team.rtl.generate_initial(
+        task, data["tb_text"], config.initial_generation
+    )
+    emit(InitialGenerated(clean=clean))
+    initial = ScoredCandidate(
+        source, team.judge.score(source, data["testbench"], task.top)
+    )
+    data["initial"] = initial
+    emit(
+        CandidateScored(
+            origin="initial", score=initial.score, passed=initial.passed
+        )
+    )
+
+
+def _stage_arbitrate(state: RunState, emit) -> str | None:
+    """Step 3: testbench arbitration (and the direct-pass short-circuit)."""
+    data = state.data
+    config: MAGEConfig = data["config"]
+    team: AgentTeam = data["team"]
+    task: DesignTask = data["task"]
+    initial: ScoredCandidate = data["initial"]
+    regens = 0
+    while not initial.passed and regens < config.max_tb_regens:
+        verdict = team.judge.review_testbench(
+            task, data["tb_text"], initial.report, config.judge_params
+        )
+        if verdict.correct:
+            emit(TestbenchVerdict(correct=True, rationale=verdict.rationale))
+            break
+        regens += 1
+        emit(TestbenchVerdict(correct=False, rationale=verdict.rationale))
+        tb_text, testbench = team.tb.generate(
+            task,
+            config.judge_params,
+            golden_hint=data["golden_tb_hint"],
+            reason=verdict.rationale,
+        )
+        data["tb_text"], data["testbench"] = tb_text, testbench
+        emit(TestbenchReady(total_checks=testbench.total_checks, regen_index=regens))
+        initial = ScoredCandidate(
+            initial.source, team.judge.score(initial.source, testbench, task.top)
+        )
+        data["initial"] = initial
+        emit(TestbenchRegenerated(regen_index=regens, rescored=initial.score))
+    data["tb_regens"] = regens
+    if initial.passed:
+        data["winner"] = initial
+        emit(EarlyFinish(reason="initial-pass"))
+        return DONE
+    return None
+
+
+def _stage_sample(state: RunState, emit) -> str | None:
+    """Step 4: high-temperature sampling and ranking."""
+    data = state.data
+    config: MAGEConfig = data["config"]
+    team: AgentTeam = data["team"]
+    task: DesignTask = data["task"]
+    outcome = sample_and_rank(
+        task,
+        data["tb_text"],
+        data["testbench"],
+        team.rtl,
+        team.judge,
+        config,
+        extra=[data["initial"]],
+    )
+    for index, candidate in enumerate(outcome.candidates[1:]):
+        emit(
+            CandidateScored(
+                origin="sampled",
+                score=candidate.score,
+                passed=candidate.passed,
+                index=index,
+            )
+        )
+    emit(
+        SamplingSummary(
+            pool_scores=tuple(outcome.scores),
+            selected_scores=tuple(c.score for c in outcome.selected),
+        )
+    )
+    data["selected"] = outcome.selected
+    if any(c.passed for c in outcome.selected):
+        data["winner"] = best_candidate(outcome.selected)
+        emit(EarlyFinish(reason="sampled-pass"))
+        return DONE
+    return None
+
+
+def _stage_debug(state: RunState, emit) -> None:
+    """Step 5: checkpoint debugging with rollback."""
+    data = state.data
+    config: MAGEConfig = data["config"]
+    team: AgentTeam = data["team"]
+
+    def on_round(index: int, scores: list[float]) -> None:
+        emit(DebugRound(round_index=index, scores=tuple(scores)))
+
+    outcome = debug_candidates(
+        data["task"],
+        data["testbench"],
+        data["selected"],
+        team.debug,
+        team.judge,
+        config,
+        on_round=on_round,
+    )
+    winner = outcome.best
+    data["winner"] = winner
+    emit(
+        DebugSummary(
+            rounds=len(outcome.round_scores) - 1, best_score=winner.score
+        )
+    )
+
+
+def _team_calls(state: RunState) -> int:
+    return state.data["team"].llm_calls
+
+
+def mage_pipeline() -> Pipeline:
+    """The five-step workflow as a declarative stage list."""
+    return Pipeline(
+        "mage",
+        [
+            Stage("step1", _stage_testbench),
+            Stage("step2", _stage_initial),
+            Stage("step3", _stage_arbitrate),
+            Stage("step4", _stage_sample),
+            Stage("step5", _stage_debug),
+        ],
+        calls_probe=_team_calls,
+    )
+
+
+class _StateRecorder:
+    """Mirrors every emitted event into ``state.data["events"]`` so a
+    checkpointed state carries its full history (transcripts rebuild
+    from it after resume, even in another process)."""
+
+    def __init__(self, state: RunState):
+        self.events: list[Event] = state.data.setdefault("events", [])
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+
+def run_mage_state(
+    state: RunState,
+    sink: EventSink | None = None,
+    stop_after: str | None = None,
+    checkpoint=None,
+) -> RunState:
+    """Execute (or resume) a MAGE run state.
+
+    Fresh states get a :class:`~repro.core.events.RunStarted` event;
+    finishing states get :class:`~repro.core.events.RunFinished` with
+    the LLM-call and wall-clock totals.  Every event is recorded in the
+    state itself and forwarded to ``sink``.
+    """
+    recorder = _StateRecorder(state)
+    external = as_sink(sink)
+
+    def emit(event: Event) -> None:
+        recorder.emit(event)
+        external.emit(event)
+
+    if state.next_stage == 0 and not recorder.events:
+        config: MAGEConfig = state.data["config"]
+        emit(
+            RunStarted(
+                system=f"mage[{config.model}]",
+                task_name=state.data["task"].name,
+                seed=state.seed,
+            )
+        )
+    mage_pipeline().run(
+        state, sink=emit, stop_after=stop_after, checkpoint=checkpoint
+    )
+    if state.finished and not state.data.get("run_finished"):
+        winner: ScoredCandidate = state.data["winner"]
+        seconds = sum(
+            e.seconds for e in recorder.events if isinstance(e, StageFinished)
+        )
+        state.data["run_finished"] = True
+        emit(
+            RunFinished(
+                score=winner.score,
+                passed=winner.passed,
+                llm_calls=state.data["team"].llm_calls,
+                seconds=seconds,
+            )
+        )
+    return state
+
+
+def mage_result(state: RunState) -> MAGEResult:
+    """Assemble the :class:`MAGEResult` of a finished state."""
+    if not state.finished:
+        raise ValueError(
+            f"run state is not finished (next stage index {state.next_stage})"
+        )
+    winner: ScoredCandidate = state.data["winner"]
+    events = list(state.data.get("events", []))
+    task: DesignTask = state.data["task"]
+    return MAGEResult(
+        task=task,
+        source=winner.source,
+        internal_score=winner.score,
+        transcript=transcript_from_events(events, task_name=task.name),
+        events=events,
+    )
 
 
 class MAGE:
@@ -58,154 +332,52 @@ class MAGE:
 
     def __init__(self, config: MAGEConfig | None = None, llm: LLMClient | None = None):
         self.config = config or MAGEConfig()
-        if llm is not None:
-            self.llm = llm
-        elif self.config.single_agent:
-            profile = get_profile(self.config.model).polluted()
-            self.llm = SimLLM(profile=profile)
-        else:
-            self.llm = create_llm(self.config.model)
-        shared = (
-            Conversation(
-                system_prompt=(
-                    "You are a single engineering agent handling "
-                    "specification analysis, testbench writing, RTL "
-                    "design, scoring decisions, and debugging in one "
-                    "continuous conversation."
-                )
-            )
-            if self.config.single_agent
-            else None
+        self.llm = build_llm(
+            self.config.model, llm=llm, merged_history=self.config.single_agent
         )
-
-        def conv() -> Conversation | None:
-            return shared
-
-        self.tb_agent = TestbenchAgent(self.llm, conv())
-        self.rtl_agent = RTLAgent(self.llm, conv())
-        self.judge = JudgeAgent(self.llm, conv())
-        self.debug_agent = DebugAgent(self.llm, conv())
+        self.team = AgentTeam.build(
+            self.llm,
+            shared_prompt=(
+                _SINGLE_AGENT_PROMPT if self.config.single_agent else None
+            ),
+        )
+        # Role aliases (the pre-pipeline attribute names).
+        self.tb_agent = self.team.tb
+        self.rtl_agent = self.team.rtl
+        self.judge = self.team.judge
+        self.debug_agent = self.team.debug
 
     # ------------------------------------------------------------------
+
+    def start_state(
+        self,
+        task: DesignTask,
+        golden_tb_hint: str | None = None,
+        seed: int = 0,
+    ) -> RunState:
+        """A fresh, checkpointable run state bound to this engine's team."""
+        return RunState(
+            seed=seed,
+            data={
+                "config": self.config.with_seed(seed),
+                "team": self.team,
+                "task": task,
+                "golden_tb_hint": golden_tb_hint,
+            },
+        )
 
     def solve(
         self,
         task: DesignTask,
         golden_tb_hint: str | None = None,
         seed: int = 0,
+        sink: EventSink | None = None,
     ) -> MAGEResult:
-        """Run the five-step workflow on one task."""
-        config = self.config.with_seed(seed)
-        transcript = RunTranscript(task_name=task.name)
+        """Run the five-step workflow on one task.
 
-        # Step 1: optimized testbench.
-        tb_text, testbench = self.tb_agent.generate(
-            task, config.judge_params, golden_hint=golden_tb_hint
-        )
-        transcript.log(
-            "step1",
-            f"testbench generated: {testbench.total_checks} checkpointed checks",
-        )
-
-        # Step 2: initial RTL (syntax loop inside).
-        initial_source, clean = self.rtl_agent.generate_initial(
-            task, tb_text, config.initial_generation
-        )
-        transcript.log(
-            "step2",
-            "initial RTL generated"
-            + ("" if clean else " (syntax errors remain after s=5 rounds)"),
-        )
-        initial = ScoredCandidate(
-            initial_source, self.judge.score(initial_source, testbench, task.top)
-        )
-        transcript.initial_score = initial.score
-        transcript.log("step2", f"initial candidate score {initial.score:.3f}")
-
-        # Step 3: testbench arbitration.
-        regens = 0
-        while not initial.passed and regens < config.max_tb_regens:
-            verdict = self.judge.review_testbench(
-                task, tb_text, initial.report, config.judge_params
-            )
-            if verdict.correct:
-                transcript.log("step3", "judge upheld the testbench")
-                break
-            regens += 1
-            transcript.log(
-                "step3", f"judge rejected the testbench: {verdict.rationale}"
-            )
-            tb_text, testbench = self.tb_agent.generate(
-                task,
-                config.judge_params,
-                golden_hint=golden_tb_hint,
-                reason=verdict.rationale,
-            )
-            initial = ScoredCandidate(
-                initial.source, self.judge.score(initial.source, testbench, task.top)
-            )
-            transcript.log(
-                "step3",
-                f"regenerated testbench; initial rescored {initial.score:.3f}",
-            )
-        transcript.tb_regens = regens
-
-        if initial.passed:
-            transcript.log("done", "initial candidate passed; skipping steps 4-5")
-            return self._finish(task, initial, transcript)
-
-        # Step 4: high-temperature sampling and ranking.
-        outcome = sample_and_rank(
-            task,
-            tb_text,
-            testbench,
-            self.rtl_agent,
-            self.judge,
-            config,
-            extra=[initial],
-        )
-        transcript.candidate_scores = outcome.scores
-        transcript.selected_scores = [c.score for c in outcome.selected]
-        transcript.log(
-            "step4",
-            f"sampled {len(outcome.candidates)} candidates; "
-            f"best {outcome.best_score:.3f}; kept top-{len(outcome.selected)}",
-        )
-        if any(c.passed for c in outcome.selected):
-            winner = best_candidate(outcome.selected)
-            transcript.log("done", "a sampled candidate passed; skipping step 5")
-            return self._finish(task, winner, transcript)
-
-        # Step 5: checkpoint debugging with rollback.
-        debug_outcome = debug_candidates(
-            task,
-            testbench,
-            outcome.selected,
-            self.debug_agent,
-            self.judge,
-            config,
-        )
-        transcript.debug_round_scores = debug_outcome.round_scores
-        winner = debug_outcome.best
-        transcript.log(
-            "step5",
-            f"debugging finished after {len(debug_outcome.round_scores) - 1} "
-            f"rounds; best score {winner.score:.3f}",
-        )
-        return self._finish(task, winner, transcript)
-
-    def _finish(
-        self, task: DesignTask, winner: ScoredCandidate, transcript: RunTranscript
-    ) -> MAGEResult:
-        transcript.llm_calls = (
-            self.tb_agent.calls
-            + self.rtl_agent.calls
-            + self.judge.calls
-            + self.debug_agent.calls
-        )
-        return MAGEResult(
-            task=task,
-            source=winner.source,
-            internal_score=winner.score,
-            transcript=transcript,
-        )
+        ``sink`` subscribes to the typed event stream (stage
+        boundaries, candidate scorings, debug rounds, accounting).
+        """
+        state = self.start_state(task, golden_tb_hint=golden_tb_hint, seed=seed)
+        run_mage_state(state, sink=sink)
+        return mage_result(state)

@@ -1,8 +1,33 @@
-"""Structured run records: the raw material of the paper's figures."""
+"""Structured run records: the raw material of the paper's figures.
+
+:class:`RunTranscript` is the legacy record the figure extractors and
+the CLI read.  Since the pipeline refactor it is *derived* from the
+typed event stream (:mod:`repro.core.events`): feed events to a
+:class:`TranscriptBuilder` (it is itself an event sink) or call
+:func:`transcript_from_events`, and the familiar stage-tagged log
+lines and figure fields come out exactly as the old imperative engine
+wrote them.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.events import (
+    CandidateScored,
+    DebugRound,
+    DebugSummary,
+    EarlyFinish,
+    Event,
+    InitialGenerated,
+    RunFinished,
+    RunStarted,
+    SamplingSummary,
+    TestbenchReady,
+    TestbenchRegenerated,
+    TestbenchVerdict,
+)
 
 
 @dataclass
@@ -44,3 +69,96 @@ class RunTranscript:
         for event in self.events:
             lines.append(f"[{event.stage}] {event.note}")
         return "\n".join(lines)
+
+
+class TranscriptBuilder:
+    """Event sink that folds the typed stream into a :class:`RunTranscript`.
+
+    The mapping reproduces the pre-pipeline engine's transcript
+    *byte-for-byte*: each typed event that used to be a
+    ``transcript.log(...)`` call renders to the identical stage tag and
+    note string, and the figure fields (``initial_score``,
+    ``candidate_scores``, ``debug_round_scores``, ...) fill in from the
+    same quantities.
+    """
+
+    def __init__(self, task_name: str = ""):
+        self.transcript = RunTranscript(task_name=task_name)
+
+    def emit(self, event: Event) -> None:
+        t = self.transcript
+        if isinstance(event, RunStarted):
+            if not t.task_name:
+                t.task_name = event.task_name
+        elif isinstance(event, TestbenchReady):
+            if event.regen_index == 0:
+                t.log(
+                    "step1",
+                    f"testbench generated: {event.total_checks} "
+                    "checkpointed checks",
+                )
+            # Regenerated testbenches are logged by the rescore event.
+        elif isinstance(event, InitialGenerated):
+            t.log(
+                "step2",
+                "initial RTL generated"
+                + (
+                    ""
+                    if event.clean
+                    else " (syntax errors remain after s=5 rounds)"
+                ),
+            )
+        elif isinstance(event, CandidateScored):
+            if event.origin == "initial" and t.initial_score is None:
+                t.initial_score = event.score
+                t.log("step2", f"initial candidate score {event.score:.3f}")
+        elif isinstance(event, TestbenchVerdict):
+            if event.correct:
+                t.log("step3", "judge upheld the testbench")
+            else:
+                t.log(
+                    "step3",
+                    f"judge rejected the testbench: {event.rationale}",
+                )
+        elif isinstance(event, TestbenchRegenerated):
+            t.tb_regens = max(t.tb_regens, event.regen_index)
+            t.log(
+                "step3",
+                f"regenerated testbench; initial rescored {event.rescored:.3f}",
+            )
+        elif isinstance(event, SamplingSummary):
+            t.candidate_scores = list(event.pool_scores)
+            t.selected_scores = list(event.selected_scores)
+            best = max(event.pool_scores, default=0.0)
+            t.log(
+                "step4",
+                f"sampled {len(event.pool_scores)} candidates; "
+                f"best {best:.3f}; kept top-{len(event.selected_scores)}",
+            )
+        elif isinstance(event, DebugRound):
+            while len(t.debug_round_scores) <= event.round_index:
+                t.debug_round_scores.append([])
+            t.debug_round_scores[event.round_index] = list(event.scores)
+        elif isinstance(event, DebugSummary):
+            t.log(
+                "step5",
+                f"debugging finished after {event.rounds} "
+                f"rounds; best score {event.best_score:.3f}",
+            )
+        elif isinstance(event, EarlyFinish):
+            if event.reason == "initial-pass":
+                t.log("done", "initial candidate passed; skipping steps 4-5")
+            elif event.reason == "sampled-pass":
+                t.log("done", "a sampled candidate passed; skipping step 5")
+        elif isinstance(event, RunFinished):
+            t.llm_calls = event.llm_calls
+
+
+def transcript_from_events(
+    events: Iterable[Event], task_name: str = ""
+) -> RunTranscript:
+    """Fold a recorded event stream into the legacy transcript."""
+    builder = TranscriptBuilder(task_name=task_name)
+    for event in events:
+        builder.emit(event)
+    return builder.transcript

@@ -37,8 +37,8 @@ class _MultiAgent:
         self.config = MAGEConfig.low_temperature()
         self.name = "multi-agent[claude-3.5-sonnet,T=0]"
 
-    def solve(self, task: DesignTask, seed: int = 0) -> str:
-        return MAGE(self.config).solve(task, seed=seed).source
+    def solve(self, task: DesignTask, seed: int = 0, sink=None) -> str:
+        return MAGE(self.config).solve(task, seed=seed, sink=sink).source
 
 
 TABLE3_ARMS: list[AblationArm] = [

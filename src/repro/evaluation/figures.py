@@ -2,11 +2,18 @@
 
 Figures are reproduced as printed distribution summaries and series --
 the quantities behind the violin plots -- rather than rendered images.
+
+Since the pipeline refactor the collectors consume the engine's *typed
+event stream* (:mod:`repro.core.events`) -- ``CandidateScored``,
+``SamplingSummary``, ``DebugRound`` -- instead of reading back
+transcript fields, so any event source (a live run, a checkpointed
+state, a cached solve cell) can feed a figure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -15,6 +22,12 @@ from repro.agents.rtl_agent import RTLAgent
 from repro.agents.testbench_agent import TestbenchAgent
 from repro.core.config import MAGEConfig
 from repro.core.engine import MAGE
+from repro.core.events import (
+    CandidateScored,
+    DebugRound,
+    Event,
+    SamplingSummary,
+)
 from repro.core.task import DesignTask
 from repro.evalsets.problem import Problem
 from repro.llm.interface import SamplingParams, create_llm
@@ -85,6 +98,32 @@ class ScoreSeries:
             self.rounds.append([])
         self.rounds[index].extend(scores)
 
+    def fold_events(self, events: Iterable[Event]) -> None:
+        """Harvest one run's typed event stream into the series.
+
+        A run contributes to the Fig. 4a distributions only when it
+        entered Step 4 (an initial scoring *and* a non-empty sampling
+        pool), matching the paper's exclusion of "problems fixed before
+        entering the debug stage"; Fig. 4b rows come straight from the
+        per-round ``DebugRound`` events.
+        """
+        initial: float | None = None
+        pool: tuple[float, ...] | None = None
+        for event in events:
+            if (
+                isinstance(event, CandidateScored)
+                and event.origin == "initial"
+                and initial is None
+            ):
+                initial = event.score
+            elif isinstance(event, SamplingSummary):
+                pool = event.pool_scores
+            elif isinstance(event, DebugRound):
+                self.add_round(event.round_index, list(event.scores))
+        if initial is not None and pool:
+            self.initial_scores.append(initial)
+            self.sampled_best_scores.append(max(pool))
+
 
 def collect_score_series(
     problems: list[Problem],
@@ -100,10 +139,5 @@ def collect_score_series(
     for problem in problems:
         engine = MAGE(config)
         result = engine.solve(DesignTask.from_problem(problem), seed=seed)
-        transcript = result.transcript
-        if transcript.initial_score is not None and transcript.candidate_scores:
-            series.initial_scores.append(transcript.initial_score)
-            series.sampled_best_scores.append(max(transcript.candidate_scores))
-        for index, round_scores in enumerate(transcript.debug_round_scores):
-            series.add_round(index, round_scores)
+        series.fold_events(result.events)
     return series

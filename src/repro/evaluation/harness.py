@@ -128,8 +128,8 @@ class _MageSystem:
         self.config = config
         self.name = _mage_name(config)
 
-    def solve(self, task: DesignTask, seed: int = 0) -> str:
-        return MAGE(self.config).solve(task, seed=seed).source
+    def solve(self, task: DesignTask, seed: int = 0, sink=None) -> str:
+        return MAGE(self.config).solve(task, seed=seed, sink=sink).source
 
 
 def _mage_name(config: MAGEConfig) -> str:

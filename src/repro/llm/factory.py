@@ -1,0 +1,48 @@
+"""One shared factory for every solve path's LLM construction.
+
+Before this module, the polluted-profile/SimLLM wiring was re-spelled
+in four places (``core/engine.py``, ``baselines/vanilla.py``,
+``baselines/single_agent.py``, ``baselines/two_agent.py``), each with
+its own way of saying "this system's agent operates on a merged
+conversation history, penalise it".  :func:`build_llm` is the single
+spelling:
+
+- plain systems get the registered provider for ``model`` (falling
+  back to :class:`~repro.llm.simllm.SimLLM` exactly like
+  :func:`~repro.llm.interface.create_llm`);
+- merged-history systems (the Table III single-agent ablation, the
+  AIVRIL-style coder) get a pollution-penalised profile, with optional
+  per-system multipliers.
+"""
+
+from __future__ import annotations
+
+from repro.llm.interface import LLMClient, create_llm
+from repro.llm.profiles import get_profile
+from repro.llm.simllm import SimLLM
+
+
+def build_llm(
+    model: str,
+    llm: LLMClient | None = None,
+    merged_history: bool = False,
+    pollution: tuple[float, float, float] | None = None,
+) -> LLMClient:
+    """Build the client one solve path runs on.
+
+    ``llm`` short-circuits everything (caller-injected client);
+    ``merged_history`` applies the default Sec. II-A pollution penalty;
+    ``pollution`` overrides the (lambda, fix, tb) multipliers (implies
+    merged history).
+    """
+    if llm is not None:
+        return llm
+    if pollution is not None:
+        lam, fix, tb = pollution
+        profile = get_profile(model).polluted(
+            lambda_mult=lam, fix_mult=fix, tb_mult=tb
+        )
+        return SimLLM(profile=profile)
+    if merged_history:
+        return SimLLM(profile=get_profile(model).polluted())
+    return create_llm(model)

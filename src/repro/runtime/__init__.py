@@ -4,14 +4,16 @@ The scaling layer under the MAGE engine and the evaluation harness:
 
 - :mod:`repro.runtime.executor` -- serial / thread / process executors
   behind one ``map``/``submit`` API with deterministic result ordering;
-- :mod:`repro.runtime.cache` -- memoized ``run_testbench`` keyed by
-  ``hash(design_source, testbench, top_module)`` with hit/miss counters
-  and an optional on-disk layer;
-- :mod:`repro.runtime.context` -- the ambient (executor, cache) pair the
+- :mod:`repro.runtime.cache` -- two content-addressed memoizers:
+  ``run_testbench`` keyed by ``hash(design_source, testbench,
+  top_module)``, and whole solve cells keyed by ``hash(config,
+  problem, seed)`` (source + typed event stream), both with hit/miss
+  counters and optional on-disk layers;
+- :mod:`repro.runtime.context` -- the ambient (executor, caches) set the
   engine's hot paths pick up without signature threading;
 - :mod:`repro.runtime.batch` -- ``evaluate_many``, fanning the Eq. 7
-  ``problems x runs`` grid across workers with progress callbacks and
-  timing/throughput stats.
+  ``problems x runs`` grid across workers with progress callbacks,
+  streaming per-cell events, and timing/throughput stats.
 
 Parallelism is applied only where it is provably bit-deterministic:
 whole evaluation cells (fresh system instance each, no shared state) and
@@ -22,10 +24,17 @@ serial, so ``--jobs N`` reproduces ``--jobs 1`` exactly for fixed seeds.
 from repro.runtime.batch import BatchReport, evaluate_many
 from repro.runtime.cache import (
     CacheStats,
+    ContentCache,
+    DiskCacheInfo,
     SimulationCache,
+    SolveCellCache,
+    SolveCellRecord,
     cached_run_testbench,
+    disk_cache_info,
     simulation_count,
     simulation_key,
+    solve_cell_key,
+    system_fingerprint,
 )
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.context import (
@@ -45,19 +54,26 @@ from repro.runtime.executor import (
 __all__ = [
     "BatchReport",
     "CacheStats",
+    "ContentCache",
+    "DiskCacheInfo",
     "Executor",
     "ProcessExecutor",
     "RuntimeConfig",
     "RuntimeContext",
     "SerialExecutor",
     "SimulationCache",
+    "SolveCellCache",
+    "SolveCellRecord",
     "ThreadExecutor",
     "cached_run_testbench",
     "configure",
     "create_executor",
+    "disk_cache_info",
     "evaluate_many",
     "get_runtime",
     "runtime_session",
     "simulation_count",
     "simulation_key",
+    "solve_cell_key",
+    "system_fingerprint",
 ]

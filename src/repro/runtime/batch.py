@@ -12,6 +12,20 @@ outcome.
 Alongside the result it returns a :class:`BatchReport` with wall-clock,
 per-cell timings, simulation throughput, and cache hit accounting --
 the numbers the ``bench`` CLI subcommand prints.
+
+Two streaming channels observe a batch while it runs:
+
+- ``progress`` receives one line per *problem*, in suite order
+  (buffered until every earlier problem completes, so output is
+  deterministic);
+- ``events`` receives a typed
+  :class:`~repro.core.events.CellFinished` per cell in **completion
+  order** (live, not buffered) plus a terminal
+  :class:`~repro.core.events.BatchFinished` -- the CLI's
+  ``--progress`` stream and the hook a service mode would subscribe to.
+
+With ``solve_cache`` enabled, whole cells are memoized by
+``hash(config, problem, seed)`` so repeated sweeps re-run near-free.
 """
 
 from __future__ import annotations
@@ -21,9 +35,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.events import BatchFinished, CellFinished, Event, EventSink, as_sink
 from repro.evalsets.problem import Problem, golden_testbench
 from repro.evalsets.suites import get_suite
-from repro.runtime.cache import CacheStats, SimulationCache, simulation_count
+from repro.runtime.cache import (
+    CacheStats,
+    SimulationCache,
+    SolveCellCache,
+    simulation_count,
+    system_fingerprint,
+)
 from repro.runtime.context import get_runtime
 from repro.runtime.executor import Executor, _picklable
 from repro.runtime.workers import CellResult, EvalCell, run_cell
@@ -39,6 +60,7 @@ class BatchReport:
     simulations: int = 0
     cell_seconds: list[float] = field(default_factory=list)
     cache: CacheStats = field(default_factory=CacheStats)
+    solve_cache: CacheStats = field(default_factory=CacheStats)
 
     @property
     def total_cell_seconds(self) -> float:
@@ -68,6 +90,13 @@ class BatchReport:
             f"(hits {self.cache.hits}, misses {self.cache.misses}, "
             f"hit-rate {100.0 * self.cache.hit_rate:.1f}%)",
         ]
+        if self.solve_cache.lookups:
+            lines.append(
+                f"solve cells     {self.solve_cache.lookups:8d}  "
+                f"(hits {self.solve_cache.hits}, "
+                f"misses {self.solve_cache.misses}, "
+                f"hit-rate {100.0 * self.solve_cache.hit_rate:.1f}%)"
+            )
         return "\n".join(lines)
 
 
@@ -84,6 +113,19 @@ def _resolve_cache(
     return ambient
 
 
+def _resolve_solve_cache(
+    solve_cache: SolveCellCache | bool | None,
+) -> SolveCellCache | None:
+    if isinstance(solve_cache, SolveCellCache):
+        return solve_cache
+    if solve_cache is False:
+        return None
+    ambient = get_runtime().solve_cache
+    if solve_cache is True and ambient is None:
+        return SolveCellCache()
+    return ambient
+
+
 def evaluate_many(
     system_factory: Callable[[], object],
     suite: str,
@@ -93,7 +135,9 @@ def evaluate_many(
     name: str | None = None,
     executor: Executor | None = None,
     cache: SimulationCache | bool | None = None,
+    solve_cache: SolveCellCache | bool | None = None,
     progress: Callable[[str], None] | None = None,
+    events: EventSink | Callable[[Event], None] | None = None,
 ):
     """Evaluate one system over a suite, fanned across workers.
 
@@ -105,13 +149,25 @@ def evaluate_many(
 
     ``name`` labels the result without constructing a throwaway system
     instance; when omitted, one instance is built just to read ``.name``.
+    ``solve_cache`` memoizes whole cells by ``hash(config, problem,
+    seed)`` (an instance, ``True``/``False``, or ``None`` to inherit
+    the ambient runtime's); factories without a stable configuration
+    fingerprint silently skip it.  ``events`` streams typed per-cell
+    completions live (completion order, unlike ``progress``).
     """
     from repro.evaluation.harness import EvalResult, ProblemOutcome
 
     chosen = problems if problems is not None else get_suite(suite)
     resolved_name = name if name is not None else system_factory().name
     live_cache = _resolve_cache(cache)
+    live_solve = _resolve_solve_cache(solve_cache)
+    fingerprint = (
+        system_fingerprint(system_factory) if live_solve is not None else None
+    )
+    if fingerprint is None:
+        live_solve = None
     pool = executor if executor is not None else get_runtime().executor
+    sink = as_sink(events)
 
     cells: list[EvalCell] = []
     for problem_index, problem in enumerate(chosen):
@@ -129,11 +185,19 @@ def evaluate_many(
                     cache_dir=(
                         live_cache.directory if live_cache is not None else None
                     ),
+                    solve_enabled=live_solve is not None,
+                    solve_dir=(
+                        live_solve.directory if live_solve is not None else None
+                    ),
+                    fingerprint=fingerprint,
                 )
             )
 
     cache_before = (
         live_cache.stats.snapshot() if live_cache is not None else CacheStats()
+    )
+    solve_before = (
+        live_solve.stats.snapshot() if live_solve is not None else CacheStats()
     )
     sims_before = simulation_count()
     started = time.perf_counter()
@@ -141,7 +205,7 @@ def evaluate_many(
     # Cells only cross a process boundary when they actually can; an
     # unpicklable factory on a process pool would silently fall back to
     # threads inside the executor, which must then receive the live
-    # cache like any other in-process path (not per-process caches).
+    # caches like any other in-process path (not per-process caches).
     crosses_processes = (
         pool.kind == "process" and bool(cells) and _picklable(cells[0])
     )
@@ -151,7 +215,9 @@ def evaluate_many(
         # probed once above, so skip the per-call probe.
         submit = lambda cell: pool.submit_unchecked(run_cell, cell)  # noqa: E731
     else:
-        submit = lambda cell: pool.submit(run_cell, cell, live_cache)  # noqa: E731
+        submit = lambda cell: pool.submit(  # noqa: E731
+            run_cell, cell, live_cache, live_solve
+        )
 
     futures = [submit(cell) for cell in cells]
     by_problem: dict[int, list[CellResult]] = {}
@@ -173,9 +239,20 @@ def evaluate_many(
     for future in cf.as_completed(futures):
         cell_result = future.result()
         by_problem.setdefault(cell_result.problem_index, []).append(cell_result)
+        sink.emit(
+            CellFinished(
+                problem_id=cell_result.problem_id,
+                run_index=cell_result.run_index,
+                passed=cell_result.passed,
+                score=cell_result.score,
+                seconds=cell_result.seconds,
+                solve_cached=cell_result.solve_cached,
+            )
+        )
         next_to_report = flush_progress()
 
     wall = time.perf_counter() - started
+    sink.emit(BatchFinished(cells=len(cells), seconds=wall))
 
     result = EvalResult(system=resolved_name, suite=suite)
     report = BatchReport(executor=pool.describe(), wall_seconds=wall)
@@ -201,11 +278,20 @@ def evaluate_many(
             hits=sum(r.cache_hits for r in collected),
             misses=sum(r.cache_misses for r in collected),
         )
+        report.solve_cache = CacheStats(
+            hits=sum(r.solve_hits for r in collected),
+            misses=sum(r.solve_misses for r in collected),
+        )
         report.simulations = sum(r.simulations for r in collected)
     else:
         report.cache = (
             live_cache.stats.delta(cache_before)
             if live_cache is not None
+            else CacheStats()
+        )
+        report.solve_cache = (
+            live_solve.stats.delta(solve_before)
+            if live_solve is not None
             else CacheStats()
         )
         report.simulations = simulation_count() - sims_before

@@ -1,22 +1,31 @@
-"""Content-addressed simulation cache.
+"""Content-addressed caches: simulation reports and whole solve cells.
 
-Simulation is deterministic: the same (design source, testbench, top
-module) triple always produces the same :class:`TestReport`.  That makes
-``run_testbench`` memoizable under a content hash -- the dominant cost
-of evaluation (Eq. 7 runs ``problems x runs`` full workflows, each with
-many judge scorings) collapses whenever a triple repeats: re-scored
-debug candidates, duplicate sampled sources, T=0 stages recurring
-across runs, and whole repeated evaluation passes.
+Two memoization layers with the same two-tier (memory LRU + optional
+disk) machinery, :class:`ContentCache`:
+
+- :class:`SimulationCache` -- ``run_testbench`` is deterministic, so the
+  same (design source, testbench, top module) triple always produces
+  the same :class:`TestReport` and the dominant cost of evaluation
+  collapses whenever a triple repeats: re-scored debug candidates,
+  duplicate sampled sources, T=0 stages recurring across runs.
+- :class:`SolveCellCache` -- one level up, the ROADMAP's solve-cell
+  cache: a whole engine run is deterministic in (system configuration,
+  problem, seed), so ``hash(config, problem, seed)`` addresses the
+  final source *plus the typed event stream* of the run.  Repeated
+  temperature/ablation sweeps over the same grid become near-free;
+  only genuinely new cells pay for LLM calls and simulation.
 
 Keys are SHA-256 over length-prefixed fields, so no concatenation of
-(source, testbench, top) can collide with a different split of the same
-bytes.  The in-memory layer is a plain dict behind a lock; an optional
-on-disk layer (pickled reports, atomically written) persists across
-processes and sessions and is shared by process-pool workers.
+fields can collide with a different split of the same bytes.  The
+in-memory layer is a plain dict behind a lock; the optional on-disk
+layer (pickled values, atomically written) persists across processes
+and sessions and is shared by process-pool workers.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import functools
 import hashlib
 import os
 import pickle
@@ -24,9 +33,20 @@ import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.tb.runner import TestReport, run_testbench
 from repro.tb.stimulus import Testbench, render_testbench
+
+
+def _digest(parts: tuple[str, ...]) -> str:
+    """SHA-256 over length-prefixed fields (boundary-collision safe)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        data = part.encode()
+        digest.update(len(data).to_bytes(8, "little"))
+        digest.update(data)
+    return digest.hexdigest()
 
 
 def simulation_key(
@@ -41,12 +61,7 @@ def simulation_key(
     tb_text = (
         testbench if isinstance(testbench, str) else render_testbench(testbench)
     )
-    digest = hashlib.sha256()
-    for part in (source, tb_text, top or ""):
-        data = part.encode()
-        digest.update(len(data).to_bytes(8, "little"))
-        digest.update(data)
-    return digest.hexdigest()
+    return _digest((source, tb_text, top or ""))
 
 
 class _SimCounter:
@@ -103,16 +118,22 @@ class CacheStats:
         )
 
 
-class SimulationCache:
-    """Two-layer (memory + optional disk) report cache.
+class ContentCache:
+    """Two-layer (memory + optional disk) content-addressed cache.
 
-    The memory layer is LRU-bounded by ``max_entries`` (reports carry
-    per-check records, so an unbounded map would grow with every unique
-    candidate ever simulated); evicted entries remain on disk when a
-    directory is configured.  Cached reports are shared objects; callers
-    treat :class:`TestReport` as read-only, which every consumer in the
-    engine already does.
+    The memory layer is LRU-bounded by ``max_entries`` (cached values
+    carry per-check records or whole event streams, so an unbounded map
+    would grow with every unique entry ever stored); evicted entries
+    remain on disk when a directory is configured.  Cached values are
+    shared objects; callers treat them as read-only, which every
+    consumer in the engine already does.
+
+    ``value_type`` guards the disk layer: a pickle that does not
+    deserialise to it is treated as a miss, so corrupt or foreign files
+    never reach callers.
     """
+
+    value_type: type = object
 
     def __init__(self, directory: str | None = None, max_entries: int = 8192):
         if max_entries < 1:
@@ -120,7 +141,7 @@ class SimulationCache:
         self.directory = directory
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._memory: "OrderedDict[str, TestReport]" = OrderedDict()
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
@@ -131,52 +152,52 @@ class SimulationCache:
     def _disk_path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.pkl")
 
-    def _remember(self, key: str, report: TestReport) -> None:
+    def _remember(self, key: str, value: Any) -> None:
         # Callers hold self._lock.
-        self._memory[key] = report
+        self._memory[key] = value
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
 
-    def get(self, key: str) -> TestReport | None:
+    def get(self, key: str) -> Any | None:
         with self._lock:
-            report = self._memory.get(key)
-            if report is not None:
+            value = self._memory.get(key)
+            if value is not None:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
-                return report
+                return value
         if self.directory is not None:
-            report = self._read_disk(key)
-            if report is not None:
+            value = self._read_disk(key)
+            if value is not None:
                 with self._lock:
-                    self._remember(key, report)
+                    self._remember(key, value)
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
-                return report
+                return value
         with self._lock:
             self.stats.misses += 1
         return None
 
-    def put(self, key: str, report: TestReport) -> None:
+    def put(self, key: str, value: Any) -> None:
         with self._lock:
-            self._remember(key, report)
+            self._remember(key, value)
             self.stats.stores += 1
         if self.directory is not None:
-            self._write_disk(key, report)
+            self._write_disk(key, value)
 
     def clear(self) -> None:
         with self._lock:
             self._memory.clear()
 
-    def _read_disk(self, key: str) -> TestReport | None:
+    def _read_disk(self, key: str) -> Any | None:
         try:
             with open(self._disk_path(key), "rb") as handle:
-                report = pickle.load(handle)
+                value = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             return None
-        return report if isinstance(report, TestReport) else None
+        return value if isinstance(value, self.value_type) else None
 
-    def _write_disk(self, key: str, report: TestReport) -> None:
+    def _write_disk(self, key: str, value: Any) -> None:
         # Atomic write: concurrent workers may race on the same key, and
         # a reader must never observe a half-written pickle.
         try:
@@ -184,10 +205,16 @@ class SimulationCache:
                 dir=self.directory, suffix=".tmp"
             )
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(report, handle)
+                pickle.dump(value, handle)
             os.replace(tmp_path, self._disk_path(key))
         except OSError:
             pass  # disk layer is best-effort; memory layer already has it
+
+
+class SimulationCache(ContentCache):
+    """Memoized simulation reports keyed by :func:`simulation_key`."""
+
+    value_type = TestReport
 
 
 def cached_run_testbench(
@@ -215,3 +242,137 @@ def cached_run_testbench(
         report = run_testbench(source, testbench, top)
         cache.put(key, report)
     return report
+
+
+# ----------------------------------------------------------------------
+# Solve-cell caching: hash(config, problem, seed) -> source + events.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolveCellRecord:
+    """What one cached solve cell stores: the final source plus the
+    typed event stream of the run (from which the legacy transcript
+    derives)."""
+
+    source: str
+    system: str
+    events: tuple = ()
+
+
+class SolveCellCache(ContentCache):
+    """Memoized whole-run results keyed by :func:`solve_cell_key`."""
+
+    value_type = SolveCellRecord
+
+
+def solve_cell_key(fingerprint: str, problem, seed: int) -> str:
+    """Content hash of one evaluation cell.
+
+    ``fingerprint`` identifies the system configuration (see
+    :func:`system_fingerprint`); the problem enters by *full content*
+    (every dataclass field: spec, top, kind, clock, golden, difficulty,
+    stimulus policy, ...) rather than by id alone, so any edit to a
+    benchmark problem -- including interface or difficulty changes that
+    leave the spec text untouched -- invalidates its cells.
+    """
+    return _digest((fingerprint, _stable_repr(problem), str(int(seed))))
+
+
+class _Unfingerprintable(Exception):
+    """Raised when a factory has no stable content identity."""
+
+
+def _stable_repr(obj: Any) -> str:
+    """Deterministic, address-free repr for fingerprinting.
+
+    Covers what registry factories are actually made of: literals,
+    containers, frozen config dataclasses, classes/functions, and
+    ``functools.partial`` over them.  Anything else (closures, live
+    instances with hidden state) raises, and the caller disables solve
+    caching rather than risking a collision.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, (tuple, list)):
+        inner = ",".join(_stable_repr(item) for item in obj)
+        return f"[{inner}]"
+    if isinstance(obj, dict):
+        inner = ",".join(
+            f"{_stable_repr(key)}:{_stable_repr(value)}"
+            for key, value in sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"{{{inner}}}"
+    if isinstance(obj, functools.partial):
+        return (
+            f"partial({_stable_repr(obj.func)},"
+            f"{_stable_repr(list(obj.args))},{_stable_repr(obj.keywords)})"
+        )
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        inner = ",".join(
+            f"{f.name}={_stable_repr(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{cls.__module__}.{cls.__qualname__}({inner})"
+    if callable(obj):
+        module = getattr(obj, "__module__", None)
+        qualname = getattr(obj, "__qualname__", None)
+        if module and qualname and "<locals>" not in qualname:
+            return f"{module}.{qualname}"
+    raise _Unfingerprintable(f"no stable fingerprint for {type(obj)!r}")
+
+
+def system_fingerprint(factory: Callable[[], object]) -> str | None:
+    """Stable identity of a system factory's *configuration*.
+
+    Returns None when the factory cannot be fingerprinted (e.g. a
+    closure over mutable state) -- solve-cell caching is then skipped
+    for that system.  Objects may also provide an explicit
+    ``cache_fingerprint`` attribute, which wins.
+    """
+    explicit = getattr(factory, "cache_fingerprint", None)
+    if isinstance(explicit, str):
+        return explicit
+    try:
+        return _stable_repr(factory)
+    except _Unfingerprintable:
+        return None
+
+
+@dataclass(frozen=True)
+class DiskCacheInfo:
+    """Size report for one on-disk cache directory."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+
+    @property
+    def megabytes(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+    def render(self) -> str:
+        return (
+            f"{self.directory}: {self.entries} entries, "
+            f"{self.megabytes:.2f} MiB"
+        )
+
+
+def disk_cache_info(directory: str) -> DiskCacheInfo:
+    """Count entries and bytes in one cache directory (missing -> empty)."""
+    entries = 0
+    total = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        if not name.endswith(".pkl"):
+            continue
+        entries += 1
+        try:
+            total += os.path.getsize(os.path.join(directory, name))
+        except OSError:
+            pass
+    return DiskCacheInfo(directory=directory, entries=entries, total_bytes=total)

@@ -5,10 +5,13 @@ arguments (CLI flags), environment variables, and defaults.
 
 Environment variables:
 
-- ``REPRO_JOBS``           worker count (default 1 = serial)
-- ``REPRO_EXECUTOR``       ``auto`` | ``serial`` | ``thread`` | ``process``
-- ``REPRO_SIM_CACHE``      ``1``/``0`` to enable/disable the simulation cache
-- ``REPRO_SIM_CACHE_DIR``  directory for the optional on-disk cache layer
+- ``REPRO_JOBS``             worker count (default 1 = serial)
+- ``REPRO_EXECUTOR``         ``auto`` | ``serial`` | ``thread`` | ``process``
+- ``REPRO_SIM_CACHE``        ``1``/``0`` to enable/disable the simulation cache
+- ``REPRO_SIM_CACHE_DIR``    directory for the optional on-disk cache layer
+- ``REPRO_SOLVE_CACHE``      ``1``/``0`` to enable the solve-cell cache
+                             (whole-run memoization; default off)
+- ``REPRO_SOLVE_CACHE_DIR``  directory for the on-disk solve-cell layer
 """
 
 from __future__ import annotations
@@ -44,6 +47,8 @@ class RuntimeConfig:
     executor: str = "auto"  # auto | serial | thread | process
     cache: bool = True
     cache_dir: str | None = None
+    solve_cache: bool = False
+    solve_cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -60,6 +65,8 @@ class RuntimeConfig:
         executor: str | None = None,
         cache: bool | None = None,
         cache_dir: str | None = None,
+        solve_cache: bool | None = None,
+        solve_cache_dir: str | None = None,
     ) -> "RuntimeConfig":
         """Resolve settings: explicit args beat env vars beat defaults."""
         return RuntimeConfig(
@@ -76,5 +83,15 @@ class RuntimeConfig:
                 cache_dir
                 if cache_dir is not None
                 else os.environ.get("REPRO_SIM_CACHE_DIR") or None
+            ),
+            solve_cache=(
+                solve_cache
+                if solve_cache is not None
+                else _env_flag("REPRO_SOLVE_CACHE", False)
+            ),
+            solve_cache_dir=(
+                solve_cache_dir
+                if solve_cache_dir is not None
+                else os.environ.get("REPRO_SOLVE_CACHE_DIR") or None
             ),
         )

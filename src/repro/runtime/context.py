@@ -22,27 +22,30 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-from repro.runtime.cache import SimulationCache
+from repro.runtime.cache import SimulationCache, SolveCellCache
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.executor import Executor, SerialExecutor, create_executor
 
 
 @dataclass
 class RuntimeContext:
-    """One resolved runtime: an executor plus a cache (None = disabled).
+    """One resolved runtime: an executor plus caches (None = disabled).
 
     ``owns_executor`` records whether this context created its executor
     (and is therefore responsible for shutting it down) or was handed a
-    caller-managed one.
+    caller-managed one.  ``solve_cache`` memoizes whole evaluation
+    cells (off by default; see ``REPRO_SOLVE_CACHE``).
     """
 
     executor: Executor
     cache: SimulationCache | None
     owns_executor: bool = False
+    solve_cache: SolveCellCache | None = None
 
     def describe(self) -> str:
         cache = "cache=off" if self.cache is None else "cache=on"
-        return f"{self.executor.describe()} {cache}"
+        solve = "" if self.solve_cache is None else " solve-cache=on"
+        return f"{self.executor.describe()} {cache}{solve}"
 
 
 _GLOBAL: RuntimeContext | None = None
@@ -59,6 +62,11 @@ def _build(config: RuntimeConfig, executor: Executor | None = None) -> RuntimeCo
         ),
         cache=SimulationCache(config.cache_dir) if config.cache else None,
         owns_executor=executor is None,
+        solve_cache=(
+            SolveCellCache(config.solve_cache_dir)
+            if config.solve_cache
+            else None
+        ),
     )
 
 
@@ -80,6 +88,8 @@ def configure(
     executor: Executor | str | None = None,
     cache: bool | None = None,
     cache_dir: str | None = None,
+    solve_cache: bool | None = None,
+    solve_cache_dir: str | None = None,
 ) -> RuntimeContext:
     """Replace the process-global context (CLI and long-lived services).
 
@@ -90,7 +100,12 @@ def configure(
     kind = executor if isinstance(executor, str) else None
     ready = executor if isinstance(executor, Executor) else None
     config = RuntimeConfig.from_env(
-        jobs=jobs, executor=kind, cache=cache, cache_dir=cache_dir
+        jobs=jobs,
+        executor=kind,
+        cache=cache,
+        cache_dir=cache_dir,
+        solve_cache=solve_cache,
+        solve_cache_dir=solve_cache_dir,
     )
     with _GLOBAL_LOCK:
         previous = _GLOBAL
@@ -106,6 +121,8 @@ def runtime_session(
     executor: Executor | str | None = None,
     cache: bool | None = None,
     cache_dir: str | None = None,
+    solve_cache: bool | None = None,
+    solve_cache_dir: str | None = None,
     context: RuntimeContext | None = None,
 ):
     """Thread-local context override, restored on exit.
@@ -118,7 +135,12 @@ def runtime_session(
         kind = executor if isinstance(executor, str) else None
         ready = executor if isinstance(executor, Executor) else None
         config = RuntimeConfig.from_env(
-            jobs=jobs, executor=kind, cache=cache, cache_dir=cache_dir
+            jobs=jobs,
+            executor=kind,
+            cache=cache,
+            cache_dir=cache_dir,
+            solve_cache=solve_cache,
+            solve_cache_dir=solve_cache_dir,
         )
         context = _build(config, ready)
     stack = getattr(_LOCAL, "stack", None)

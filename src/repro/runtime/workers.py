@@ -4,17 +4,25 @@ One :class:`EvalCell` is one (problem, run) point of the Eq. 7 grid:
 build a fresh system instance, solve the task, score the result against
 the hidden golden testbench.  Cells are self-contained frozen dataclasses
 so a :class:`~repro.runtime.executor.ProcessExecutor` can ship them to
-worker processes; in-process executors pass the live cache alongside.
+worker processes; in-process executors pass the live caches alongside.
 
 Each cell runs under a thread-local **serial** runtime so the grid is
 parallelised exactly once: worker threads and processes never spawn
 nested pools, and a cell's internal LLM-call ordering stays identical
 to a plain serial run -- which is what makes ``--jobs N`` bit-identical
 to ``--jobs 1`` for fixed seeds.
+
+When the cell carries a solve-cell fingerprint, the whole run is first
+looked up in the :class:`~repro.runtime.cache.SolveCellCache` --
+``hash(config, problem, seed)`` -> source + typed events -- and a hit
+skips the system entirely; only the (also cached) golden-testbench
+scoring remains.  Cached results are bit-identical to recomputation
+because solves are deterministic in exactly the hashed inputs.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -24,8 +32,11 @@ from repro.evalsets.problem import Problem
 from repro.runtime.cache import (
     CacheStats,
     SimulationCache,
+    SolveCellCache,
+    SolveCellRecord,
     cached_run_testbench,
     simulation_count,
+    solve_cell_key,
 )
 from repro.runtime.context import RuntimeContext, runtime_session
 from repro.runtime.executor import SerialExecutor
@@ -44,6 +55,9 @@ class EvalCell:
     seed: int
     cache_enabled: bool = True
     cache_dir: str | None = None
+    solve_enabled: bool = False
+    solve_dir: str | None = None
+    fingerprint: str | None = None
 
 
 @dataclass(frozen=True)
@@ -52,7 +66,7 @@ class CellResult:
 
     Cache counters are exact per-cell in serial and process execution;
     under thread execution concurrent cells share counters, so batch
-    totals are taken from the live cache instead.
+    totals are taken from the live caches instead.
     """
 
     problem_index: int
@@ -64,11 +78,19 @@ class CellResult:
     cache_hits: int = 0
     cache_misses: int = 0
     simulations: int = 0
+    solve_hits: int = 0
+    solve_misses: int = 0
+    # Whether THIS cell's solve was served from the solve-cell cache.
+    # Recorded at the lookup itself (not from stats deltas), so it stays
+    # correct even when concurrent thread cells share one stats object.
+    solve_cached: bool = False
 
 
-# Per-process cache registry for pool workers: cells landing in the same
-# worker process share one in-memory cache (keyed by disk directory).
+# Per-process cache registries for pool workers: cells landing in the
+# same worker process share one in-memory cache (keyed by disk
+# directory).
 _WORKER_CACHES: dict[str | None, SimulationCache] = {}
+_WORKER_SOLVE_CACHES: dict[str | None, SolveCellCache] = {}
 
 
 def _resolve_cache(cell: EvalCell) -> SimulationCache | None:
@@ -81,24 +103,95 @@ def _resolve_cache(cell: EvalCell) -> SimulationCache | None:
     return cache
 
 
-def run_cell(cell: EvalCell, cache: SimulationCache | None = None) -> CellResult:
+def _resolve_solve_cache(cell: EvalCell) -> SolveCellCache | None:
+    if not cell.solve_enabled or cell.fingerprint is None:
+        return None
+    cache = _WORKER_SOLVE_CACHES.get(cell.solve_dir)
+    if cache is None:
+        cache = SolveCellCache(cell.solve_dir)
+        _WORKER_SOLVE_CACHES[cell.solve_dir] = cache
+    return cache
+
+
+def _accepts_sink(solve: Callable) -> bool:
+    """Whether a system's ``solve`` takes the event-sink keyword."""
+    try:
+        return "sink" in inspect.signature(solve).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def _solve_cell(cell: EvalCell, solve_cache: SolveCellCache | None) -> tuple[str, bool]:
+    """Produce the cell's source; returns (source, served_from_cache)."""
+    if solve_cache is not None:
+        try:
+            key = solve_cell_key(cell.fingerprint, cell.problem, cell.seed)
+        except Exception:
+            # A problem payload without a stable repr cannot be cached
+            # safely; fall through to a plain solve.
+            solve_cache = None
+    if solve_cache is None:
+        system = cell.factory()
+        return (
+            system.solve(DesignTask.from_problem(cell.problem), seed=cell.seed),
+            False,
+        )
+    record = solve_cache.get(key)
+    if record is not None:
+        return record.source, True
+    from repro.core.events import ListSink
+
+    system = cell.factory()
+    task = DesignTask.from_problem(cell.problem)
+    collector = ListSink()
+    if _accepts_sink(system.solve):
+        source = system.solve(task, seed=cell.seed, sink=collector)
+    else:
+        # Systems predating the pipeline refactor take no sink.
+        source = system.solve(task, seed=cell.seed)
+    solve_cache.put(
+        key,
+        SolveCellRecord(
+            source=source,
+            system=getattr(system, "name", type(system).__name__),
+            events=tuple(collector.events),
+        ),
+    )
+    return source, False
+
+
+def run_cell(
+    cell: EvalCell,
+    cache: SimulationCache | None = None,
+    solve_cache: SolveCellCache | None = None,
+) -> CellResult:
     """Execute one cell (module-level, hence process-pool picklable)."""
     if cache is None and cell.cache_enabled:
         cache = _resolve_cache(cell)
+    if solve_cache is None:
+        solve_cache = _resolve_solve_cache(cell)
+    elif cell.fingerprint is None:
+        solve_cache = None
     before = cache.stats.snapshot() if cache is not None else CacheStats()
+    solve_before = (
+        solve_cache.stats.snapshot() if solve_cache is not None else CacheStats()
+    )
     sims_before = simulation_count()
     started = time.perf_counter()
     inner = RuntimeContext(executor=SerialExecutor(), cache=cache)
     with runtime_session(context=inner):
-        system = cell.factory()
-        task = DesignTask.from_problem(cell.problem)
-        source = system.solve(task, seed=cell.seed)
+        source, solve_cached = _solve_cell(cell, solve_cache)
         report = cached_run_testbench(
             source, cell.golden_tb, cell.problem.top, cache=cache
         )
     elapsed = time.perf_counter() - started
     delta = (
         cache.stats.delta(before) if cache is not None else CacheStats()
+    )
+    solve_delta = (
+        solve_cache.stats.delta(solve_before)
+        if solve_cache is not None
+        else CacheStats()
     )
     return CellResult(
         problem_index=cell.problem_index,
@@ -110,4 +203,7 @@ def run_cell(cell: EvalCell, cache: SimulationCache | None = None) -> CellResult
         cache_hits=delta.hits,
         cache_misses=delta.misses,
         simulations=simulation_count() - sims_before,
+        solve_hits=solve_delta.hits,
+        solve_misses=solve_delta.misses,
+        solve_cached=solve_cached,
     )

@@ -122,6 +122,91 @@ class TestCliRuntime:
         assert main(["eval", "vanilla-claude", "--limit", "1"]) == 0
         capsys.readouterr()
 
+    def test_run_streams_events(self, capsys):
+        assert main(["run", "cb_and_or_gate", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "run started: mage[" in out
+        assert "stage step1 started" in out
+        assert "run finished: PASS" in out
+        assert "golden testbench: PASS" in out
+
+    def test_run_registered_system(self, capsys):
+        assert main(["run", "cb_mux2", "--system", "aivril"]) == 0
+        out = capsys.readouterr().out
+        assert "run started: two-agent[" in out
+        assert "stage testbench started" in out
+
+    def test_run_unknown_system(self, capsys):
+        assert main(["run", "cb_mux2", "--system", "martian"]) == 2
+        assert "unknown system" in capsys.readouterr().out
+
+    def test_run_unknown_problem(self, capsys):
+        assert main(["run", "no_such_problem"]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_eval_progress_streams_cells(self, capsys):
+        argv = [
+            "eval", "vanilla-claude", "--runs", "2", "--limit", "2",
+            "--progress",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "run 0:" in out and "run 1:" in out
+        assert "batch finished:" in out
+
+    def test_eval_solve_cache_flag(self, capsys):
+        argv = [
+            "eval", "vanilla-claude", "--runs", "1", "--limit", "2",
+            "--solve-cache", "--verbose",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+    def test_cache_unconfigured(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SOLVE_CACHE_DIR", raising=False)
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "no disk directory configured" in out
+        assert "hint:" in out
+
+    def test_cache_reports_directories(self, capsys, tmp_path):
+        sim_dir = tmp_path / "sim"
+        solve_dir = tmp_path / "solve"
+        assert (
+            main([
+                "bench", "vanilla-itertl", "--runs", "1", "--limit", "2",
+                "--cache-dir", str(sim_dir),
+                "--solve-cache", "--solve-cache-dir", str(solve_dir),
+            ])
+            == 0
+        )
+        capsys.readouterr()
+        argv = ["cache", "--sim-dir", str(sim_dir), "--solve-dir", str(solve_dir)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "simulation cache" in out and "solve-cell cache" in out
+        assert "entries" in out and "0 entries" not in out
+
+    def test_bench_solve_cache_speedup_gate(self, capsys):
+        argv = [
+            "bench", "mage", "--runs", "2", "--limit", "3",
+            "--solve-cache", "--min-speedup", "2.0",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "solve cells" in out
+        assert "hit-rate 100.0%" in out
+        assert "deterministic   yes" in out
+
+    def test_bench_min_speedup_failure(self, capsys):
+        argv = [
+            "bench", "vanilla-itertl", "--runs", "1", "--limit", "1",
+            "--no-cache", "--min-speedup", "1000000",
+        ]
+        assert main(argv) == 1
+        assert "below required" in capsys.readouterr().out
+
     def test_bench_process_executor_shares_cache(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_EXECUTOR", "process")
         argv = [
