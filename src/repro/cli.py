@@ -7,7 +7,9 @@ Commands:
 - ``run <problem_id>``            solve one task with a live event stream
 - ``eval <system> <suite>``       evaluate a registered system
 - ``bench <system> <suite>``      benchmark the runtime (speedup, cache)
-- ``cache``                       report disk-cache hit/miss/size stats
+- ``cache``                       report cache hit/miss/size stats per layer
+- ``serve``                       start a long-lived solve service
+- ``submit <system> <problem>``   submit one cell to a running service
 - ``lint <file.v>``               lint a Verilog file
 - ``tb <file.v> <bench.tb>``      run a testbench against a design
 
@@ -19,6 +21,15 @@ the same ``config x problem x seed`` grid re-run near-free).
 ``eval --runs`` defaults to the ``REPRO_EVAL_RUNS`` environment
 override, falling back to 1; ``eval --progress`` streams typed
 per-cell events as they finish.
+
+Service mode: ``serve`` binds a localhost TCP solve service (broker +
+long-lived worker pool over both cache layers); ``submit`` streams one
+cell's typed events from it; ``eval --service HOST:PORT[,HOST:PORT...]``
+shards the evaluation grid across running servers with a deterministic
+merge (bit-identical to local ``--jobs 1``); ``bench --service``
+measures submit-to-done latency and warm-cache serving speedup, writing
+``BENCH_service.json``; ``cache --service`` and ``serve --stop`` query
+and drain a running server.
 """
 
 from __future__ import annotations
@@ -63,18 +74,24 @@ def _cmd_solve(args) -> int:
 
 def _cmd_run(args) -> int:
     """Solve one named task with the typed event stream printed live."""
-    from repro import MAGE, DesignTask, MAGEConfig
-    from repro.baselines.registry import SYSTEMS, create_system, system_names
+    from functools import partial
+
+    from repro import MAGEConfig
+    from repro.baselines.registry import MAGESystem, SYSTEMS, system_names
     from repro.core.events import StreamSink
     from repro.evalsets import get_problem, golden_testbench
-    from repro.runtime.cache import cached_run_testbench
+    from repro.runtime.cache import (
+        SolveCellCache,
+        cached_run_testbench,
+        system_fingerprint,
+    )
+    from repro.runtime.workers import solve_streaming
 
     try:
         problem = get_problem(args.problem)
     except KeyError as exc:
         print(f"error: {exc}")
         return 2
-    task = DesignTask.from_problem(problem)
     sink = StreamSink(write=lambda line: print(f"  | {line}"))
     if args.system == "mage":
         config = (
@@ -82,8 +99,7 @@ def _cmd_run(args) -> int:
             if args.low_temperature
             else MAGEConfig.high_temperature()
         )
-        result = MAGE(config).solve(task, seed=args.seed, sink=sink)
-        source = result.source
+        factory = partial(MAGESystem, config)
     else:
         if args.system not in SYSTEMS:
             print(f"unknown system; choose from: mage, {', '.join(system_names())}")
@@ -94,8 +110,25 @@ def _cmd_run(args) -> int:
                 "(registered systems carry their own sampling settings)"
             )
             return 2
-        system = create_system(args.system)
-        source = system.solve(task, seed=args.seed, sink=sink)
+        factory = SYSTEMS[args.system].factory
+    solve_cache = None
+    if args.solve_cache or args.solve_cache_dir:
+        solve_cache = SolveCellCache(
+            args.solve_cache_dir or os.environ.get("REPRO_SOLVE_CACHE_DIR")
+        )
+    fingerprint = (
+        system_fingerprint(factory) if solve_cache is not None else None
+    )
+    source, cached = solve_streaming(
+        factory,
+        problem,
+        args.seed,
+        sink=sink,
+        solve_cache=solve_cache,
+        fingerprint=fingerprint,
+    )
+    if solve_cache is not None:
+        print(f"solve-cell cache: {'hit' if cached else 'miss'}")
     print()
     print(source)
     golden = cached_run_testbench(source, golden_testbench(problem), problem.top)
@@ -103,46 +136,118 @@ def _cmd_run(args) -> int:
     return 0 if golden.passed else 1
 
 
+def _render_counter_line(stats: dict) -> str:
+    lookups = stats.get("lookups", 0)
+    hits = stats.get("hits", 0)
+    rate = 100.0 * hits / lookups if lookups else 0.0
+    return (
+        f"lookups {lookups}, hits {hits} "
+        f"(disk {stats.get('disk_hits', 0)}), "
+        f"misses {stats.get('misses', 0)}, "
+        f"stores {stats.get('stores', 0)}, hit-rate {rate:.1f}%"
+    )
+
+
 def _cmd_cache(args) -> int:
-    """Report hit/miss/size statistics for the configured disk caches."""
+    """Per-layer cache report: disk size plus hit/miss counters.
+
+    The two layers (simulation vs solve-cell) are reported separately;
+    ``--service`` queries a running solve server's live counters
+    instead of this process's.
+    """
     from repro.runtime.cache import disk_cache_info
     from repro.runtime.context import get_runtime
 
-    targets = [
-        ("simulation cache", args.sim_dir or os.environ.get("REPRO_SIM_CACHE_DIR")),
+    if args.service:
+        from repro.service import ProtocolError, ServiceError, fetch_stats
+
+        try:
+            stats = fetch_stats(args.service)
+        except (OSError, ValueError, ServiceError, ProtocolError) as exc:
+            print(f"error: cannot reach service at {args.service}: {exc}")
+            return 2
+        broker = stats.get("broker", {})
+        workers = stats.get("service", {})
+        print(
+            f"service {stats.get('address', args.service)}: "
+            f"{stats.get('workers', 0)} workers, "
+            f"{stats.get('pending', 0)} pending"
+        )
+        print(
+            f"  requests: submitted {broker.get('submitted', 0)}, "
+            f"deduped {broker.get('deduped', 0)}, "
+            f"completed {broker.get('completed', 0)}, "
+            f"failed {broker.get('failed', 0)}, "
+            f"rejected {broker.get('rejected', 0)}"
+        )
+        print(
+            f"  workers: executed {workers.get('executed', 0)}, "
+            f"cache-served {workers.get('cache_served', 0)}, "
+            f"errors {workers.get('errors', 0)}"
+        )
+        layers = stats.get("caches", {})
+        for label, key in (
+            ("simulation cache", "simulation"),
+            ("solve-cell cache", "solve_cell"),
+        ):
+            layer = layers.get(key)
+            if layer is None:
+                print(f"  {label}: disabled")
+                continue
+            print(
+                f"  {label}: {layer.get('entries', 0)} entries, "
+                + _render_counter_line(layer)
+            )
+        return 0
+
+    runtime = get_runtime()
+    layers = [
+        (
+            "simulation cache",
+            args.sim_dir or os.environ.get("REPRO_SIM_CACHE_DIR"),
+            runtime.cache,
+            "REPRO_SIM_CACHE=1",
+        ),
         (
             "solve-cell cache",
             args.solve_dir or os.environ.get("REPRO_SOLVE_CACHE_DIR"),
+            runtime.solve_cache,
+            "REPRO_SOLVE_CACHE=1",
         ),
     ]
     reported = False
-    for label, directory in targets:
+    for label, directory, live, enable_hint in layers:
+        print(label)
         if not directory:
-            print(f"{label:18s} no disk directory configured")
-            continue
-        info = disk_cache_info(directory)
-        print(
-            f"{label:18s} {info.directory}: {info.entries} entries, "
-            f"{info.megabytes:.2f} MiB"
-        )
-        reported = True
-    runtime = get_runtime()
-    for label, live in (
-        ("simulation cache", runtime.cache),
-        ("solve-cell cache", runtime.solve_cache),
-    ):
+            print("  disk: no disk directory configured")
+        else:
+            info = disk_cache_info(directory)
+            print(
+                f"  disk: {info.directory}: {info.entries} entries, "
+                f"{info.megabytes:.2f} MiB"
+            )
+            reported = True
         if live is None:
-            continue
-        stats = live.stats
-        print(
-            f"{label:18s} (this process) lookups {stats.lookups}, "
-            f"hits {stats.hits}, misses {stats.misses}, "
-            f"hit-rate {100.0 * stats.hit_rate:.1f}%"
-        )
+            print(f"  this process: layer not active (set {enable_hint})")
+        else:
+            stats = live.stats
+            print(
+                "  this process: "
+                + _render_counter_line(
+                    {
+                        "lookups": stats.lookups,
+                        "hits": stats.hits,
+                        "misses": stats.misses,
+                        "stores": stats.stores,
+                        "disk_hits": stats.disk_hits,
+                    }
+                )
+            )
     if not reported:
         print(
             "hint: set REPRO_SIM_CACHE_DIR / REPRO_SOLVE_CACHE_DIR (or pass "
-            "--sim-dir / --solve-dir) to persist caches across processes"
+            "--sim-dir / --solve-dir) to persist caches across processes; "
+            "--service HOST:PORT reports a running solve server instead"
         )
     return 0
 
@@ -166,16 +271,38 @@ def _cmd_eval(args) -> int:
         return 2
     spec = SYSTEMS[args.system]
     runs = args.runs if args.runs is not None else default_runs(1)
-    try:
-        executor = create_executor(jobs=args.jobs, kind=args.executor)
-    except ValueError as exc:
-        print(f"error: {exc}")
-        return 2
     events = (
         StreamSink(write=lambda line: print("  ~ " + line))
         if args.progress
         else None
     )
+    if args.service:
+        # Execution happens server-side; local-executor flags would be
+        # silently meaningless, so reject the combination outright.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--jobs", args.jobs),
+                ("--executor", args.executor),
+                ("--cache/--no-cache", args.cache),
+                ("--solve-cache/--no-solve-cache", args.solve_cache),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            print(
+                "error: "
+                + ", ".join(conflicting)
+                + " cannot be combined with --service "
+                "(execution and caching are configured on the server)"
+            )
+            return 2
+        return _eval_via_service(args, runs, events)
+    try:
+        executor = create_executor(jobs=args.jobs, kind=args.executor)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     try:
         result, report = evaluate_many(
             spec.factory,
@@ -189,17 +316,50 @@ def _cmd_eval(args) -> int:
             progress=(lambda line: print("  " + line)) if args.verbose else None,
             events=events,
         )
-        print(result.render_row())
-        if args.verbose:
-            print(report.render())
-        if result.failures():
-            print("failures:", ", ".join(result.failures()))
+        _print_eval_result(result, report, verbose=args.verbose)
     except (KeyError, ValueError) as exc:
         # Bad suite name, zero runs, an empty problem slice, ...
         print(f"error: {exc}")
         return 2
     finally:
         executor.shutdown()
+    return 0
+
+
+def _print_eval_result(result, report, verbose: bool) -> None:
+    """One output path for local and service eval (CI diffs the rows)."""
+    print(result.render_row())
+    if verbose:
+        print(report.render())
+    if result.failures():
+        print("failures:", ", ".join(result.failures()))
+
+
+def _eval_via_service(args, runs: int, events) -> int:
+    """Route one evaluation grid through running service shards."""
+    from repro.service import (
+        ProtocolError,
+        ServiceError,
+        parse_shards,
+        solve_grid,
+    )
+
+    try:
+        shards = parse_shards(args.service)
+        result, report = solve_grid(
+            args.system,
+            args.suite,
+            runs=runs,
+            seed0=args.seed0,
+            problems=_choose_problems(args.suite, args.limit),
+            shards=shards,
+            progress=(lambda line: print("  " + line)) if args.verbose else None,
+            events=events,
+        )
+    except (KeyError, ValueError, OSError, ServiceError, ProtocolError) as exc:
+        print(f"error: {exc}")
+        return 2
+    _print_eval_result(result, report, verbose=args.verbose)
     return 0
 
 
@@ -230,7 +390,35 @@ def _cmd_bench(args) -> int:
     except KeyError as exc:
         print(f"error: {exc}")
         return 2
-    if args.repeat < 2:
+    if args.service:
+        # The service bench has its own fixed shape (in-process baseline
+        # + cold/warm server passes over in-memory caches); local-pass
+        # flags would be silently meaningless, so reject them.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--repeat", args.repeat),
+                ("--cache/--no-cache", args.cache),
+                ("--cache-dir", args.cache_dir),
+                ("--solve-cache/--no-solve-cache", args.solve_cache),
+                ("--solve-cache-dir", args.solve_cache_dir),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            print(
+                "error: "
+                + ", ".join(conflicting)
+                + " cannot be combined with --service"
+            )
+            return 2
+        return _bench_service(args, spec, problems)
+    repeat = args.repeat if args.repeat is not None else 2
+    use_cache = args.cache if args.cache is not None else True
+    use_solve_cache = (
+        args.solve_cache if args.solve_cache is not None else False
+    )
+    if repeat < 2:
         print("error: --repeat must be >= 2 (pass 1 is the cold baseline)")
         return 2
     try:
@@ -245,21 +433,21 @@ def _cmd_bench(args) -> int:
         # disk layer is the only cross-process medium for warm passes.
         import tempfile
 
-        if args.cache and cache_dir is None:
+        if use_cache and cache_dir is None:
             cache_dir = tempfile.mkdtemp(prefix="repro-simcache-")
             print(f"note: process executor; sharing the cache via {cache_dir}")
-        if args.solve_cache and solve_dir is None:
+        if use_solve_cache and solve_dir is None:
             solve_dir = tempfile.mkdtemp(prefix="repro-solvecache-")
             print(
                 "note: process executor; sharing the solve cache via "
                 f"{solve_dir}"
             )
-    cache = SimulationCache(cache_dir) if args.cache else False
-    solve_cache = SolveCellCache(solve_dir) if args.solve_cache else False
+    cache = SimulationCache(cache_dir) if use_cache else False
+    solve_cache = SolveCellCache(solve_dir) if use_solve_cache else False
     passes = []
     deterministic = True
     try:
-        for index in range(args.repeat):
+        for index in range(repeat):
             cold = index == 0
             executor = SerialExecutor() if cold else warm_executor
             try:
@@ -306,6 +494,197 @@ def _cmd_bench(args) -> int:
         )
         return 1
     return 0
+
+
+def _bench_service(args, spec, problems) -> int:
+    """Benchmark service-mode serving against the in-process runtime.
+
+    Three measured passes over the same grid: in-process cold serial
+    (the baseline the determinism contract is checked against), a cold
+    pass through a fresh solve server (real submit-to-done latency),
+    and a warm pass over the same server (served from the solve-cell
+    cache without touching a worker).  ``--min-speedup`` gates
+    warm-vs-cold service serving; the numbers land in
+    ``BENCH_service.json``.
+    """
+    import json
+
+    from repro.runtime import SerialExecutor, SimulationCache
+    from repro.runtime.batch import evaluate_many
+    from repro.service import ServiceError, SolveServer, solve_grid
+
+    def grid_numbers(report):
+        return {
+            "wall_seconds": round(report.wall_seconds, 6),
+            "cells_per_second": round(report.cells_per_second, 3),
+            "latency_mean_ms": round(report.mean_latency * 1000.0, 3),
+            "latency_max_ms": round(report.max_latency * 1000.0, 3),
+            "cached_cells": report.cached_cells,
+            "dedup_cells": report.dedup_cells,
+        }
+
+    try:
+        with SerialExecutor() as executor:
+            local_result, local_report = evaluate_many(
+                spec.factory,
+                args.suite,
+                runs=args.runs,
+                seed0=args.seed0,
+                problems=problems,
+                executor=executor,
+                cache=SimulationCache(),
+                solve_cache=False,
+            )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(
+        f"pass 1 (     in-process): {local_report.wall_seconds:7.2f} s  "
+        f"{local_report.cells_per_second:7.2f} cells/s"
+    )
+    try:
+        with SolveServer(workers=args.jobs or 2) as server:
+            passes = []
+            for label in ("service cold", "service warm"):
+                result, report = solve_grid(
+                    args.system,
+                    args.suite,
+                    runs=args.runs,
+                    seed0=args.seed0,
+                    problems=problems,
+                    shards=[server.address],
+                )
+                passes.append((result, report))
+                print(
+                    f"pass {len(passes) + 1} ({label:>15s}): "
+                    f"{report.wall_seconds:7.2f} s  "
+                    f"{report.cells_per_second:7.2f} cells/s  "
+                    f"latency mean {report.mean_latency * 1000.0:7.1f} ms  "
+                    f"cached {report.cached_cells}"
+                )
+            executed = server.executed_count()
+    except (OSError, ServiceError, ValueError, KeyError) as exc:
+        print(f"error: {exc}")
+        return 2
+    (cold_result, cold_report), (warm_result, warm_report) = passes
+    deterministic = (
+        cold_result.outcomes == local_result.outcomes
+        and warm_result.outcomes == local_result.outcomes
+    )
+    speedup = (
+        cold_report.wall_seconds / warm_report.wall_seconds
+        if warm_report.wall_seconds > 0
+        else 0.0
+    )
+    payload = {
+        "system": args.system,
+        "suite": args.suite,
+        "runs": args.runs,
+        "seed0": args.seed0,
+        "cells": cold_report.cells,
+        "workers": args.jobs or 2,
+        "in_process": {
+            "wall_seconds": round(local_report.wall_seconds, 6),
+            "cells_per_second": round(local_report.cells_per_second, 3),
+        },
+        "service_cold": grid_numbers(cold_report),
+        "service_warm": grid_numbers(warm_report),
+        "warm_speedup": round(speedup, 3),
+        "pipeline_executions": executed,
+        "deterministic": deterministic,
+    }
+    with open(args.bench_out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(local_result.render_row())
+    print(f"warm speedup    {speedup:8.2f}x  (service cold vs warm)")
+    print(f"deterministic   {'yes' if deterministic else 'NO -- MISMATCH'}")
+    print(f"written         {args.bench_out}")
+    if not deterministic:
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"error: warm service speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run (or stop) a long-lived solve service on localhost."""
+    if args.stop:
+        from repro.service import ProtocolError, ServiceError, stop_server
+
+        try:
+            stop_server(args.stop)
+        except (OSError, ValueError, ServiceError, ProtocolError) as exc:
+            print(f"error: cannot stop {args.stop}: {exc}")
+            return 2
+        print(f"server at {args.stop} draining")
+        return 0
+    from repro.runtime import SimulationCache, SolveCellCache
+    from repro.service import SolveServer
+
+    sim_dir = args.sim_cache_dir or os.environ.get("REPRO_SIM_CACHE_DIR") or None
+    solve_dir = (
+        args.solve_cache_dir or os.environ.get("REPRO_SOLVE_CACHE_DIR") or None
+    )
+    try:
+        server = SolveServer(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            sim_cache=SimulationCache(sim_dir),
+            solve_cache=SolveCellCache(solve_dir),
+            max_pending=args.max_pending,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    server.start()
+    print(f"listening on {server.address}", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("draining...")
+        server.shutdown()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Submit one solve cell to a running service, streaming its events."""
+    from repro.core.events import StreamSink
+    from repro.service import ProtocolError, ServiceClient, ServiceError
+
+    sink = (
+        None
+        if args.quiet
+        else StreamSink(write=lambda line: print(f"  | {line}"))
+    )
+    try:
+        with ServiceClient(args.addr) as client:
+            outcome = client.solve(
+                args.system,
+                args.problem,
+                seed=args.seed,
+                priority=args.priority,
+                events=sink,
+            )
+    except (OSError, ValueError, ServiceError, ProtocolError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.source:
+        print(outcome.source)
+    flags = " [dedup]" if outcome.dedup else ""
+    print(
+        f"{outcome.system} {args.problem}: "
+        f"{'PASS' if outcome.passed else 'FAIL'} "
+        f"score {outcome.score:.3f} ({outcome.seconds:.2f}s) "
+        f"cache: {'hit' if outcome.cached else 'miss'}{flags}"
+    )
+    return 0 if outcome.passed else 1
 
 
 def _cmd_lint(args) -> int:
@@ -370,6 +749,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--low-temperature", action="store_true")
+    run.add_argument(
+        "--solve-cache",
+        action="store_true",
+        help="memoize the whole solve cell (in-memory unless a dir is set)",
+    )
+    run.add_argument(
+        "--solve-cache-dir",
+        default=None,
+        help="on-disk solve-cell cache; a warm second run replays its "
+        "event stream from cache",
+    )
     run.set_defaults(fn=_cmd_run)
 
     evaluate = sub.add_parser("eval", help="evaluate a system on a suite")
@@ -417,6 +807,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream typed per-cell events as they finish",
     )
+    evaluate.add_argument(
+        "--service",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="route the grid through running solve servers (sharded, "
+        "deterministic merge; bit-identical to local --jobs 1)",
+    )
     evaluate.set_defaults(fn=_cmd_eval)
 
     bench = sub.add_parser(
@@ -432,15 +829,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--repeat",
         type=int,
-        default=2,
+        default=None,
         help="total passes over the workload, at least 2 "
-        "(pass 1 is the cold baseline)",
+        "(default 2; pass 1 is the cold baseline)",
     )
     bench.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
-        default=True,
-        help="simulation cache shared across passes",
+        default=None,
+        help="simulation cache shared across passes (default: on)",
     )
     bench.add_argument(
         "--cache-dir", default=None, help="optional on-disk cache directory"
@@ -448,8 +845,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--solve-cache",
         action=argparse.BooleanOptionalAction,
-        default=False,
-        help="also share a whole solve-cell cache across passes",
+        default=None,
+        help="also share a whole solve-cell cache across passes "
+        "(default: off)",
     )
     bench.add_argument(
         "--solve-cache-dir",
@@ -465,10 +863,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--limit", type=int, default=None, help="use only the first N problems"
     )
+    bench.add_argument(
+        "--service",
+        action="store_true",
+        help="benchmark service-mode serving (spawns an in-process server; "
+        "measures submit-to-done latency and warm-cache speedup)",
+    )
+    bench.add_argument(
+        "--bench-out",
+        default="BENCH_service.json",
+        help="where --service writes its numbers",
+    )
     bench.set_defaults(fn=_cmd_bench)
 
     cache_cmd = sub.add_parser(
-        "cache", help="report disk-cache entry counts and sizes"
+        "cache", help="report per-layer cache sizes and hit/miss counters"
     )
     cache_cmd.add_argument(
         "--sim-dir",
@@ -480,7 +889,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="solve-cell cache directory (default: $REPRO_SOLVE_CACHE_DIR)",
     )
+    cache_cmd.add_argument(
+        "--service",
+        default=None,
+        metavar="HOST:PORT",
+        help="report a running solve server's live counters instead",
+    )
     cache_cmd.set_defaults(fn=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="start a long-lived solve service on localhost"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = pick a free one)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="long-lived solve workers"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="queued-job ceiling before submits are rejected (backpressure)",
+    )
+    serve.add_argument(
+        "--sim-cache-dir",
+        default=None,
+        help="on-disk simulation cache (default: $REPRO_SIM_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--solve-cache-dir",
+        default=None,
+        help="on-disk solve-cell cache (default: $REPRO_SOLVE_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--stop",
+        default=None,
+        metavar="HOST:PORT",
+        help="gracefully drain and stop a running server instead of starting",
+    )
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one solve cell to a running service"
+    )
+    submit.add_argument("system")
+    submit.add_argument("problem")
+    submit.add_argument(
+        "--addr",
+        default=os.environ.get("REPRO_SERVICE_ADDR", "127.0.0.1:7341"),
+        help="service address (default: $REPRO_SERVICE_ADDR or "
+        "127.0.0.1:7341)",
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--priority", type=int, default=0, help="higher runs sooner"
+    )
+    submit.add_argument(
+        "--quiet", action="store_true", help="suppress the event stream"
+    )
+    submit.add_argument(
+        "--source", action="store_true", help="also print the final RTL"
+    )
+    submit.set_defaults(fn=_cmd_submit)
 
     lint_cmd = sub.add_parser("lint", help="lint a Verilog file")
     lint_cmd.add_argument("file")

@@ -17,13 +17,33 @@ method (or a plain callable wrapped in :class:`CallbackSink`):
   cache stores next to the source).
 
 Events are immutable and picklable: they cross process boundaries
-inside cached solve cells and checkpointed run states.
+inside cached solve cells and checkpointed run states.  They are also
+JSON round-trippable (:meth:`Event.to_json` / :meth:`Event.from_json`):
+the service wire protocol ships the exact event stream a local run
+would produce, so a remote client rebuilds transcripts and figures
+from frames alone -- no transcript parsing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Callable, ClassVar, Protocol, runtime_checkable
+from typing import Any, Callable, ClassVar, Protocol, runtime_checkable
+
+# kind -> concrete event class; populated as subclasses are defined.
+EVENT_TYPES: dict[str, type["Event"]] = {}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _from_jsonable(value: Any) -> Any:
+    # Events carry no list fields; every JSON array was a tuple.
+    if isinstance(value, list):
+        return tuple(_from_jsonable(item) for item in value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -32,11 +52,46 @@ class Event:
 
     kind: ClassVar[str] = "event"
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        EVENT_TYPES[cls.kind] = cls
+
     def render(self) -> str:
         pairs = ", ".join(
             f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
         )
         return f"{self.kind}({pairs})"
+
+    def to_json(self) -> dict:
+        """JSON-ready payload: ``kind`` plus every field (tuples as lists)."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            payload[f.name] = _jsonable(getattr(self, f.name))
+        return payload
+
+    @staticmethod
+    def from_json(payload: dict) -> "Event":
+        """Rebuild the concrete event from a :meth:`to_json` payload.
+
+        Unknown fields are ignored (forward compatibility) and a
+        missing field falls back to its dataclass default, so old
+        clients can read frames from newer servers and vice versa.
+        Raises ``ValueError`` for an unknown kind or a payload missing
+        a required (defaultless) field.
+        """
+        kind = payload.get("kind")
+        cls = EVENT_TYPES.get(kind)
+        if cls is None:
+            raise ValueError(f"unknown event kind {kind!r}")
+        kwargs = {
+            f.name: _from_jsonable(payload[f.name])
+            for f in fields(cls)
+            if f.name in payload
+        }
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ValueError(f"bad {kind!r} event payload: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

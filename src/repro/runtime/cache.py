@@ -178,6 +178,27 @@ class ContentCache:
             self.stats.misses += 1
         return None
 
+    def peek(self, key: str) -> Any | None:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        For callers probing whether a value exists before deciding how
+        to serve it (e.g. the solve service's cache fast-path); the
+        authoritative, counted lookup still happens on the serving
+        path.  A disk read is promoted into the memory layer so that
+        counted lookup doesn't unpickle the same file twice.
+        """
+        with self._lock:
+            value = self._memory.get(key)
+        if value is not None:
+            return value
+        if self.directory is not None:
+            value = self._read_disk(key)
+            if value is not None:
+                with self._lock:
+                    self._remember(key, value)
+            return value
+        return None
+
     def put(self, key: str, value: Any) -> None:
         with self._lock:
             self._remember(key, value)

@@ -121,43 +121,72 @@ def _accepts_sink(solve: Callable) -> bool:
         return False
 
 
-def _solve_cell(cell: EvalCell, solve_cache: SolveCellCache | None) -> tuple[str, bool]:
-    """Produce the cell's source; returns (source, served_from_cache)."""
-    if solve_cache is not None:
+def solve_streaming(
+    factory: Callable[[], object],
+    problem: Problem,
+    seed: int,
+    sink=None,
+    solve_cache: SolveCellCache | None = None,
+    fingerprint: str | None = None,
+) -> tuple[str, bool]:
+    """Solve one cell with live event streaming and solve-cell caching.
+
+    Returns ``(source, served_from_cache)``.  A cache hit *replays* the
+    recorded event stream into ``sink``, so subscribers see exactly the
+    frames a live solve would have produced -- the property the solve
+    service's warm path and the CLI's warm ``run`` both rely on.  A miss
+    solves live (events flow to ``sink`` as they happen) and stores the
+    record for the next caller.
+    """
+    from repro.core.events import Broadcast, ListSink, as_sink
+
+    key = None
+    if solve_cache is not None and fingerprint is not None:
         try:
-            key = solve_cell_key(cell.fingerprint, cell.problem, cell.seed)
+            key = solve_cell_key(fingerprint, problem, seed)
         except Exception:
             # A problem payload without a stable repr cannot be cached
             # safely; fall through to a plain solve.
-            solve_cache = None
-    if solve_cache is None:
-        system = cell.factory()
-        return (
-            system.solve(DesignTask.from_problem(cell.problem), seed=cell.seed),
-            False,
-        )
-    record = solve_cache.get(key)
-    if record is not None:
-        return record.source, True
-    from repro.core.events import ListSink
-
-    system = cell.factory()
-    task = DesignTask.from_problem(cell.problem)
-    collector = ListSink()
-    if _accepts_sink(system.solve):
-        source = system.solve(task, seed=cell.seed, sink=collector)
+            key = None
+    if key is not None:
+        record = solve_cache.get(key)
+        if record is not None:
+            if sink is not None:
+                live = as_sink(sink)
+                for event in record.events:
+                    live.emit(event)
+            return record.source, True
+    system = factory()
+    task = DesignTask.from_problem(problem)
+    collector = ListSink() if key is not None else None
+    sinks = [s for s in (collector, as_sink(sink) if sink is not None else None) if s]
+    target = sinks[0] if len(sinks) == 1 else (Broadcast(*sinks) if sinks else None)
+    if target is not None and _accepts_sink(system.solve):
+        source = system.solve(task, seed=seed, sink=target)
     else:
         # Systems predating the pipeline refactor take no sink.
-        source = system.solve(task, seed=cell.seed)
-    solve_cache.put(
-        key,
-        SolveCellRecord(
-            source=source,
-            system=getattr(system, "name", type(system).__name__),
-            events=tuple(collector.events),
-        ),
-    )
+        source = system.solve(task, seed=seed)
+    if key is not None:
+        solve_cache.put(
+            key,
+            SolveCellRecord(
+                source=source,
+                system=getattr(system, "name", type(system).__name__),
+                events=tuple(collector.events) if collector else (),
+            ),
+        )
     return source, False
+
+
+def _solve_cell(cell: EvalCell, solve_cache: SolveCellCache | None) -> tuple[str, bool]:
+    """Produce the cell's source; returns (source, served_from_cache)."""
+    return solve_streaming(
+        cell.factory,
+        cell.problem,
+        cell.seed,
+        solve_cache=solve_cache,
+        fingerprint=cell.fingerprint,
+    )
 
 
 def run_cell(

@@ -1,0 +1,98 @@
+"""``repro.service``: a long-lived solve service over the event stream.
+
+The one-shot :func:`~repro.runtime.batch.evaluate_many` model, turned
+into a service: a localhost TCP :class:`SolveServer` owns a priority
+:class:`Broker` (with backpressure and in-flight dedup), a pool of
+long-lived :class:`~repro.service.worker.Worker` threads running the
+existing staged pipeline, and both content-addressed cache layers.
+Clients speak a versioned, length-framed JSON protocol
+(:mod:`repro.service.protocol`) whose event frames are the exact typed
+events of :mod:`repro.core.events` -- the event stream is the wire
+protocol.  :func:`solve_grid` shards the Eq. 7 ``problems x runs`` grid
+across servers with a deterministic merge, bit-identical to local
+serial evaluation.
+"""
+
+from repro.service.broker import (
+    Broker,
+    BrokerClosed,
+    BrokerFull,
+    BrokerStats,
+    Job,
+    Subscription,
+)
+from repro.service.client import (
+    GridReport,
+    ServiceClient,
+    ServiceError,
+    SolveOutcome,
+    fetch_stats,
+    parse_address,
+    parse_shards,
+    solve_grid,
+    stop_server,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Ack,
+    ControlRequest,
+    Done,
+    ErrorFrame,
+    EventFrame,
+    Frame,
+    ProtocolError,
+    SolveRequest,
+    StatsReply,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.service.server import SolveServer
+from repro.service.worker import (
+    ServiceResult,
+    ServiceStats,
+    Worker,
+    registered_fingerprint,
+    registered_system_name,
+    serve_cached_record,
+    solve_service_request,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Ack",
+    "Broker",
+    "BrokerClosed",
+    "BrokerFull",
+    "BrokerStats",
+    "ControlRequest",
+    "Done",
+    "ErrorFrame",
+    "EventFrame",
+    "Frame",
+    "GridReport",
+    "Job",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResult",
+    "ServiceStats",
+    "SolveOutcome",
+    "SolveRequest",
+    "SolveServer",
+    "StatsReply",
+    "Subscription",
+    "Worker",
+    "encode_frame",
+    "fetch_stats",
+    "parse_address",
+    "parse_shards",
+    "read_frame",
+    "registered_fingerprint",
+    "registered_system_name",
+    "serve_cached_record",
+    "solve_grid",
+    "solve_service_request",
+    "stop_server",
+    "write_frame",
+]

@@ -1,0 +1,536 @@
+"""Clients for the solve service: blocking, streaming, and sharded grids.
+
+:class:`ServiceClient` speaks the length-framed protocol over one
+persistent TCP connection (requests are pipelined strictly one at a
+time per connection, so frames never interleave).  Three entry points:
+
+- :meth:`ServiceClient.solve` -- blocking; returns a
+  :class:`SolveOutcome`, optionally forwarding the event stream to a
+  sink as it arrives;
+- :meth:`ServiceClient.iter_solve` -- a generator yielding each typed
+  :class:`~repro.core.events.Event` live, then raising ``StopIteration``
+  whose value is the outcome (also stored on ``last_outcome``);
+- :func:`solve_grid` -- the Eq. 7 ``problems x runs`` grid fanned over
+  one or more server shards with a deterministic merge: cells are
+  assigned round-robin by flat grid index, results are keyed by
+  ``(problem, run)``, and the reassembled
+  :class:`~repro.evaluation.harness.EvalResult` is bit-identical to a
+  local ``evaluate_many`` at the same seeds no matter how many shards
+  served it or in what order cells finished.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.events import (
+    BatchFinished,
+    CellFinished,
+    Event,
+    EventSink,
+    as_sink,
+)
+from repro.service.protocol import (
+    Ack,
+    ControlRequest,
+    Done,
+    ErrorFrame,
+    EventFrame,
+    ProtocolError,
+    SolveRequest,
+    StatsReply,
+    read_frame,
+    write_frame,
+)
+
+
+class ServiceError(Exception):
+    """The server answered with an error frame."""
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """Terminal result of one submitted cell."""
+
+    source: str
+    passed: bool
+    score: float
+    seconds: float
+    system: str
+    cached: bool = False
+    dedup: bool = False
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``host:port`` -> ``(host, port)`` (host defaults to localhost)."""
+    text = address.strip()
+    if ":" not in text:
+        raise ValueError(f"bad service address {text!r}; expected host:port")
+    host, _, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValueError(f"bad service port in {text!r}") from exc
+    return host or "127.0.0.1", port
+
+
+def parse_shards(spec: str) -> list[str]:
+    """Comma-separated ``host:port`` list -> validated address list."""
+    shards = [part.strip() for part in spec.split(",") if part.strip()]
+    if not shards:
+        raise ValueError("no service addresses given")
+    for shard in shards:
+        parse_address(shard)
+    return shards
+
+
+class ServiceClient:
+    """One connection to one solve server.
+
+    ``timeout`` bounds every read; the default (None) blocks until the
+    server answers -- a queued cold cell may legitimately wait behind a
+    long sweep, and a half-finished grid is worse than a patient one.
+    ``connect_timeout`` only bounds the initial connection, so dead
+    addresses still fail fast.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float | None = None,
+        connect_timeout: float | None = 10.0,
+    ):
+        self.address = address
+        self.timeout = timeout
+        host, port = parse_address(address)
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._sock.settimeout(timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_id = 0
+        self.last_outcome: SolveOutcome | None = None
+
+    def close(self) -> None:
+        for closer in (self._rfile.close, self._wfile.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _read(self):
+        frame = read_frame(self._rfile)
+        if frame is None:
+            raise ServiceError("server closed the connection")
+        return frame
+
+    def iter_solve(
+        self,
+        system: str,
+        problem: str,
+        seed: int = 0,
+        priority: int = 0,
+        stream: bool = True,
+    ) -> Iterator[Event]:
+        """Submit one cell; yield its events, return the outcome.
+
+        The generator's ``StopIteration.value`` (i.e. ``return`` value)
+        is the :class:`SolveOutcome`; it is also stored on
+        ``self.last_outcome`` for plain ``for`` loops.  Abandoning the
+        generator mid-stream (``break``/``close``) drains the rest of
+        the reply up to its terminal frame, so the connection stays
+        usable for the next request.
+        """
+        request_id = self._request_id()
+        write_frame(
+            self._wfile,
+            SolveRequest(
+                id=request_id,
+                system=system,
+                problem=problem,
+                seed=seed,
+                priority=priority,
+                stream=stream,
+            ),
+        )
+        ack = self._read()
+        if isinstance(ack, ErrorFrame):
+            raise ServiceError(ack.message)
+        if not isinstance(ack, Ack):
+            raise ProtocolError(f"expected ack, got {ack.type!r}")
+        dedup = ack.dedup
+        terminal_seen = False
+        try:
+            while True:
+                frame = self._read()
+                if isinstance(frame, EventFrame):
+                    yield frame.event
+                elif isinstance(frame, Done):
+                    terminal_seen = True
+                    outcome = SolveOutcome(
+                        source=frame.source,
+                        passed=frame.passed,
+                        score=frame.score,
+                        seconds=frame.seconds,
+                        system=frame.system,
+                        cached=frame.cached,
+                        dedup=frame.dedup or dedup,
+                    )
+                    self.last_outcome = outcome
+                    return outcome
+                elif isinstance(frame, ErrorFrame):
+                    terminal_seen = True
+                    raise ServiceError(frame.message)
+                else:
+                    raise ProtocolError(f"unexpected frame {frame.type!r}")
+        finally:
+            if not terminal_seen:
+                self._drain_reply()
+
+    def _drain_reply(self, grace: float = 5.0) -> None:
+        """Consume frames up to the terminal one (abandoned stream).
+
+        Drains for at most ``grace`` seconds -- an abandoned *cold*
+        solve may not finish for minutes, and blocking a caller that
+        already walked away is worse than reconnecting.  If the stream
+        can't be drained cleanly in time the connection is closed
+        instead of being left desynchronised.
+        """
+        deadline = time.monotonic() + grace
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._sock.settimeout(remaining)
+                frame = self._read()
+                if isinstance(frame, (Done, ErrorFrame)):
+                    self._sock.settimeout(self.timeout)
+                    return
+                if not isinstance(frame, EventFrame):
+                    break
+        except (ServiceError, ProtocolError, OSError):
+            pass
+        self.close()
+
+    def solve(
+        self,
+        system: str,
+        problem: str,
+        seed: int = 0,
+        priority: int = 0,
+        events: EventSink | Callable[[Event], None] | None = None,
+    ) -> SolveOutcome:
+        """Blocking submit; streams events into ``events`` if given."""
+        sink = as_sink(events)
+        stream = events is not None
+        iterator = self.iter_solve(
+            system, problem, seed=seed, priority=priority, stream=stream
+        )
+        while True:
+            try:
+                event = next(iterator)
+            except StopIteration as stop:
+                return stop.value
+            sink.emit(event)
+
+    def _control(self, op: str):
+        request_id = self._request_id()
+        write_frame(self._wfile, ControlRequest(id=request_id, op=op))
+        frame = self._read()
+        if isinstance(frame, ErrorFrame):
+            raise ServiceError(frame.message)
+        return frame
+
+    def ping(self) -> bool:
+        return isinstance(self._control("ping"), Ack)
+
+    def stats(self) -> dict:
+        frame = self._control("stats")
+        if not isinstance(frame, StatsReply):
+            raise ProtocolError(f"expected stats, got {frame.type!r}")
+        return frame.stats
+
+    def shutdown_server(self) -> None:
+        """Ask the server to drain and stop (connection closes after)."""
+        self._control("shutdown")
+        self.close()
+
+
+def fetch_stats(address: str, timeout: float | None = 10.0) -> dict:
+    """One-shot stats snapshot from a running server."""
+    with ServiceClient(address, timeout=timeout) as client:
+        return client.stats()
+
+
+def stop_server(address: str, timeout: float | None = 10.0) -> None:
+    """One-shot graceful shutdown of a running server."""
+    with ServiceClient(address, timeout=timeout) as client:
+        client.shutdown_server()
+
+
+@dataclass
+class GridReport:
+    """Execution statistics for one sharded service grid."""
+
+    shards: list[str]
+    wall_seconds: float = 0.0
+    cells: int = 0
+    cached_cells: int = 0
+    dedup_cells: int = 0
+    latencies: list[float] = field(default_factory=list)
+    shard_cells: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cells_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cells / self.wall_seconds
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.latencies, default=0.0)
+
+    def render(self) -> str:
+        lines = [
+            f"shards          {len(self.shards)}  ({', '.join(self.shards)})",
+            f"wall clock      {self.wall_seconds:8.2f} s",
+            f"grid cells      {self.cells:8d}  "
+            f"({self.cells_per_second:.2f} cells/s)",
+            f"cache-served    {self.cached_cells:8d}",
+            f"dedup-shared    {self.dedup_cells:8d}",
+            f"latency         mean {self.mean_latency * 1000.0:8.1f} ms  "
+            f"max {self.max_latency * 1000.0:8.1f} ms",
+        ]
+        for shard in self.shards:
+            lines.append(
+                f"  {shard:20s} {self.shard_cells.get(shard, 0):6d} cells"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _GridCell:
+    index: int  # flat grid index (drives the shard assignment)
+    problem_index: int
+    run_index: int
+    problem_id: str
+    seed: int
+
+
+def solve_grid(
+    system: str,
+    suite: str,
+    runs: int = 1,
+    seed0: int = 0,
+    problems=None,
+    shards: list[str] | None = None,
+    connections: int = 2,
+    timeout: float | None = None,
+    progress: Callable[[str], None] | None = None,
+    events: EventSink | Callable[[Event], None] | None = None,
+):
+    """Evaluate the ``problems x runs`` grid through service shards.
+
+    Returns ``(EvalResult, GridReport)``.  The determinism contract
+    matches :func:`~repro.runtime.batch.evaluate_many`: cell seeds are
+    fixed as ``seed0 + run`` before dispatch, the shard assignment is a
+    pure function of the flat grid index (round-robin), and the merge
+    keys results by ``(problem, run)`` -- so the result grid is
+    bit-identical to local ``--jobs 1`` execution regardless of shard
+    count, per-shard connection count, or completion order.  ``events``
+    receives live :class:`~repro.core.events.CellFinished` frames in
+    completion order plus a terminal ``BatchFinished``, like the local
+    batch API.
+    """
+    from repro.evalsets.suites import get_suite
+    from repro.evaluation.harness import EvalResult, ProblemOutcome
+    from repro.service.worker import registered_system_name
+
+    if not shards:
+        raise ValueError("solve_grid needs at least one service address")
+    for shard in shards:
+        parse_address(shard)  # fail fast on malformed addresses
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    chosen = problems if problems is not None else get_suite(suite)
+    if not chosen:
+        raise ValueError("empty problem list")
+    resolved_name = registered_system_name(system)
+    sink = as_sink(events)
+
+    cells: list[_GridCell] = []
+    for problem_index, problem in enumerate(chosen):
+        for run in range(runs):
+            cells.append(
+                _GridCell(
+                    index=len(cells),
+                    problem_index=problem_index,
+                    run_index=run,
+                    problem_id=problem.id,
+                    seed=seed0 + run,
+                )
+            )
+
+    # Deterministic shard assignment: flat index round-robin.
+    per_shard: dict[str, list[_GridCell]] = {shard: [] for shard in shards}
+    for cell in cells:
+        per_shard[shards[cell.index % len(shards)]].append(cell)
+
+    report = GridReport(shards=list(shards))
+    outcomes: dict[tuple[int, int], SolveOutcome] = {}
+    errors: list[str] = []
+    lock = threading.Lock()
+    by_problem: dict[int, int] = {}
+    next_to_report = 0
+
+    def flush_progress() -> None:
+        # Progress lines in suite order, like evaluate_many.
+        nonlocal next_to_report
+        while (
+            next_to_report < len(chosen)
+            and by_problem.get(next_to_report, 0) == runs
+        ):
+            if progress is not None:
+                done = [
+                    outcomes[(next_to_report, run)] for run in range(runs)
+                ]
+                passes = sum(1 for o in done if o.passed)
+                progress(
+                    f"{resolved_name} {chosen[next_to_report].id}: "
+                    f"{passes}/{runs} passed"
+                )
+            next_to_report += 1
+
+    def drain(shard: str, work: list[_GridCell]) -> None:
+        queue = iter(work)
+        queue_lock = threading.Lock()
+
+        def next_cell() -> _GridCell | None:
+            with queue_lock:
+                return next(queue, None)
+
+        def connection_loop() -> None:
+            client: ServiceClient | None = None
+            try:
+                while True:
+                    cell = next_cell()
+                    if cell is None:
+                        return
+                    submitted = time.perf_counter()
+                    try:
+                        if client is None:
+                            client = ServiceClient(shard, timeout=timeout)
+                        outcome = client.solve(
+                            system, cell.problem_id, seed=cell.seed
+                        )
+                    except (ServiceError, ProtocolError, OSError, ValueError) as exc:
+                        with lock:
+                            errors.append(
+                                f"{shard} {cell.problem_id} "
+                                f"run {cell.run_index}: {exc}"
+                            )
+                        return
+                    latency = time.perf_counter() - submitted
+                    with lock:
+                        outcomes[(cell.problem_index, cell.run_index)] = outcome
+                        report.latencies.append(latency)
+                        report.shard_cells[shard] = (
+                            report.shard_cells.get(shard, 0) + 1
+                        )
+                        if outcome.cached:
+                            report.cached_cells += 1
+                        if outcome.dedup:
+                            report.dedup_cells += 1
+                        by_problem[cell.problem_index] = (
+                            by_problem.get(cell.problem_index, 0) + 1
+                        )
+                        sink.emit(
+                            CellFinished(
+                                problem_id=cell.problem_id,
+                                run_index=cell.run_index,
+                                passed=outcome.passed,
+                                score=outcome.score,
+                                # Server-side execution time, matching
+                                # what local evaluate_many reports (the
+                                # round-trip latency lives in the grid
+                                # report, not the event stream).
+                                seconds=outcome.seconds,
+                                solve_cached=outcome.cached,
+                            )
+                        )
+                        flush_progress()
+            finally:
+                if client is not None:
+                    client.close()
+
+        threads = [
+            threading.Thread(
+                target=connection_loop,
+                name=f"repro-grid-{shard}-{index}",
+                daemon=True,
+            )
+            for index in range(max(1, min(connections, len(work))))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    started = time.perf_counter()
+    shard_threads = [
+        threading.Thread(
+            target=drain, args=(shard, work), name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        for shard, work in per_shard.items()
+        if work
+    ]
+    for thread in shard_threads:
+        thread.start()
+    for thread in shard_threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    report.cells = len(outcomes)
+
+    if errors:
+        raise ServiceError(
+            f"{len(errors)} grid cell(s) failed: " + "; ".join(errors[:3])
+        )
+    if len(outcomes) != len(cells):
+        raise ServiceError(
+            f"grid incomplete: {len(outcomes)}/{len(cells)} cells returned"
+        )
+    sink.emit(BatchFinished(cells=len(cells), seconds=report.wall_seconds))
+
+    result = EvalResult(system=resolved_name, suite=suite)
+    for problem_index, problem in enumerate(chosen):
+        outcome = ProblemOutcome(problem.id, problem.difficulty)
+        for run in range(runs):
+            cell_outcome = outcomes[(problem_index, run)]
+            outcome.runs += 1
+            outcome.passes += int(cell_outcome.passed)
+            outcome.scores.append(cell_outcome.score)
+        result.outcomes.append(outcome)
+    return result, report

@@ -1,0 +1,384 @@
+"""Threaded TCP solve server: broker + worker pool behind the protocol.
+
+:class:`SolveServer` binds a localhost TCP socket, accepts one
+connection per client (each served by its own handler thread), and
+routes :class:`~repro.service.protocol.SolveRequest` frames through a
+shared :class:`~repro.service.broker.Broker` into a pool of long-lived
+:class:`~repro.service.worker.Worker` threads.  Both cache layers live
+in the server process, so the layered serving ladder is:
+
+1. **solve-cell cache hit** -- served inline by the connection thread
+   (events replayed, scoring via the simulation cache); no worker is
+   touched and no queue slot is consumed;
+2. **in-flight dedup** -- an identical queued/running cell adopts the
+   new subscriber; one execution, n streams;
+3. **cold cell** -- queued by priority, executed by the next free
+   worker, and stored in both caches on the way out.
+
+Shutdown is a graceful drain: new submissions are refused, queued jobs
+finish, workers exit, then the socket closes.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+
+from repro.runtime.cache import (
+    SimulationCache,
+    SolveCellCache,
+    solve_cell_key,
+)
+from repro.service.broker import Broker, BrokerClosed, BrokerFull
+from repro.service.protocol import (
+    Ack,
+    ControlRequest,
+    Done,
+    ErrorFrame,
+    EventFrame,
+    ProtocolError,
+    SolveRequest,
+    StatsReply,
+    read_frame,
+    write_frame,
+)
+from repro.service.worker import (
+    ServiceStats,
+    Worker,
+    registered_fingerprint,
+    serve_cached_record,
+)
+
+
+class _ServiceTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    service: "SolveServer"
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of request -> framed reply stream."""
+
+    def handle(self) -> None:
+        service = self.server.service
+        while True:
+            try:
+                frame = read_frame(self.rfile)
+            except ProtocolError as exc:
+                self._safe_write(ErrorFrame(id=0, message=str(exc)))
+                return
+            if frame is None:
+                return  # clean EOF
+            try:
+                if isinstance(frame, SolveRequest):
+                    # Tracked so shutdown() can wait for the terminal
+                    # frame of every accepted solve to hit the wire.
+                    service._solve_started()
+                    try:
+                        self._handle_solve(service, frame)
+                    finally:
+                        service._solve_finished()
+                elif isinstance(frame, ControlRequest):
+                    if not self._handle_control(service, frame):
+                        return
+                else:
+                    self._safe_write(
+                        ErrorFrame(
+                            id=getattr(frame, "id", 0),
+                            message=f"unexpected frame type {frame.type!r}",
+                        )
+                    )
+            except OSError:
+                return  # client went away mid-stream
+
+    def _safe_write(self, frame) -> bool:
+        try:
+            write_frame(self.wfile, frame)
+            return True
+        except OSError:
+            return False
+        except ProtocolError as exc:
+            # The frame itself is unsendable (e.g. a payload past the
+            # frame ceiling); tell the client with a typed error rather
+            # than dropping the connection with no terminal frame.
+            try:
+                write_frame(
+                    self.wfile,
+                    ErrorFrame(
+                        id=getattr(frame, "id", 0),
+                        message=f"unsendable reply: {exc}",
+                    ),
+                )
+            except (OSError, ProtocolError):
+                pass
+            return False
+
+    def _handle_solve(self, service: "SolveServer", req: SolveRequest) -> None:
+        key = f"{req.system}/{req.problem}/{req.seed}"
+        record = service.fetch_cached(req.system, req.problem, req.seed)
+        if record is not None:
+            # Warm path: serve inline from the already-fetched record;
+            # the worker pool and queue are never touched.  A record
+            # evicted between probe and fetch simply lands on the cold
+            # path below, so an inline solve can never execute a
+            # pipeline outside the broker's queue and dedup.
+            self._safe_write(Ack(id=req.id, key=key, cached=True))
+            self._serve_record(service, req, record)
+            return
+        try:
+            job, sub, deduped = service.broker.submit(
+                req.system, req.problem, req.seed, priority=req.priority
+            )
+        except BrokerFull as exc:
+            self._safe_write(ErrorFrame(id=req.id, message=f"busy: {exc}"))
+            return
+        except BrokerClosed as exc:
+            self._safe_write(ErrorFrame(id=req.id, message=str(exc)))
+            return
+        self._safe_write(Ack(id=req.id, key=key, dedup=deduped))
+        for kind, payload in sub:
+            if kind == "event":
+                if req.stream and not self._safe_write(
+                    EventFrame(id=req.id, event=payload)
+                ):
+                    return
+            elif kind == "done":
+                self._safe_write(
+                    Done(
+                        id=req.id,
+                        source=payload.source,
+                        passed=payload.passed,
+                        score=payload.score,
+                        seconds=payload.seconds,
+                        system=payload.system,
+                        cached=payload.solve_cached,
+                        dedup=deduped,
+                    )
+                )
+            else:
+                self._safe_write(ErrorFrame(id=req.id, message=payload))
+
+    def _serve_record(
+        self, service: "SolveServer", req: SolveRequest, record
+    ) -> None:
+        sink = None
+        if req.stream:
+            sink = lambda event: self._safe_write(  # noqa: E731
+                EventFrame(id=req.id, event=event)
+            )
+        try:
+            result = serve_cached_record(
+                req.system,
+                req.problem,
+                record,
+                sink=sink,
+                sim_cache=service.sim_cache,
+            )
+        except Exception as exc:  # noqa: BLE001 -- becomes an error frame
+            service.stats.count("errors")
+            self._safe_write(
+                ErrorFrame(id=req.id, message=f"{type(exc).__name__}: {exc}")
+            )
+            return
+        service.stats.count("cache_served")
+        self._safe_write(
+            Done(
+                id=req.id,
+                source=result.source,
+                passed=result.passed,
+                score=result.score,
+                seconds=result.seconds,
+                system=result.system,
+                cached=True,
+            )
+        )
+
+    def _handle_control(
+        self, service: "SolveServer", req: ControlRequest
+    ) -> bool:
+        """Returns False when the connection should close."""
+        if req.op == "ping":
+            self._safe_write(Ack(id=req.id))
+            return True
+        if req.op == "stats":
+            self._safe_write(StatsReply(id=req.id, stats=service.stats_snapshot()))
+            return True
+        if req.op == "shutdown":
+            self._safe_write(Ack(id=req.id))
+            # Drain from a helper thread: shutdown() joins the acceptor
+            # loop and the workers, which must not happen on a handler
+            # thread that the acceptor is indirectly waiting on.
+            threading.Thread(
+                target=service.shutdown, name="repro-service-drain", daemon=True
+            ).start()
+            return False
+        self._safe_write(
+            ErrorFrame(id=req.id, message=f"unknown control op {req.op!r}")
+        )
+        return True
+
+
+class SolveServer:
+    """Long-lived solve service on a localhost TCP port.
+
+    ``sim_cache``/``solve_cache`` accept an instance, ``False`` to
+    disable the layer, or ``None`` for a fresh in-memory cache (pass
+    instances with a ``directory`` to persist across restarts).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        sim_cache: SimulationCache | bool | None = None,
+        solve_cache: SolveCellCache | bool | None = None,
+        max_pending: int = 256,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.sim_cache = self._resolve(sim_cache, SimulationCache)
+        self.solve_cache = self._resolve(solve_cache, SolveCellCache)
+        self.broker = Broker(max_pending=max_pending)
+        self.stats = ServiceStats()
+        self._tcp = _ServiceTCPServer((host, port), _ConnectionHandler)
+        self._tcp.service = self
+        self._workers = [
+            Worker(
+                self.broker,
+                self.stats,
+                sim_cache=self.sim_cache,
+                solve_cache=self.solve_cache,
+                name=f"repro-service-worker-{index}",
+            )
+            for index in range(workers)
+        ]
+        self._acceptor: threading.Thread | None = None
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._active_solves = 0
+        self._idle = threading.Condition()
+
+    @staticmethod
+    def _resolve(cache, default_cls):
+        if cache is False:
+            return None
+        if cache is None or cache is True:
+            return default_cls()
+        return cache
+
+    @property
+    def address(self) -> str:
+        host, port = self._tcp.server_address[:2]
+        return f"{host}:{port}"
+
+    def fetch_cached(self, system: str, problem_id: str, seed: int):
+        """The cell's solve-cell record, or None to take the cold path.
+
+        One counted ``get`` is the whole decision: the record it
+        returns is the record that gets served (no probe/serve gap for
+        eviction to slip through, disk hits attributed correctly).  A
+        cold submit therefore counts a broker-side miss in addition to
+        the worker's own lookup -- the worker lookup stays, because a
+        dedup-raced store may have landed by the time the job runs.
+        """
+        if self.solve_cache is None:
+            return None
+        from repro.evalsets import get_problem
+
+        fingerprint = registered_fingerprint(system)
+        if fingerprint is None:
+            return None
+        try:
+            key = solve_cell_key(fingerprint, get_problem(problem_id), seed)
+        except Exception:
+            return None
+        return self.solve_cache.get(key)
+
+    def start(self) -> "SolveServer":
+        for worker in self._workers:
+            worker.start()
+        self._acceptor = threading.Thread(
+            target=self._tcp.serve_forever,
+            name="repro-service-acceptor",
+            daemon=True,
+        )
+        self._acceptor.start()
+        return self
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the server has shut down."""
+        return self._stopped.wait(timeout=timeout)
+
+    def _solve_started(self) -> None:
+        with self._idle:
+            self._active_solves += 1
+
+    def _solve_finished(self) -> None:
+        with self._idle:
+            self._active_solves -= 1
+            self._idle.notify_all()
+
+    def shutdown(self, handler_grace: float = 30.0) -> None:
+        """Graceful drain: refuse new work, finish the queue, close.
+
+        After the workers exit, waits up to ``handler_grace`` seconds
+        for in-flight connection handlers to flush their terminal
+        frames, so a client whose queued job just finished still gets
+        its ``done`` before the sockets close.
+        """
+        with self._shutdown_lock:
+            if self._stopped.is_set():
+                return
+            self._tcp.shutdown()  # stop accepting connections
+            self.broker.close()  # queued jobs still drain to workers
+            for worker in self._workers:
+                worker.join()
+            deadline = time.monotonic() + handler_grace
+            with self._idle:
+                while self._active_solves > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._idle.wait(
+                        timeout=remaining
+                    ):
+                        break
+            self._tcp.server_close()
+            self._stopped.set()
+
+    def executed_count(self) -> int:
+        """Pipeline executions across the pool (dedup/cache verification)."""
+        return self.stats.snapshot()["executed"]
+
+    def stats_snapshot(self) -> dict:
+        def cache_stats(cache):
+            if cache is None:
+                return None
+            stats = cache.stats
+            return {
+                "entries": len(cache),
+                "lookups": stats.lookups,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "disk_hits": stats.disk_hits,
+                "directory": cache.directory,
+            }
+
+        return {
+            "address": self.address,
+            "workers": len(self._workers),
+            "pending": len(self.broker),
+            "broker": self.broker.stats.snapshot(),
+            "service": self.stats.snapshot(),
+            "caches": {
+                "simulation": cache_stats(self.sim_cache),
+                "solve_cell": cache_stats(self.solve_cache),
+            },
+        }
+
+    def __enter__(self) -> "SolveServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -161,3 +161,32 @@ class TestDisabled:
         cached_run_testbench(AND_OR, golden_tb, problem.top, cache=cache)
         cached_run_testbench(AND_OR, golden_tb, problem.top, cache=cache)
         assert simulation_count() - before == 1  # second call was a hit
+
+
+class TestPeek:
+    """peek: stats-neutral probe that promotes disk reads to memory."""
+
+    def test_peek_does_not_touch_counters(self):
+        cache = SimulationCache()
+        cache.put("k", run_testbench(AND_OR, golden_testbench(get_problem("cb_and_or_gate"))))
+        before = cache.stats.snapshot()
+        assert cache.peek("k") is not None
+        assert cache.peek("missing") is None
+        after = cache.stats
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+    def test_peek_promotes_disk_entry_to_memory(self, tmp_path, golden_tb):
+        directory = str(tmp_path / "simcache")
+        report = run_testbench(AND_OR, golden_tb)
+        writer = SimulationCache(directory)
+        key = simulation_key(AND_OR, golden_tb)
+        writer.put(key, report)
+        reader = SimulationCache(directory)
+        assert len(reader) == 0
+        assert reader.peek(key) is not None
+        assert len(reader) == 1  # promoted: the counted get won't re-unpickle
+        assert reader.peek(key) is not None
+        got = reader.get(key)
+        assert got is not None
+        assert reader.stats.hits == 1
+        assert reader.stats.disk_hits == 0  # served from the promoted copy

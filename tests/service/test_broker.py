@@ -1,0 +1,167 @@
+"""Broker contract: priority, backpressure, in-flight dedup, drain."""
+
+import threading
+
+import pytest
+
+from repro.core.events import TestbenchReady
+from repro.service.broker import Broker, BrokerClosed, BrokerFull
+
+
+def _drain(subscription):
+    """Collect (events, outcome) from one subscription."""
+    events, outcome = [], None
+    for kind, payload in subscription:
+        if kind == "event":
+            events.append(payload)
+        else:
+            outcome = (kind, payload)
+    return events, outcome
+
+
+class TestPriority:
+    def test_higher_priority_pops_first(self):
+        broker = Broker()
+        broker.submit("s", "low", 0, priority=0)
+        broker.submit("s", "high", 0, priority=5)
+        assert broker.next_job().problem == "high"
+        assert broker.next_job().problem == "low"
+
+    def test_fifo_within_a_priority_level(self):
+        broker = Broker()
+        for name in ("a", "b", "c"):
+            broker.submit("s", name, 0, priority=1)
+        assert [broker.next_job().problem for _ in range(3)] == ["a", "b", "c"]
+
+
+class TestDedup:
+    def test_identical_submits_share_one_job(self):
+        broker = Broker()
+        job1, sub1, dedup1 = broker.submit("mage", "cb_mux2", 3)
+        job2, sub2, dedup2 = broker.submit("mage", "cb_mux2", 3)
+        assert job1 is job2
+        assert not dedup1 and dedup2
+        assert broker.stats.deduped == 1
+        assert len(broker) == 1  # one queued execution, two subscribers
+
+        event = TestbenchReady(total_checks=4)
+        job = broker.next_job()
+        job.publish(event)
+        broker.finish(job, "result")
+        for sub in (sub1, sub2):
+            events, outcome = _drain(sub)
+            assert events == [event]
+            assert outcome == ("done", "result")
+
+    def test_dedup_bumps_queued_priority(self):
+        """A high-priority duplicate must not wait behind a sweep: the
+        attach re-ranks the shared queued job."""
+        broker = Broker()
+        broker.submit("s", "sweep1", 0, priority=0)
+        broker.submit("s", "cell", 0, priority=0)
+        broker.submit("s", "sweep2", 0, priority=0)
+        _, _, dedup = broker.submit("s", "cell", 0, priority=9)
+        assert dedup
+        assert broker.next_job().problem == "cell"  # jumped the sweep
+        assert broker.next_job().problem == "sweep1"
+        assert broker.next_job().problem == "sweep2"
+        assert len(broker) == 0  # the stale bumped entry was not double-counted
+        assert broker.next_job(timeout=0.01) is None
+
+    def test_different_seed_is_a_different_job(self):
+        broker = Broker()
+        job1, _, _ = broker.submit("mage", "cb_mux2", 0)
+        job2, _, dedup = broker.submit("mage", "cb_mux2", 1)
+        assert job1 is not job2 and not dedup
+
+    def test_running_job_still_dedups(self):
+        """Dedup covers popped-but-unfinished jobs, not just queued ones."""
+        broker = Broker()
+        job, _, _ = broker.submit("s", "p", 0)
+        assert broker.next_job() is job  # now "running"
+        again, _, dedup = broker.submit("s", "p", 0)
+        assert again is job and dedup
+
+    def test_finished_key_starts_fresh(self):
+        broker = Broker()
+        job, _, _ = broker.submit("s", "p", 0)
+        broker.next_job()
+        broker.finish(job, "r")
+        fresh, _, dedup = broker.submit("s", "p", 0)
+        assert fresh is not job and not dedup
+
+    def test_late_subscriber_replays_history(self):
+        broker = Broker()
+        job, _, _ = broker.submit("s", "p", 0)
+        first = TestbenchReady(total_checks=1)
+        second = TestbenchReady(total_checks=2)
+        job.publish(first)
+        late = job.subscribe()
+        job.publish(second)
+        broker.finish(job, "r")
+        events, outcome = _drain(late)
+        assert events == [first, second]
+        assert outcome == ("done", "r")
+
+    def test_subscribe_after_settle_gets_outcome(self):
+        broker = Broker()
+        job, _, _ = broker.submit("s", "p", 0)
+        broker.fail(job, "boom")
+        events, outcome = _drain(job.subscribe())
+        assert events == []
+        assert outcome == ("error", "boom")
+        assert broker.stats.failed == 1
+
+
+class TestBackpressure:
+    def test_queue_ceiling_rejects(self):
+        broker = Broker(max_pending=2)
+        broker.submit("s", "a", 0)
+        broker.submit("s", "b", 0)
+        with pytest.raises(BrokerFull):
+            broker.submit("s", "c", 0)
+        assert broker.stats.rejected == 1
+        # Duplicates of queued work still attach: dedup costs no slot.
+        _, _, dedup = broker.submit("s", "a", 0)
+        assert dedup
+
+    def test_popping_frees_a_slot(self):
+        broker = Broker(max_pending=1)
+        broker.submit("s", "a", 0)
+        broker.next_job()
+        broker.submit("s", "b", 0)  # no raise
+
+
+class TestDrain:
+    def test_close_refuses_new_work(self):
+        broker = Broker()
+        broker.close()
+        with pytest.raises(BrokerClosed):
+            broker.submit("s", "p", 0)
+
+    def test_queued_jobs_drain_after_close(self):
+        broker = Broker()
+        broker.submit("s", "a", 0)
+        broker.submit("s", "b", 0)
+        broker.close()
+        assert broker.next_job().problem == "a"
+        assert broker.next_job().problem == "b"
+        assert broker.next_job() is None
+
+    def test_close_wakes_blocked_workers(self):
+        broker = Broker()
+        results = []
+
+        def wait_for_work():
+            results.append(broker.next_job())
+
+        thread = threading.Thread(target=wait_for_work)
+        thread.start()
+        broker.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_timeout_returns_none(self):
+        broker = Broker()
+        assert broker.next_job(timeout=0.01) is None

@@ -170,6 +170,21 @@ class TestCliRuntime:
         assert "no disk directory configured" in out
         assert "hint:" in out
 
+    def test_cache_distinguishes_layers(self, capsys, monkeypatch):
+        """Both cache layers report separately: disk line + counters."""
+        monkeypatch.delenv("REPRO_SIM_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SOLVE_CACHE_DIR", raising=False)
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        sim_at = out.index("simulation cache")
+        solve_at = out.index("solve-cell cache")
+        assert sim_at < solve_at
+        sim_section = out[sim_at:solve_at]
+        solve_section = out[solve_at:]
+        for section in (sim_section, solve_section):
+            assert "disk:" in section
+            assert "this process:" in section
+
     def test_cache_reports_directories(self, capsys, tmp_path):
         sim_dir = tmp_path / "sim"
         solve_dir = tmp_path / "solve"
@@ -217,3 +232,147 @@ class TestCliRuntime:
         out = capsys.readouterr().out
         assert "sharing the cache via" in out
         assert "hit-rate 100.0%" in out  # warm pass saw the cold pass's work
+
+
+def _event_lines(text: str) -> list[str]:
+    return [line for line in text.splitlines() if line.startswith("  | ")]
+
+
+class TestCliServiceMode:
+    @pytest.fixture()
+    def server_addr(self):
+        from repro.service import SolveServer
+
+        with SolveServer(workers=2) as server:
+            yield server.address
+
+    def test_run_warm_solve_cache(self, capsys, tmp_path):
+        """Second `run` over a warm solve-cell cache replays the same
+        event stream and reports the hit."""
+        argv = [
+            "run", "cb_kmap_mux", "--seed", "0",
+            "--solve-cache-dir", str(tmp_path / "solve"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "solve-cell cache: miss" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "solve-cell cache: hit" in warm
+        assert _event_lines(warm) == _event_lines(cold)
+        assert _event_lines(warm)  # the stream actually replayed
+        assert "golden testbench: PASS" in warm
+
+    def test_run_solve_cache_in_memory_flag(self, capsys):
+        assert main(["run", "cb_mux2", "--solve-cache"]) == 0
+        assert "solve-cell cache: miss" in capsys.readouterr().out
+
+    def test_submit_cold_then_warm(self, capsys, server_addr):
+        argv = ["submit", "mage", "cb_and_or_gate", "--addr", server_addr]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache: miss" in cold
+        assert "run started: mage[" in cold  # events streamed
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache: hit" in warm
+        assert _event_lines(warm) == _event_lines(cold)
+
+    def test_submit_quiet_suppresses_events(self, capsys, server_addr):
+        argv = [
+            "submit", "mage", "cb_mux2", "--addr", server_addr, "--quiet"
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert not _event_lines(out)
+        assert "PASS" in out
+
+    def test_submit_unreachable_server(self, capsys):
+        argv = ["submit", "mage", "cb_mux2", "--addr", "127.0.0.1:1"]
+        assert main(argv) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_eval_service_matches_local_row(self, capsys, server_addr):
+        argv = ["eval", "mage", "--runs", "1", "--limit", "3"]
+        assert main(argv) == 0
+        local_row = capsys.readouterr().out.splitlines()[0]
+        assert main(argv + ["--service", server_addr]) == 0
+        service_row = capsys.readouterr().out.splitlines()[0]
+        assert service_row == local_row
+
+    def test_eval_service_verbose_and_progress(self, capsys, server_addr):
+        argv = [
+            "eval", "mage", "--runs", "1", "--limit", "2",
+            "--service", server_addr, "--verbose", "--progress",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out
+        assert "cells" in out
+        assert "batch finished:" in out
+
+    def test_eval_service_bad_address(self, capsys):
+        argv = ["eval", "mage", "--limit", "1", "--service", "nonsense"]
+        assert main(argv) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_eval_service_rejects_local_executor_flags(self, capsys):
+        argv = [
+            "eval", "mage", "--limit", "1", "--jobs", "4",
+            "--service", "127.0.0.1:7341",
+        ]
+        assert main(argv) == 2
+        out = capsys.readouterr().out
+        assert "--jobs" in out and "cannot be combined with --service" in out
+
+    def test_cache_service_reports_layers(self, capsys, server_addr):
+        assert main(["submit", "mage", "cb_mux2", "--addr", server_addr,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--service", server_addr]) == 0
+        out = capsys.readouterr().out
+        assert "simulation cache" in out and "solve-cell cache" in out
+        assert "executed 1" in out
+
+    def test_cache_service_unreachable(self, capsys):
+        assert main(["cache", "--service", "127.0.0.1:1"]) == 2
+        assert "cannot reach service" in capsys.readouterr().out
+
+    def test_serve_stop_drains_server(self, capsys):
+        from repro.service import SolveServer
+
+        server = SolveServer(workers=1).start()
+        assert main(["serve", "--stop", server.address]) == 0
+        assert "draining" in capsys.readouterr().out
+        assert server.wait(timeout=30)
+
+    def test_serve_stop_unreachable(self, capsys):
+        assert main(["serve", "--stop", "127.0.0.1:1"]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_bench_service_rejects_local_pass_flags(self, capsys):
+        argv = [
+            "bench", "mage", "--limit", "1", "--service", "--repeat", "4",
+        ]
+        assert main(argv) == 2
+        out = capsys.readouterr().out
+        assert "--repeat" in out and "cannot be combined with --service" in out
+
+    def test_bench_service_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_service.json"
+        argv = [
+            "bench", "mage", "--runs", "1", "--limit", "2", "--service",
+            "--bench-out", str(out_path), "--min-speedup", "1.0",
+        ]
+        assert main(argv) == 0
+        printed = capsys.readouterr().out
+        assert "service cold" in printed and "service warm" in printed
+        assert "deterministic   yes" in printed
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["deterministic"] is True
+        assert payload["service_warm"]["cached_cells"] == payload["cells"]
+        assert payload["warm_speedup"] > 0
+        assert payload["in_process"]["wall_seconds"] > 0
+        assert payload["service_cold"]["latency_mean_ms"] > 0
