@@ -13,12 +13,13 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Protocol
 
-from repro.baselines.single_agent import SelfReflection
+from repro.baselines.single_agent import SelfReflection, SingleAgentPipeline
 from repro.baselines.two_agent import TwoAgentSystem
 from repro.baselines.vanilla import VanillaLLM
 from repro.core.config import MAGEConfig
 from repro.core.engine import MAGE
 from repro.core.events import EventSink
+from repro.core.pipeline import RunProgram
 from repro.core.task import DesignTask
 from repro.llm.interface import SamplingParams
 
@@ -38,6 +39,9 @@ class MAGESystem:
         self.config = config or MAGEConfig.high_temperature()
         temp = self.config.generation.temperature
         self.name = f"mage[{self.config.model},T={temp}]"
+
+    def start_run(self, task: DesignTask, seed: int = 0) -> RunProgram:
+        return MAGE(self.config).start_run(task, seed=seed)
 
     def solve(
         self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
@@ -63,6 +67,9 @@ class VerilogCoderStyle:
             generation=SamplingParams(temperature=0.0, top_p=0.01, n=1),
         )
         self.name = f"verilogcoder-style[{model}]"
+
+    def start_run(self, task: DesignTask, seed: int = 0) -> RunProgram:
+        return MAGE(self.config).start_run(task, seed=seed)
 
     def solve(
         self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
@@ -183,6 +190,15 @@ _register(
         model_label="Claude 3.5 Sonnet",
         factory=partial(TwoAgentSystem, "claude-3.5-sonnet"),
         paper_v1=64.7,
+    )
+)
+_register(
+    SystemSpec(
+        key="single-agent",
+        table_label="Single-Agent (Table III)",
+        system_type="agent-open",
+        model_label="Claude 3.5 Sonnet",
+        factory=partial(SingleAgentPipeline, "claude-3.5-sonnet"),
     )
 )
 _register(

@@ -18,10 +18,20 @@ merged-history configuration.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.core.config import MAGEConfig
 from repro.core.engine import MAGE, MAGEResult
-from repro.core.events import EventSink, InitialGenerated, RunStarted, as_sink
-from repro.core.pipeline import DONE, Pipeline, RunState, Stage
+from repro.core.events import EventSink, InitialGenerated
+from repro.core.pipeline import (
+    DONE,
+    Pipeline,
+    ProgramSpec,
+    RunProgram,
+    RunState,
+    Stage,
+    start_program,
+)
 from repro.core.task import DesignTask
 from repro.hdl.lint import lint
 from repro.llm.factory import build_llm
@@ -81,6 +91,10 @@ def _state_calls(state: RunState) -> int:
     return state.data.get("llm_calls", 0)
 
 
+def _extract_code(state: RunState) -> str:
+    return state.data["code"]
+
+
 def self_reflection_pipeline(rounds: int) -> Pipeline:
     stages = [Stage("generate", _stage_generate)]
     stages += [
@@ -102,9 +116,8 @@ class SelfReflection:
         self.rounds = rounds
         self.name = f"self-reflection[{self.llm.model_name}]"
 
-    def solve(
-        self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
-    ) -> str:
+    def start_run(self, task: DesignTask, seed: int = 0) -> RunProgram:
+        """A resumable program for one run (drives ``solve`` too)."""
         state = RunState(
             seed=seed,
             data={
@@ -115,12 +128,20 @@ class SelfReflection:
                 ),
             },
         )
-        resolved = as_sink(sink)
-        resolved.emit(
-            RunStarted(system=self.name, task_name=task.name, seed=seed)
+        spec = ProgramSpec(
+            pipeline_factory=partial(self_reflection_pipeline, self.rounds),
+            system=self.name,
+            task_name=task.name,
+            extractor=_extract_code,
         )
-        self_reflection_pipeline(self.rounds).run(state, sink=resolved)
-        return state.data["code"]
+        return start_program(spec, state)
+
+    def solve(
+        self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
+    ) -> str:
+        program = self.start_run(task, seed=seed)
+        program.advance(sink=sink)
+        return program.source()
 
 
 class SingleAgentPipeline:
@@ -149,6 +170,10 @@ class SingleAgentPipeline:
             judge_params=base.judge_params,
         )
         self.name = f"single-agent[{model}]"
+
+    def start_run(self, task: DesignTask, seed: int = 0) -> RunProgram:
+        """A resumable program over the merged-history MAGE engine."""
+        return MAGE(self.config).start_run(task, seed=seed)
 
     def solve(
         self, task: DesignTask, seed: int = 0, sink: EventSink | None = None

@@ -7,8 +7,15 @@ Pipeline`, so every solve path in the repo shares one execution model
 
 from __future__ import annotations
 
-from repro.core.events import EventSink, RunStarted, as_sink
-from repro.core.pipeline import Pipeline, RunState, Stage
+from repro.core.events import EventSink
+from repro.core.pipeline import (
+    Pipeline,
+    ProgramSpec,
+    RunProgram,
+    RunState,
+    Stage,
+    start_program,
+)
 from repro.core.task import DesignTask
 from repro.llm.factory import build_llm
 from repro.llm.interface import ChatMessage, LLMClient, SamplingParams
@@ -43,6 +50,10 @@ def _state_calls(state: RunState) -> int:
     return state.data.get("llm_calls", 0)
 
 
+def _extract_source(state: RunState) -> str:
+    return state.data["source"]
+
+
 def vanilla_pipeline() -> Pipeline:
     return Pipeline(
         "vanilla", [Stage("generate", _stage_generate)], calls_probe=_state_calls
@@ -62,9 +73,8 @@ class VanillaLLM:
         self.params = params or SamplingParams(temperature=0.0, top_p=0.01, n=1)
         self.name = f"vanilla[{self.llm.model_name}]"
 
-    def solve(
-        self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
-    ) -> str:
+    def start_run(self, task: DesignTask, seed: int = 0) -> RunProgram:
+        """A resumable program for one run (drives ``solve`` too)."""
         params = SamplingParams(
             temperature=self.params.temperature,
             top_p=self.params.top_p,
@@ -75,9 +85,17 @@ class VanillaLLM:
             seed=seed,
             data={"task": task, "params": params, "llm": self.llm},
         )
-        resolved = as_sink(sink)
-        resolved.emit(
-            RunStarted(system=self.name, task_name=task.name, seed=seed)
+        spec = ProgramSpec(
+            pipeline_factory=vanilla_pipeline,
+            system=self.name,
+            task_name=task.name,
+            extractor=_extract_source,
         )
-        vanilla_pipeline().run(state, sink=resolved)
-        return state.data["source"]
+        return start_program(spec, state)
+
+    def solve(
+        self, task: DesignTask, seed: int = 0, sink: EventSink | None = None
+    ) -> str:
+        program = self.start_run(task, seed=seed)
+        program.advance(sink=sink)
+        return program.source()

@@ -22,6 +22,15 @@ the same ``config x problem x seed`` grid re-run near-free).
 override, falling back to 1; ``eval --progress`` streams typed
 per-cell events as they finish.
 
+Rollout batching: ``eval --rollout-batch N`` gang-schedules the Step-4
+sampling stage across up to N concurrent grid cells (coalesced
+candidate-scoring waves through the simulation cache), ``bench
+--rollout`` measures it against the serial-sampling baseline (speedup
+gate via ``--min-speedup``, numbers in ``BENCH_rollout.json``), and
+``serve --rollout-batch N`` turns the same batching on inside the
+solve service's workers.  Batched rows and event streams stay
+bit-identical to ``--jobs 1`` serial runs.
+
 Service mode: ``serve`` binds a localhost TCP solve service (broker +
 long-lived worker pool over both cache layers); ``submit`` streams one
 cell's typed events from it; ``eval --service HOST:PORT[,HOST:PORT...]``
@@ -286,6 +295,7 @@ def _cmd_eval(args) -> int:
                 ("--executor", args.executor),
                 ("--cache/--no-cache", args.cache),
                 ("--solve-cache/--no-solve-cache", args.solve_cache),
+                ("--rollout-batch", args.rollout_batch),
             )
             if value is not None
         ]
@@ -315,6 +325,7 @@ def _cmd_eval(args) -> int:
             solve_cache=args.solve_cache,
             progress=(lambda line: print("  " + line)) if args.verbose else None,
             events=events,
+            rollout_batch=args.rollout_batch or 0,
         )
         _print_eval_result(result, report, verbose=args.verbose)
     except (KeyError, ValueError) as exc:
@@ -405,6 +416,10 @@ def _cmd_bench(args) -> int:
             )
             if value is not None
         ]
+        if args.rollout:
+            conflicting.append("--rollout")
+        if args.rollout_batch is not None:
+            conflicting.append("--rollout-batch")
         if conflicting:
             print(
                 "error: "
@@ -413,6 +428,12 @@ def _cmd_bench(args) -> int:
             )
             return 2
         return _bench_service(args, spec, problems)
+    if args.rollout_batch is not None and not args.rollout:
+        print(
+            "error: --rollout-batch only applies to bench --rollout "
+            "(pass --rollout to benchmark gang-scheduled sampling)"
+        )
+        return 2
     repeat = args.repeat if args.repeat is not None else 2
     use_cache = args.cache if args.cache is not None else True
     use_solve_cache = (
@@ -444,11 +465,22 @@ def _cmd_bench(args) -> int:
             )
     cache = SimulationCache(cache_dir) if use_cache else False
     solve_cache = SolveCellCache(solve_dir) if use_solve_cache else False
+    rollout_batch = (args.rollout_batch or 8) if args.rollout else 0
+    if args.rollout:
+        # Fixed shape: the cold serial-sampling baseline, then a *warm
+        # serial* pass over the same cache state a rollout pass enjoys,
+        # then the rollout passes -- so the report can attribute cache
+        # warmth and gang-scheduling separately instead of conflating
+        # them in one number.
+        plan = [("cold serial", True, 0), ("warm serial", False, 0)]
+        plan += [("warm rollout", False, rollout_batch)] * (repeat - 1)
+    else:
+        plan = [("cold serial", True, 0)]
+        plan += [("warm", False, 0)] * (repeat - 1)
     passes = []
     deterministic = True
     try:
-        for index in range(repeat):
-            cold = index == 0
+        for index, (label, cold, batch) in enumerate(plan):
             executor = SerialExecutor() if cold else warm_executor
             try:
                 result, report = evaluate_many(
@@ -460,6 +492,7 @@ def _cmd_bench(args) -> int:
                     executor=executor,
                     cache=cache,
                     solve_cache=solve_cache,
+                    rollout_batch=batch,
                 )
             except (KeyError, ValueError) as exc:
                 print(f"error: {exc}")
@@ -467,9 +500,9 @@ def _cmd_bench(args) -> int:
             passes.append((result, report))
             if result.outcomes != passes[0][0].outcomes:
                 deterministic = False
-            label = "cold serial" if cold else f"warm {report.executor}"
+            shown = label if cold else f"{label} {report.executor}"
             print(
-                f"pass {index + 1} ({label:>16s}): "
+                f"pass {index + 1} ({shown:>16s}): "
                 f"{report.wall_seconds:7.2f} s  "
                 f"{report.sims_per_second:7.1f} sims/s  "
                 f"hit-rate {100.0 * report.cache.hit_rate:5.1f}%"
@@ -485,6 +518,44 @@ def _cmd_bench(args) -> int:
     print(last.render())
     print(f"speedup         {speedup:8.2f}x  (pass 1 vs pass {len(passes)})")
     print(f"deterministic   {'yes' if deterministic else 'NO -- MISMATCH'}")
+    if args.rollout:
+        import json
+
+        warm_serial = passes[1][1]
+        batching_speedup = (
+            warm_serial.wall_seconds / last.wall_seconds
+            if last.wall_seconds > 0
+            else 0.0
+        )
+        print(
+            f"batching        {batching_speedup:8.2f}x  "
+            f"(warm serial vs warm rollout, equal cache state)"
+        )
+        bench_out = args.bench_out or "BENCH_rollout.json"
+        payload = {
+            "system": args.system,
+            "suite": args.suite,
+            "runs": args.runs,
+            "seed0": args.seed0,
+            "cells": last.cells,
+            "rollout_batch": rollout_batch,
+            "executor": last.executor,
+            "cold_serial_wall_seconds": round(first.wall_seconds, 6),
+            "warm_serial_wall_seconds": round(warm_serial.wall_seconds, 6),
+            "rollout_wall_seconds": round(last.wall_seconds, 6),
+            # Gated number: cold serial sampling vs the rollout pass
+            # (cache reuse + wave dedup + gang-scheduling combined).
+            "speedup": round(speedup, 3),
+            # Batching in isolation: warm serial vs warm rollout.
+            "batching_speedup": round(batching_speedup, 3),
+            "cache_hit_rate": round(last.cache.hit_rate, 4),
+            "simulations": last.simulations,
+            "deterministic": deterministic,
+        }
+        with open(bench_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"written         {bench_out}")
     if not deterministic:
         return 1
     if args.min_speedup is not None and speedup < args.min_speedup:
@@ -593,14 +664,15 @@ def _bench_service(args, spec, problems) -> int:
         "pipeline_executions": executed,
         "deterministic": deterministic,
     }
-    with open(args.bench_out, "w") as handle:
+    bench_out = args.bench_out or "BENCH_service.json"
+    with open(bench_out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print()
     print(local_result.render_row())
     print(f"warm speedup    {speedup:8.2f}x  (service cold vs warm)")
     print(f"deterministic   {'yes' if deterministic else 'NO -- MISMATCH'}")
-    print(f"written         {args.bench_out}")
+    print(f"written         {bench_out}")
     if not deterministic:
         return 1
     if args.min_speedup is not None and speedup < args.min_speedup:
@@ -639,6 +711,7 @@ def _cmd_serve(args) -> int:
             sim_cache=SimulationCache(sim_dir),
             solve_cache=SolveCellCache(solve_dir),
             max_pending=args.max_pending,
+            rollout_batch=args.rollout_batch,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}")
@@ -799,6 +872,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="whole solve-cell memoization (default: $REPRO_SOLVE_CACHE or off)",
     )
     evaluate.add_argument(
+        "--rollout-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gang-schedule Step-4 sampling across up to N concurrent "
+        "cells (0 = off; rows stay bit-identical either way)",
+    )
+    evaluate.add_argument(
         "--limit", type=int, default=None, help="use only the first N problems"
     )
     evaluate.add_argument("--verbose", action="store_true")
@@ -870,9 +951,25 @@ def build_parser() -> argparse.ArgumentParser:
         "measures submit-to-done latency and warm-cache speedup)",
     )
     bench.add_argument(
+        "--rollout",
+        action="store_true",
+        help="benchmark rollout batching: pass 1 is cold serial sampling; "
+        "the warm passes gang-schedule Step-4 across cells over the "
+        "shared simulation cache (speedup = wave coalescing + dedup + "
+        "cache reuse; writes BENCH_rollout.json)",
+    )
+    bench.add_argument(
+        "--rollout-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="wave width for --rollout (default 8)",
+    )
+    bench.add_argument(
         "--bench-out",
-        default="BENCH_service.json",
-        help="where --service writes its numbers",
+        default=None,
+        help="where --service / --rollout write their numbers "
+        "(default BENCH_service.json / BENCH_rollout.json)",
     )
     bench.set_defaults(fn=_cmd_bench)
 
@@ -912,6 +1009,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="queued-job ceiling before submits are rejected (backpressure)",
+    )
+    serve.add_argument(
+        "--rollout-batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="gang-schedule sampling across up to N in-flight cells per "
+        "worker (0 = one job at a time)",
     )
     serve.add_argument(
         "--sim-cache-dir",

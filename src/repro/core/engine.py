@@ -49,8 +49,21 @@ from repro.core.events import (
     TestbenchVerdict,
     as_sink,
 )
-from repro.core.pipeline import DONE, Pipeline, RunState, Stage
-from repro.core.sampling import sample_and_rank
+from repro.core.pipeline import (
+    DONE,
+    Pipeline,
+    ProgramSpec,
+    RunProgram,
+    RunState,
+    Stage,
+    start_program,
+)
+from repro.core.sampling import (
+    SampleWork,
+    generate_candidates,
+    rank_candidates,
+    sample_and_rank,
+)
 from repro.core.scoring import ScoredCandidate, best_candidate
 from repro.core.task import DesignTask
 from repro.core.transcript import RunTranscript, transcript_from_events
@@ -160,20 +173,44 @@ def _stage_arbitrate(state: RunState, emit) -> str | None:
 
 
 def _stage_sample(state: RunState, emit) -> str | None:
-    """Step 4: high-temperature sampling and ranking."""
+    """Step 4: high-temperature sampling and ranking.
+
+    A rollout scheduler may have already run this stage's LLM half
+    (:func:`mage_sample_plan`) and scored the candidates in a coalesced
+    wave; in that case the pre-generated sources and their reports are
+    waiting in ``state.data`` and the stage only ranks and emits --
+    producing exactly the events (and Top-K selection) an inline run
+    would, since both paths share :func:`rank_candidates`.
+    """
     data = state.data
     config: MAGEConfig = data["config"]
     team: AgentTeam = data["team"]
     task: DesignTask = data["task"]
-    outcome = sample_and_rank(
-        task,
-        data["tb_text"],
-        data["testbench"],
-        team.rtl,
-        team.judge,
-        config,
-        extra=[data["initial"]],
-    )
+    sources = data.pop("rollout_sources", None)
+    reports = data.pop("rollout_reports", None)
+    data.pop("rollout_call_debt", None)  # the probe now sees the raw counter
+    if sources is not None:
+        if reports is None:
+            # Generation ran out-of-band but the reports never arrived.
+            # Re-sampling would double the LLM calls and silently break
+            # the determinism contract, so fail loudly instead.
+            raise ValueError(
+                "rollout injection incomplete: pre-generated sources "
+                "without scored reports"
+            )
+        outcome = rank_candidates(
+            list(sources), list(reports), config, extra=[data["initial"]]
+        )
+    else:
+        outcome = sample_and_rank(
+            task,
+            data["tb_text"],
+            data["testbench"],
+            team.rtl,
+            team.judge,
+            config,
+            extra=[data["initial"]],
+        )
     for index, candidate in enumerate(outcome.candidates[1:]):
         emit(
             CandidateScored(
@@ -225,7 +262,47 @@ def _stage_debug(state: RunState, emit) -> None:
 
 
 def _team_calls(state: RunState) -> int:
-    return state.data["team"].llm_calls
+    # ``rollout_call_debt`` holds LLM calls a rollout scheduler spent
+    # pre-generating Step-4 candidates while the state was suspended.
+    # Subtracting it here (and clearing it inside the sampling stage)
+    # keeps the per-stage call accounting identical to an inline run:
+    # the generation calls land in step4's StageFinished, not step3's.
+    return state.data["team"].llm_calls - state.data.get("rollout_call_debt", 0)
+
+
+def mage_sample_plan(state: RunState) -> SampleWork | None:
+    """Run Step 4's LLM half on a suspended state; return the sim work.
+
+    Called by a rollout scheduler on a state paused just before
+    ``step4``: draws the c high-temperature candidates in the run's own
+    LLM-call order (so batched runs issue exactly the calls a serial
+    run would, in the same order), parks the sources on the state, and
+    returns the pure-simulation :class:`~repro.core.sampling.SampleWork`
+    the scheduler coalesces across runs.  Records the call debt so the
+    stage accounting stays identical to an inline run.
+    """
+    data = state.data
+    if state.finished or "initial" not in data:
+        return None
+    config: MAGEConfig = data["config"]
+    team: AgentTeam = data["team"]
+    before = team.llm_calls
+    sources = generate_candidates(
+        data["task"], data["tb_text"], team.rtl, config
+    )
+    data["rollout_sources"] = tuple(sources)
+    data["rollout_call_debt"] = team.llm_calls - before
+    return SampleWork(
+        sources=tuple(sources),
+        testbench=data["testbench"],
+        top=data["task"].top,
+    )
+
+
+def mage_extract(state: RunState) -> str:
+    """The final source of a finished MAGE-family state."""
+    winner: ScoredCandidate = state.data["winner"]
+    return winner.source
 
 
 def mage_pipeline() -> Pipeline:
@@ -365,6 +442,30 @@ class MAGE:
                 "golden_tb_hint": golden_tb_hint,
             },
         )
+
+    def start_run(
+        self,
+        task: DesignTask,
+        golden_tb_hint: str | None = None,
+        seed: int = 0,
+    ) -> RunProgram:
+        """A resumable program for one run (see :class:`ProgramSpec`).
+
+        The spec travels inside the state, so a checkpointed run can be
+        restored and driven anywhere -- the hook rollout schedulers use
+        to suspend states at Step 4 and gang-schedule the sampling.
+        """
+        state = self.start_state(task, golden_tb_hint=golden_tb_hint, seed=seed)
+        spec = ProgramSpec(
+            pipeline_factory=mage_pipeline,
+            system=f"mage[{self.config.model}]",
+            task_name=task.name,
+            extractor=mage_extract,
+            runner=run_mage_state,
+            sample_stage="step4",
+            sample_plan=mage_sample_plan,
+        )
+        return start_program(spec, state)
 
     def solve(
         self,

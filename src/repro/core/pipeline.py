@@ -30,6 +30,7 @@ from repro.core.events import (
     Event,
     EventSink,
     NULL_SINK,
+    RunStarted,
     StageFinished,
     StageStarted,
     as_sink,
@@ -129,6 +130,17 @@ class Pipeline:
             )
         resolved = as_sink(sink) if sink is not None else NULL_SINK
         emit = resolved.emit
+        if state.next_stage >= len(self.stages):
+            # Nothing left to execute: an empty stage list, or a state
+            # whose cursor already passed the last stage.  Mark it
+            # finished rather than leaving a never-resumable state that
+            # claims to be resumable (``stop_after`` equal to the final
+            # stage must hand back a *finished* state -- see the
+            # regression tests).
+            state.finished = True
+            if checkpoint is not None:
+                checkpoint(state)
+            return state
         for index in range(state.next_stage, len(self.stages)):
             if state.finished:
                 break
@@ -159,6 +171,117 @@ class Pipeline:
             if state.finished or stop_after == stage.name:
                 break
         return state
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Picklable recipe for resuming a run state anywhere.
+
+    Every solve path stores one of these in ``state.data["program"]``
+    when it starts a run, so a checkpointed state carries everything a
+    scheduler (or another process) needs to keep driving it: how to
+    rebuild the pipeline, how to read the final source out of the
+    finished state, and -- for paths with a gang-schedulable sampling
+    stage -- which stage that is and how to extract its pending work.
+
+    All callables must be module-level functions or ``functools.partial``
+    objects over them, so specs survive ``RunState.snapshot()`` round
+    trips across process boundaries.
+
+    ``runner`` overrides the generic advance (e.g. MAGE's
+    ``run_mage_state``, which owns RunStarted/RunFinished emission and
+    event recording); paths without one get the default behaviour: a
+    :class:`~repro.core.events.RunStarted` on the first advance, then
+    ``pipeline.run``.  ``sample_plan(state)`` is called on a state
+    suspended just before ``sample_stage``; it performs the run's own
+    candidate *generation* (LLM calls, in-state order) and returns the
+    pure simulation work a scheduler may coalesce across runs.
+    """
+
+    pipeline_factory: Callable[[], "Pipeline"]
+    system: str
+    task_name: str
+    extractor: Callable[["RunState"], str]
+    runner: Callable | None = None
+    sample_stage: str | None = None
+    sample_plan: Callable[["RunState"], Any] | None = None
+
+
+@dataclass
+class RunProgram:
+    """A started run: the spec plus its live state.
+
+    ``advance`` drives the state (optionally pausing via ``stop_after``)
+    and is safe to call repeatedly until ``finished``; ``source`` reads
+    the final RTL out of a finished state.
+    """
+
+    spec: ProgramSpec
+    state: RunState
+
+    def pipeline(self) -> Pipeline:
+        return self.spec.pipeline_factory()
+
+    @property
+    def finished(self) -> bool:
+        return self.state.finished
+
+    def advance(
+        self,
+        sink: EventSink | Callable[[Event], None] | None = None,
+        stop_after: str | None = None,
+        checkpoint: Callable[[RunState], None] | None = None,
+    ) -> RunState:
+        if self.spec.runner is not None:
+            return self.spec.runner(
+                self.state, sink=sink, stop_after=stop_after, checkpoint=checkpoint
+            )
+        resolved = as_sink(sink)
+        if self.state.next_stage == 0 and not self.state.data.get("run_started"):
+            self.state.data["run_started"] = True
+            resolved.emit(
+                RunStarted(
+                    system=self.spec.system,
+                    task_name=self.spec.task_name,
+                    seed=self.state.seed,
+                )
+            )
+        return self.pipeline().run(
+            self.state, sink=resolved, stop_after=stop_after, checkpoint=checkpoint
+        )
+
+    def source(self) -> str:
+        if not self.state.finished:
+            raise ValueError(
+                "run is not finished "
+                f"(next stage index {self.state.next_stage})"
+            )
+        return self.spec.extractor(self.state)
+
+
+def start_program(spec: ProgramSpec, state: RunState) -> RunProgram:
+    """Bind a spec to a fresh state (and record it for later resumes)."""
+    state.data["program"] = spec
+    return RunProgram(spec=spec, state=state)
+
+
+def resume_program(state: RunState) -> RunProgram:
+    """Rebuild the program of a (possibly restored) state."""
+    spec = state.data.get("program")
+    if not isinstance(spec, ProgramSpec):
+        raise ValueError("state carries no ProgramSpec (data['program'])")
+    return RunProgram(spec=spec, state=state)
+
+
+def stage_before(pipeline: Pipeline, stage: str) -> str | None:
+    """Name of the stage preceding ``stage`` (None when it is first)."""
+    names = pipeline.stage_names()
+    if stage not in names:
+        raise ValueError(
+            f"unknown stage {stage!r}; stages: {', '.join(names)}"
+        )
+    index = names.index(stage)
+    return names[index - 1] if index > 0 else None
 
 
 class MemoryCheckpointer:

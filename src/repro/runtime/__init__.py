@@ -50,6 +50,11 @@ from repro.runtime.executor import (
     ThreadExecutor,
     create_executor,
 )
+from repro.runtime.rollout import (
+    RolloutRequest,
+    RolloutResult,
+    RolloutScheduler,
+)
 
 __all__ = [
     "BatchReport",
@@ -58,6 +63,9 @@ __all__ = [
     "DiskCacheInfo",
     "Executor",
     "ProcessExecutor",
+    "RolloutRequest",
+    "RolloutResult",
+    "RolloutScheduler",
     "RuntimeConfig",
     "RuntimeContext",
     "SerialExecutor",

@@ -100,6 +100,108 @@ class BatchReport:
         return "\n".join(lines)
 
 
+def _assemble_result(
+    suite: str,
+    resolved_name: str,
+    chosen: list[Problem],
+    by_problem: dict[int, list],
+    report: BatchReport,
+):
+    """Fold per-(problem, run) rows into the deterministic result.
+
+    Rows need ``.passed``/``.score``/``.seconds``; callers hand them in
+    per problem, already in run order.  Shared by the plain grid and the
+    rollout path so the two can never diverge on assembly.
+    """
+    from repro.evaluation.harness import EvalResult, ProblemOutcome
+
+    result = EvalResult(system=resolved_name, suite=suite)
+    for problem_index, problem in enumerate(chosen):
+        outcome = ProblemOutcome(problem.id, problem.difficulty)
+        for row in by_problem.get(problem_index, []):
+            outcome.runs += 1
+            outcome.passes += int(row.passed)
+            outcome.scores.append(row.score)
+            report.cell_seconds.append(row.seconds)
+        result.outcomes.append(outcome)
+    return result
+
+
+def _fill_report_counters(
+    report: BatchReport,
+    crossing: bool,
+    rows: list,
+    live_cache: SimulationCache | None,
+    cache_before: CacheStats,
+    live_solve: SolveCellCache | None,
+    solve_before: CacheStats,
+    sims_before: int,
+    solve_rows: list[tuple[int, int]] | None = None,
+) -> None:
+    """Batch cache/simulation totals for one evaluation.
+
+    When the work crossed process boundaries the child-process counters
+    never reach this process, so the exact per-row deltas the workers
+    reported are summed instead of reading the live caches.
+    ``solve_rows`` supplies (hits, misses) pairs for paths whose
+    solve-cell lookups also ran in children; None means the solve cache
+    was driven entirely from this process and its live delta is exact
+    either way.
+    """
+    if crossing:
+        report.cache = CacheStats(
+            hits=sum(r.cache_hits for r in rows),
+            misses=sum(r.cache_misses for r in rows),
+        )
+        report.simulations = sum(r.simulations for r in rows)
+    else:
+        report.cache = (
+            live_cache.stats.delta(cache_before)
+            if live_cache is not None
+            else CacheStats()
+        )
+        report.simulations = simulation_count() - sims_before
+    if crossing and solve_rows is not None:
+        report.solve_cache = CacheStats(
+            hits=sum(hits for hits, _ in solve_rows),
+            misses=sum(misses for _, misses in solve_rows),
+        )
+    else:
+        report.solve_cache = (
+            live_solve.stats.delta(solve_before)
+            if live_solve is not None
+            else CacheStats()
+        )
+
+
+def _progress_flusher(
+    chosen: list[Problem],
+    runs: int,
+    resolved_name: str,
+    progress: Callable[[str], None] | None,
+    by_problem: dict[int, list],
+):
+    """Per-problem progress lines in suite order, buffered until every
+    earlier problem completes -- the shared deterministic-output rule of
+    both grid paths."""
+    state = {"next": 0}
+
+    def flush() -> None:
+        flushed = state["next"]
+        while flushed < len(chosen) and len(by_problem.get(flushed, [])) == runs:
+            if progress is not None:
+                done = by_problem[flushed]
+                passes = sum(1 for r in done if r.passed)
+                progress(
+                    f"{resolved_name} {chosen[flushed].id}: "
+                    f"{passes}/{runs} passed"
+                )
+            flushed += 1
+        state["next"] = flushed
+
+    return flush
+
+
 def _resolve_cache(
     cache: SimulationCache | bool | None,
 ) -> SimulationCache | None:
@@ -138,6 +240,7 @@ def evaluate_many(
     solve_cache: SolveCellCache | bool | None = None,
     progress: Callable[[str], None] | None = None,
     events: EventSink | Callable[[Event], None] | None = None,
+    rollout_batch: int = 0,
 ):
     """Evaluate one system over a suite, fanned across workers.
 
@@ -154,9 +257,12 @@ def evaluate_many(
     the ambient runtime's); factories without a stable configuration
     fingerprint silently skip it.  ``events`` streams typed per-cell
     completions live (completion order, unlike ``progress``).
-    """
-    from repro.evaluation.harness import EvalResult, ProblemOutcome
 
+    ``rollout_batch`` > 0 switches the grid to the rollout scheduler:
+    up to that many cells advance together and share coalesced
+    candidate-scoring waves (see :mod:`repro.runtime.rollout`).  Rows
+    stay bit-identical to ``rollout_batch=0`` at any worker count.
+    """
     chosen = problems if problems is not None else get_suite(suite)
     resolved_name = name if name is not None else system_factory().name
     live_cache = _resolve_cache(cache)
@@ -168,6 +274,23 @@ def evaluate_many(
         live_solve = None
     pool = executor if executor is not None else get_runtime().executor
     sink = as_sink(events)
+
+    if rollout_batch and rollout_batch > 0:
+        return _evaluate_rollout(
+            system_factory,
+            suite,
+            chosen,
+            runs,
+            seed0,
+            resolved_name,
+            pool,
+            live_cache,
+            live_solve,
+            fingerprint,
+            progress,
+            sink,
+            rollout_batch,
+        )
 
     cells: list[EvalCell] = []
     for problem_index, problem in enumerate(chosen):
@@ -221,20 +344,9 @@ def evaluate_many(
 
     futures = [submit(cell) for cell in cells]
     by_problem: dict[int, list[CellResult]] = {}
-    next_to_report = 0
-
-    def flush_progress() -> int:
-        flushed = next_to_report
-        while flushed < len(chosen) and len(by_problem.get(flushed, [])) == runs:
-            if progress is not None:
-                done = by_problem[flushed]
-                passes = sum(1 for r in done if r.passed)
-                progress(
-                    f"{resolved_name} {chosen[flushed].id}: "
-                    f"{passes}/{runs} passed"
-                )
-            flushed += 1
-        return flushed
+    flush_progress = _progress_flusher(
+        chosen, runs, resolved_name, progress, by_problem
+    )
 
     for future in cf.as_completed(futures):
         cell_result = future.result()
@@ -249,50 +361,146 @@ def evaluate_many(
                 solve_cached=cell_result.solve_cached,
             )
         )
-        next_to_report = flush_progress()
+        flush_progress()
 
     wall = time.perf_counter() - started
     sink.emit(BatchFinished(cells=len(cells), seconds=wall))
 
-    result = EvalResult(system=resolved_name, suite=suite)
     report = BatchReport(executor=pool.describe(), wall_seconds=wall)
-    for problem_index, problem in enumerate(chosen):
-        outcome = ProblemOutcome(problem.id, problem.difficulty)
-        ordered = sorted(
-            by_problem.get(problem_index, []), key=lambda r: r.run_index
-        )
-        for cell_result in ordered:
-            outcome.runs += 1
-            outcome.passes += int(cell_result.passed)
-            outcome.scores.append(cell_result.score)
-            report.cell_seconds.append(cell_result.seconds)
-        result.outcomes.append(outcome)
+    ordered = {
+        problem_index: sorted(rows, key=lambda r: r.run_index)
+        for problem_index, rows in by_problem.items()
+    }
+    result = _assemble_result(suite, resolved_name, chosen, ordered, report)
     report.cells = len(cells)
+    collected = [r for rows in by_problem.values() for r in rows]
+    _fill_report_counters(
+        report,
+        crosses_processes,
+        collected,
+        live_cache,
+        cache_before,
+        live_solve,
+        solve_before,
+        sims_before,
+        solve_rows=[(r.solve_hits, r.solve_misses) for r in collected],
+    )
+    return result, report
 
-    if crosses_processes:
-        # Child-process counters never reach this process; sum the exact
-        # per-cell deltas the workers report instead (pool workers run
-        # one cell at a time, so the deltas don't interleave).
-        collected = [r for rs in by_problem.values() for r in rs]
-        report.cache = CacheStats(
-            hits=sum(r.cache_hits for r in collected),
-            misses=sum(r.cache_misses for r in collected),
+
+def _evaluate_rollout(
+    system_factory,
+    suite: str,
+    chosen: list[Problem],
+    runs: int,
+    seed0: int,
+    resolved_name: str,
+    pool: Executor,
+    live_cache: SimulationCache | None,
+    live_solve: SolveCellCache | None,
+    fingerprint: str | None,
+    progress: Callable[[str], None] | None,
+    sink,
+    rollout_batch: int,
+):
+    """The ``rollout_batch > 0`` grid path: gang-scheduled sampling.
+
+    Cells enter the :class:`~repro.runtime.rollout.RolloutScheduler` in
+    grid order and complete wave by wave (index order within a wave):
+    ``events``/``progress`` stream per wave through the same buffered
+    suite-order rule as the plain path, so the output text is identical
+    and deterministic.  Rows are bit-identical to the plain path --
+    both bottom out in the same stage functions and the same
+    pinned-serial per-run execution.
+    """
+    from repro.runtime.rollout import RolloutRequest, RolloutScheduler
+
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    requests: list[RolloutRequest] = []
+    problem_of: dict[int, int] = {}  # request index -> problem index
+    for problem_index, problem in enumerate(chosen):
+        golden_tb = golden_testbench(problem)
+        for run in range(runs):
+            problem_of[len(requests)] = problem_index
+            requests.append(
+                RolloutRequest(
+                    index=len(requests),
+                    factory=system_factory,
+                    problem=problem,
+                    golden_tb=golden_tb,
+                    seed=seed0 + run,
+                    fingerprint=fingerprint,
+                )
+            )
+
+    cache_before = (
+        live_cache.stats.snapshot() if live_cache is not None else CacheStats()
+    )
+    solve_before = (
+        live_solve.stats.snapshot() if live_solve is not None else CacheStats()
+    )
+    sims_before = simulation_count()
+    started = time.perf_counter()
+
+    by_problem: dict[int, list] = {}
+    flush_progress = _progress_flusher(
+        chosen, runs, resolved_name, progress, by_problem
+    )
+
+    def on_result(rollout_result) -> None:
+        if rollout_result.error is not None:
+            # Fail fast with the original exception (and type), exactly
+            # like the plain path's future.result() would mid-grid.
+            if rollout_result.exception is not None:
+                raise rollout_result.exception
+            raise RuntimeError(
+                f"rollout cell {rollout_result.problem_id} seed "
+                f"{rollout_result.seed} failed: {rollout_result.error}"
+            )
+        by_problem.setdefault(problem_of[rollout_result.index], []).append(
+            rollout_result
         )
-        report.solve_cache = CacheStats(
-            hits=sum(r.solve_hits for r in collected),
-            misses=sum(r.solve_misses for r in collected),
+        sink.emit(
+            CellFinished(
+                problem_id=rollout_result.problem_id,
+                run_index=rollout_result.seed - seed0,
+                passed=rollout_result.passed,
+                score=rollout_result.score,
+                seconds=rollout_result.seconds,
+                solve_cached=rollout_result.solve_cached,
+            )
         )
-        report.simulations = sum(r.simulations for r in collected)
-    else:
-        report.cache = (
-            live_cache.stats.delta(cache_before)
-            if live_cache is not None
-            else CacheStats()
-        )
-        report.solve_cache = (
-            live_solve.stats.delta(solve_before)
-            if live_solve is not None
-            else CacheStats()
-        )
-        report.simulations = simulation_count() - sims_before
+        flush_progress()
+
+    scheduler = RolloutScheduler(
+        executor=pool,
+        batch=rollout_batch,
+        cache=live_cache,
+        solve_cache=live_solve,
+    )
+    outcomes = scheduler.run(requests, on_result=on_result)
+    wall = time.perf_counter() - started
+    sink.emit(BatchFinished(cells=len(requests), seconds=wall))
+
+    report = BatchReport(
+        executor=f"{pool.describe()} rollout[{rollout_batch}]",
+        wall_seconds=wall,
+    )
+    result = _assemble_result(suite, resolved_name, chosen, by_problem, report)
+    report.cells = len(requests)
+    # solve_rows=None: the solve-cell cache is driven entirely from this
+    # process by the scheduler, so its live delta is exact even when the
+    # simulation waves crossed into worker processes.
+    _fill_report_counters(
+        report,
+        pool.kind == "process",
+        outcomes,
+        live_cache,
+        cache_before,
+        live_solve,
+        solve_before,
+        sims_before,
+        solve_rows=None,
+    )
     return result, report

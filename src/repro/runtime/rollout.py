@@ -1,0 +1,743 @@
+"""Rollout batching: gang-schedule Step-4 sampling across concurrent runs.
+
+The Eq. 7 ``problems x runs`` grid spends most of its wall-clock in the
+``step4`` sampling stage -- c high-temperature candidates, each scored
+by pure simulation.  A plain grid fan-out parallelises *cells*; this
+module goes one level deeper (the ChipMATE direction): a
+:class:`RolloutScheduler` drives many concurrent
+:class:`~repro.core.pipeline.RunState`s through their staged pipelines,
+suspends each just before its sampling stage (``stop_after=`` plus a
+state snapshot), coalesces the pending candidate generations and
+simulations of the whole batch into **waves**, fans each wave through
+one ``Executor.map``-shaped call (and the content-addressed simulation
+cache), then resumes every state with its scored candidates.
+
+Each run advances in three phase functions, all module-level and
+picklable so waves can cross process pools:
+
+- :func:`rollout_open` -- stages up to the sampling stage under a
+  pinned-serial runtime, then the run's *own* candidate generation
+  (LLM calls, in-state order) via the program's ``sample_plan`` hook;
+- :func:`rollout_score` -- one pure simulation of one candidate (the
+  coalesced wave: every pending candidate of every in-flight run);
+- :func:`rollout_close` -- inject the reports, resume to completion
+  (Top-K ranking, Step-5 debugging), score against the golden
+  testbench.
+
+Determinism contract (extends Eq. 7's): per-run LLM-call ordering stays
+pinned-serial *inside each state* -- generation happens in the exact
+position an inline Step 4 would issue it, scoring is pure and returned
+in source order, and the resumed stage consumes the injected reports
+through the same :func:`~repro.core.sampling.rank_candidates` an inline
+run uses.  Batched output is therefore bit-identical to
+``--jobs 1 --rollout-batch 0`` serial runs -- enforced by the parity
+test matrix (``tests/runtime/test_rollout_parity.py``), not by
+convention.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from typing import TYPE_CHECKING
+
+from repro.core.events import Event, ListSink, as_sink
+from repro.core.pipeline import resume_program, restore_state, stage_before
+from repro.core.task import DesignTask
+
+if TYPE_CHECKING:  # the agents stack must not load at runtime-import time
+    from repro.core.sampling import SampleWork
+from repro.evalsets.problem import Problem
+from repro.runtime.cache import (
+    CacheStats,
+    SimulationCache,
+    SolveCellCache,
+    SolveCellRecord,
+    cached_run_testbench,
+    simulation_count,
+    simulation_key,
+    solve_cell_key,
+)
+from repro.runtime.context import RuntimeContext, runtime_session
+from repro.runtime.executor import Executor, SerialExecutor, _picklable
+from repro.runtime.workers import _accepts_sink, process_local_cache
+from repro.tb.stimulus import Testbench
+
+
+# ----------------------------------------------------------------------
+# Work units (picklable; one per wave item).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RolloutCell:
+    """One run entering the scheduler: everything ``rollout_open`` needs."""
+
+    index: int
+    factory: Callable[[], object]
+    problem: Problem
+    golden_tb: Testbench
+    seed: int
+    cache_enabled: bool = True
+    cache_dir: str | None = None
+
+
+@dataclass(frozen=True)
+class ScoreTask:
+    """One candidate simulation of the coalesced scoring wave."""
+
+    source: str
+    testbench: Testbench
+    top: str
+    cache_enabled: bool = True
+    cache_dir: str | None = None
+
+
+@dataclass(frozen=True)
+class CloseTask:
+    """Resume payload: the suspended state plus its scored candidates."""
+
+    blob: bytes
+    reports: tuple
+    has_sample: bool
+    golden_tb: Testbench
+    top: str
+    cache_enabled: bool = True
+    cache_dir: str | None = None
+
+
+# ----------------------------------------------------------------------
+# Phase outcomes.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PhaseCounters:
+    """Per-item cache/simulation accounting (exact when the item ran
+    alone in its process; approximate under thread interleaving, where
+    batch totals come from the live caches instead)."""
+
+    seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulations: int = 0
+
+
+@dataclass
+class OpenOutcome:
+    """What ``rollout_open`` hands back for one run."""
+
+    index: int
+    system: str
+    events: list[Event]
+    counters: PhaseCounters
+    finished: bool
+    # Finished runs carry their final result ...
+    source: str = ""
+    passed: bool = False
+    score: float = 0.0
+    # ... suspended runs carry the resume payload instead.
+    blob: bytes | None = None
+    sample: SampleWork | None = None
+
+
+@dataclass
+class ScoreOutcome:
+    report: object
+    counters: PhaseCounters
+
+
+@dataclass
+class CloseOutcome:
+    source: str
+    passed: bool
+    score: float
+    events: list[Event]
+    counters: PhaseCounters
+
+
+class _Measured:
+    """Context manager filling a :class:`PhaseCounters` from the cache
+    stats and simulation-counter deltas around a phase body."""
+
+    def __init__(self, cache: SimulationCache | None):
+        self.cache = cache
+        self.counters = PhaseCounters()
+
+    def __enter__(self) -> PhaseCounters:
+        self._before = (
+            self.cache.stats.snapshot() if self.cache is not None else CacheStats()
+        )
+        self._sims = simulation_count()
+        self._started = time.perf_counter()
+        return self.counters
+
+    def __exit__(self, *exc) -> None:
+        self.counters.seconds = time.perf_counter() - self._started
+        self.counters.simulations = simulation_count() - self._sims
+        if self.cache is not None:
+            delta = self.cache.stats.delta(self._before)
+            self.counters.cache_hits = delta.hits
+            self.counters.cache_misses = delta.misses
+
+
+# ----------------------------------------------------------------------
+# Phase functions (module-level, hence process-pool picklable).
+# ----------------------------------------------------------------------
+
+
+def rollout_open(cell: RolloutCell, cache: SimulationCache | None = None) -> OpenOutcome:
+    """Advance one run to its sampling suspension point.
+
+    Runs the stages before the program's ``sample_stage`` under a
+    pinned-serial runtime (the same isolation a grid cell gets), then
+    the run's own candidate generation via ``sample_plan`` -- so the
+    state's LLM-call order is exactly an inline run's.  Runs without a
+    sampling stage (or that finish early) complete here, including
+    their golden-testbench scoring.
+    """
+    if cache is None:
+        cache = process_local_cache(cell.cache_enabled, cell.cache_dir)
+    sink = ListSink()
+    inner = RuntimeContext(executor=SerialExecutor(), cache=cache)
+    with _Measured(cache) as counters, runtime_session(context=inner):
+        system = cell.factory()
+        name = getattr(system, "name", type(system).__name__)
+        task = DesignTask.from_problem(cell.problem)
+        starter = getattr(system, "start_run", None)
+        if starter is None:
+            # Pre-program system: no suspension points; solve whole.
+            if _accepts_sink(system.solve):
+                source = system.solve(task, seed=cell.seed, sink=sink)
+            else:
+                source = system.solve(task, seed=cell.seed)
+            report = cached_run_testbench(
+                source, cell.golden_tb, cell.problem.top, cache=cache
+            )
+            return OpenOutcome(
+                index=cell.index,
+                system=name,
+                events=sink.events,
+                counters=counters,
+                finished=True,
+                source=source,
+                passed=report.passed,
+                score=report.score,
+            )
+        program = starter(task, seed=cell.seed)
+        spec = program.spec
+        stop = (
+            stage_before(program.pipeline(), spec.sample_stage)
+            if spec.sample_stage is not None
+            else None
+        )
+        if spec.sample_stage is None or stop is not None:
+            # stop=None with a sample stage means sampling is the very
+            # first stage: nothing to run before the suspension point.
+            program.advance(sink=sink, stop_after=stop)
+        if program.finished:
+            source = program.source()
+            report = cached_run_testbench(
+                source, cell.golden_tb, cell.problem.top, cache=cache
+            )
+            return OpenOutcome(
+                index=cell.index,
+                system=name,
+                events=sink.events,
+                counters=counters,
+                finished=True,
+                source=source,
+                passed=report.passed,
+                score=report.score,
+            )
+        sample = (
+            spec.sample_plan(program.state)
+            if spec.sample_plan is not None
+            else None
+        )
+        return OpenOutcome(
+            index=cell.index,
+            system=name,
+            events=sink.events,
+            counters=counters,
+            finished=False,
+            blob=program.state.snapshot(),
+            sample=sample,
+        )
+
+
+def rollout_score(task: ScoreTask, cache: SimulationCache | None = None) -> ScoreOutcome:
+    """Score one candidate: pure simulation through the shared cache."""
+    if cache is None:
+        cache = process_local_cache(task.cache_enabled, task.cache_dir)
+    with _Measured(cache) as counters:
+        report = cached_run_testbench(
+            task.source, task.testbench, task.top, cache=cache
+        )
+    return ScoreOutcome(report=report, counters=counters)
+
+
+def rollout_close(item: CloseTask, cache: SimulationCache | None = None) -> CloseOutcome:
+    """Resume one suspended run with its scored candidates and finish it.
+
+    The injected reports are consumed by the sampling stage itself
+    (which ranks and emits exactly as an inline run would), the
+    remaining stages run pinned-serial, and the final source is scored
+    against the hidden golden testbench -- the same computation a grid
+    cell performs.
+    """
+    if cache is None:
+        cache = process_local_cache(item.cache_enabled, item.cache_dir)
+    sink = ListSink()
+    inner = RuntimeContext(executor=SerialExecutor(), cache=cache)
+    with _Measured(cache) as counters, runtime_session(context=inner):
+        state = restore_state(item.blob)
+        if item.has_sample:
+            state.data["rollout_reports"] = list(item.reports)
+        program = resume_program(state)
+        program.advance(sink=sink)
+        source = program.source()
+        report = cached_run_testbench(
+            source, item.golden_tb, item.top, cache=cache
+        )
+    return CloseOutcome(
+        source=source,
+        passed=report.passed,
+        score=report.score,
+        events=sink.events,
+        counters=counters,
+    )
+
+
+# ----------------------------------------------------------------------
+# The scheduler.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RolloutRequest:
+    """One (system, problem, seed) cell submitted to the scheduler.
+
+    ``sink`` receives the run's typed event stream (replayed in phase
+    bursts, per-run order preserved); ``fingerprint`` enables solve-cell
+    caching for the request (None skips it, exactly like the grid).
+    """
+
+    index: int
+    factory: Callable[[], object]
+    problem: Problem
+    golden_tb: Testbench
+    seed: int
+    sink: object = None
+    fingerprint: str | None = None
+
+
+@dataclass
+class RolloutResult:
+    """One completed cell (or its error).
+
+    ``error`` is the stringified failure (what the service turns into
+    an error frame); ``exception`` keeps the original exception object
+    so in-process callers can re-raise with the real type and
+    traceback.
+    """
+
+    index: int
+    problem_id: str
+    seed: int
+    source: str = ""
+    passed: bool = False
+    score: float = 0.0
+    seconds: float = 0.0
+    solve_cached: bool = False
+    system: str = ""
+    events: list[Event] = field(default_factory=list)
+    error: str | None = None
+    exception: BaseException | None = field(default=None, repr=False)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulations: int = 0
+
+
+class RolloutScheduler:
+    """Gang-schedules sampling across a batch of concurrent runs.
+
+    ``executor`` carries every wave (a
+    :class:`~repro.runtime.executor.ProcessExecutor` gives the scoring
+    wave true multi-core parallelism; phase payloads are picklable by
+    construction, and executors transparently downgrade anything that
+    is not).  ``batch`` is the wave width: how many runs advance
+    together between suspension points.  ``cache`` fronts every
+    simulation of every wave; ``solve_cache`` serves whole repeated
+    cells without touching a wave at all.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        batch: int = 8,
+        cache: SimulationCache | None = None,
+        solve_cache: SolveCellCache | None = None,
+    ):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.batch = batch
+        self.cache = cache
+        self.solve_cache = solve_cache
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        requests: list[RolloutRequest],
+        on_result: Callable[[RolloutResult], None] | None = None,
+    ) -> list[RolloutResult]:
+        """Drive every request to completion; results in request order.
+
+        ``on_result`` streams each completed cell as its wave finishes
+        (request order within a wave), so long grids report progress
+        wave by wave instead of all at the end.
+        """
+        results: dict[int, RolloutResult] = {}
+        items = list(requests)
+        for start in range(0, len(items), self.batch):
+            chunk = items[start : start + self.batch]
+            self._run_wave(chunk, results)
+            if on_result is not None:
+                for request in chunk:
+                    on_result(results[request.index])
+        return [results[request.index] for request in requests]
+
+    # ------------------------------------------------------------------
+
+    def _cached_record(self, request: RolloutRequest):
+        if self.solve_cache is None or request.fingerprint is None:
+            return None
+        try:
+            key = solve_cell_key(
+                request.fingerprint, request.problem, request.seed
+            )
+        except Exception:
+            return None  # unhashable problem payload: solve live
+        return self.solve_cache.get(key)
+
+    def _store_record(
+        self, request: RolloutRequest, result: RolloutResult
+    ) -> None:
+        if self.solve_cache is None or request.fingerprint is None:
+            return
+        try:
+            key = solve_cell_key(
+                request.fingerprint, request.problem, request.seed
+            )
+        except Exception:
+            return
+        self.solve_cache.put(
+            key,
+            SolveCellRecord(
+                source=result.source,
+                system=result.system,
+                events=tuple(result.events),
+            ),
+        )
+
+    def _submit_wave(self, fn, payloads: list) -> list:
+        """One coalesced wave: every payload through one executor pass.
+
+        Payloads are probed once for picklability (they are homogeneous);
+        process pools then receive self-contained items that resolve
+        per-process caches, in-process backends share the live cache.
+        Returns one outcome (or the raised exception) per payload, in
+        input order.
+        """
+        if not payloads:
+            return []
+        crossing = self.executor.kind == "process" and _picklable(payloads[0])
+        if crossing:
+            futures = [
+                self.executor.submit_unchecked(fn, payload)
+                for payload in payloads
+            ]
+        else:
+            futures = [
+                self.executor.submit(fn, payload, self.cache)
+                for payload in payloads
+            ]
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:  # noqa: BLE001 -- per-run error result
+                outcomes.append(exc)
+        return outcomes
+
+    def _score_wave(self, tasks: list[ScoreTask]) -> list:
+        """Score a coalesced wave, deduplicating identical simulations.
+
+        Concurrent runs frequently sample identical candidates (T=0
+        stages, easy problems); content-identical tasks are simulated
+        once per wave and the report fanned back to every duplicate --
+        exactly what a shared simulation cache would do, computed in
+        the parent so it works across process boundaries too.  On
+        process pools the parent cache additionally pre-serves tasks it
+        already holds and absorbs the wave's results, making it the
+        shared medium between waves and phases.
+        """
+        if not tasks:
+            return []
+        crossing = self.executor.kind == "process" and _picklable(tasks[0])
+        keyed: list[str | None] = []
+        for task in tasks:
+            try:
+                keyed.append(
+                    simulation_key(task.source, task.testbench, task.top)
+                )
+            except Exception:
+                keyed.append(None)  # unrenderable testbench: never dedup
+        ready: dict[int, ScoreOutcome] = {}
+        primary: dict[str, int] = {}  # key -> index of the executed task
+        to_run: list[int] = []
+        for index, key in enumerate(keyed):
+            if key is None:
+                to_run.append(index)
+                continue
+            if crossing and self.cache is not None:
+                report = self.cache.peek(key)
+                if report is not None:
+                    ready[index] = ScoreOutcome(
+                        report=report,
+                        counters=PhaseCounters(cache_hits=1),
+                    )
+                    continue
+            if key in primary:
+                continue  # duplicate: reuse the primary's report
+            primary[key] = index
+            to_run.append(index)
+        outcomes = self._submit_wave(rollout_score, [tasks[i] for i in to_run])
+        for index, outcome in zip(to_run, outcomes):
+            ready[index] = outcome
+            key = keyed[index]
+            if (
+                crossing
+                and self.cache is not None
+                and key is not None
+                and not isinstance(outcome, Exception)
+            ):
+                self.cache.put(key, outcome.report)
+        results = []
+        for index, key in enumerate(keyed):
+            if index in ready:
+                results.append(ready[index])
+                continue
+            outcome = ready[primary[key]]
+            if isinstance(outcome, Exception):
+                results.append(outcome)
+            else:
+                results.append(
+                    ScoreOutcome(
+                        report=outcome.report,
+                        counters=PhaseCounters(cache_hits=1),
+                    )
+                )
+        return results
+
+    def _run_wave(
+        self,
+        wave: list[RolloutRequest],
+        results: dict[int, RolloutResult],
+    ) -> None:
+        # 1. Serve repeats straight from the solve-cell cache (replayed
+        #    events, golden re-score through the simulation cache).
+        pending: list[RolloutRequest] = []
+        for request in wave:
+            record = self._cached_record(request)
+            if record is None:
+                pending.append(request)
+                continue
+            started = time.perf_counter()
+            if request.sink is not None:
+                live = as_sink(request.sink)
+                for event in record.events:
+                    live.emit(event)
+            report = cached_run_testbench(
+                record.source,
+                request.golden_tb,
+                request.problem.top,
+                cache=self.cache,
+            )
+            results[request.index] = RolloutResult(
+                index=request.index,
+                problem_id=request.problem.id,
+                seed=request.seed,
+                source=record.source,
+                passed=report.passed,
+                score=report.score,
+                seconds=time.perf_counter() - started,
+                solve_cached=True,
+                system=record.system,
+                events=list(record.events),
+            )
+        if not pending:
+            return
+
+        # 2. Open wave: advance every run to its suspension point (or
+        #    completion), generation included.
+        cells = [
+            RolloutCell(
+                index=request.index,
+                factory=request.factory,
+                problem=request.problem,
+                golden_tb=request.golden_tb,
+                seed=request.seed,
+                cache_enabled=self.cache is not None,
+                cache_dir=(
+                    self.cache.directory if self.cache is not None else None
+                ),
+            )
+            for request in pending
+        ]
+        opens = self._submit_wave(rollout_open, cells)
+
+        alive: list[tuple[RolloutRequest, OpenOutcome]] = []
+        for request, opened in zip(pending, opens):
+            if isinstance(opened, Exception):
+                results[request.index] = RolloutResult(
+                    index=request.index,
+                    problem_id=request.problem.id,
+                    seed=request.seed,
+                    error=f"{type(opened).__name__}: {opened}",
+                    exception=opened,
+                )
+                continue
+            if request.sink is not None:
+                live = as_sink(request.sink)
+                for event in opened.events:
+                    live.emit(event)
+            if opened.finished:
+                result = RolloutResult(
+                    index=request.index,
+                    problem_id=request.problem.id,
+                    seed=request.seed,
+                    source=opened.source,
+                    passed=opened.passed,
+                    score=opened.score,
+                    seconds=opened.counters.seconds,
+                    system=opened.system,
+                    events=list(opened.events),
+                    cache_hits=opened.counters.cache_hits,
+                    cache_misses=opened.counters.cache_misses,
+                    simulations=opened.counters.simulations,
+                )
+                results[request.index] = result
+                self._store_record(request, result)
+            else:
+                alive.append((request, opened))
+        if not alive:
+            return
+
+        # 3. THE coalesced wave: every pending candidate of every
+        #    in-flight run, scored through one executor pass.
+        tasks: list[ScoreTask] = []
+        spans: list[tuple[int, int]] = []
+        for _, opened in alive:
+            sources = opened.sample.sources if opened.sample is not None else ()
+            begin = len(tasks)
+            for source in sources:
+                tasks.append(
+                    ScoreTask(
+                        source=source,
+                        testbench=opened.sample.testbench,
+                        top=opened.sample.top,
+                        cache_enabled=self.cache is not None,
+                        cache_dir=(
+                            self.cache.directory
+                            if self.cache is not None
+                            else None
+                        ),
+                    )
+                )
+            spans.append((begin, len(tasks)))
+        scored = self._score_wave(tasks)
+
+        # 4. Close wave: inject the reports, resume to completion,
+        #    golden-score.
+        closers: list[tuple[RolloutRequest, OpenOutcome, float]] = []
+        close_tasks: list[CloseTask] = []
+        for (request, opened), (begin, end) in zip(alive, spans):
+            slice_outcomes = scored[begin:end]
+            failed = next(
+                (o for o in slice_outcomes if isinstance(o, Exception)), None
+            )
+            if failed is not None:
+                results[request.index] = RolloutResult(
+                    index=request.index,
+                    problem_id=request.problem.id,
+                    seed=request.seed,
+                    error=f"{type(failed).__name__}: {failed}",
+                    exception=failed,
+                )
+                continue
+            score_seconds = sum(o.counters.seconds for o in slice_outcomes)
+            closers.append((request, opened, score_seconds))
+            close_tasks.append(
+                CloseTask(
+                    blob=opened.blob,
+                    reports=tuple(o.report for o in slice_outcomes),
+                    has_sample=opened.sample is not None,
+                    golden_tb=request.golden_tb,
+                    top=request.problem.top,
+                    cache_enabled=self.cache is not None,
+                    cache_dir=(
+                        self.cache.directory if self.cache is not None else None
+                    ),
+                )
+            )
+            for outcome in slice_outcomes:
+                opened.counters.cache_hits += outcome.counters.cache_hits
+                opened.counters.cache_misses += outcome.counters.cache_misses
+                opened.counters.simulations += outcome.counters.simulations
+        closes = self._submit_wave(rollout_close, close_tasks)
+
+        for (request, opened, score_seconds), closed in zip(closers, closes):
+            if isinstance(closed, Exception):
+                results[request.index] = RolloutResult(
+                    index=request.index,
+                    problem_id=request.problem.id,
+                    seed=request.seed,
+                    error=f"{type(closed).__name__}: {closed}",
+                    exception=closed,
+                )
+                continue
+            if request.sink is not None:
+                live = as_sink(request.sink)
+                for event in closed.events:
+                    live.emit(event)
+            result = RolloutResult(
+                index=request.index,
+                problem_id=request.problem.id,
+                seed=request.seed,
+                source=closed.source,
+                passed=closed.passed,
+                score=closed.score,
+                seconds=(
+                    opened.counters.seconds
+                    + score_seconds
+                    + closed.counters.seconds
+                ),
+                system=opened.system,
+                events=list(opened.events) + list(closed.events),
+                cache_hits=(
+                    opened.counters.cache_hits + closed.counters.cache_hits
+                ),
+                cache_misses=(
+                    opened.counters.cache_misses + closed.counters.cache_misses
+                ),
+                simulations=(
+                    opened.counters.simulations + closed.counters.simulations
+                ),
+            )
+            results[request.index] = result
+            self._store_record(request, result)

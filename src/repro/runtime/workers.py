@@ -93,14 +93,27 @@ _WORKER_CACHES: dict[str | None, SimulationCache] = {}
 _WORKER_SOLVE_CACHES: dict[str | None, SolveCellCache] = {}
 
 
-def _resolve_cache(cell: EvalCell) -> SimulationCache | None:
-    if not cell.cache_enabled:
+def process_local_cache(
+    enabled: bool, directory: str | None
+) -> SimulationCache | None:
+    """The worker-process simulation cache for one configuration.
+
+    Work units landing in the same process share one in-memory cache
+    per disk directory -- the resolution both grid cells and rollout
+    phase functions use when they execute without a live cache in hand
+    (i.e. across a process boundary).
+    """
+    if not enabled:
         return None
-    cache = _WORKER_CACHES.get(cell.cache_dir)
+    cache = _WORKER_CACHES.get(directory)
     if cache is None:
-        cache = SimulationCache(cell.cache_dir)
-        _WORKER_CACHES[cell.cache_dir] = cache
+        cache = SimulationCache(directory)
+        _WORKER_CACHES[directory] = cache
     return cache
+
+
+def _resolve_cache(cell: EvalCell) -> SimulationCache | None:
+    return process_local_cache(cell.cache_enabled, cell.cache_dir)
 
 
 def _resolve_solve_cache(cell: EvalCell) -> SolveCellCache | None:

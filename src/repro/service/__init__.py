@@ -49,6 +49,7 @@ from repro.service.protocol import (
 )
 from repro.service.server import SolveServer
 from repro.service.worker import (
+    RolloutWorker,
     ServiceResult,
     ServiceStats,
     Worker,
@@ -73,6 +74,7 @@ __all__ = [
     "GridReport",
     "Job",
     "ProtocolError",
+    "RolloutWorker",
     "ServiceClient",
     "ServiceError",
     "ServiceResult",

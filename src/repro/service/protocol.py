@@ -205,12 +205,22 @@ def decode_payload(data: bytes) -> Frame:
 
 
 def read_frame(stream: BinaryIO) -> Frame | None:
-    """Read one frame; None on clean EOF at a frame boundary."""
-    header = stream.read(_HEADER.size)
-    if not header:
-        return None
-    if len(header) < _HEADER.size:
-        raise ProtocolError("truncated frame header")
+    """Read one frame; None on clean EOF at a frame boundary.
+
+    Both the header and the body reads loop over short reads, so the
+    framing survives raw (unbuffered) streams that deliver a frame in
+    arbitrary fragments; a stream ending mid-frame raises
+    :class:`ProtocolError` rather than hanging or returning a partial
+    frame.
+    """
+    header = b""
+    while len(header) < _HEADER.size:
+        chunk = stream.read(_HEADER.size - len(header))
+        if not chunk:
+            if not header:
+                return None  # clean EOF at a frame boundary
+            raise ProtocolError("truncated frame header")
+        header += chunk
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame too large ({length} bytes)")

@@ -44,6 +44,7 @@ from repro.service.protocol import (
     write_frame,
 )
 from repro.service.worker import (
+    RolloutWorker,
     ServiceStats,
     Worker,
     registered_fingerprint,
@@ -235,6 +236,7 @@ class SolveServer:
         sim_cache: SimulationCache | bool | None = None,
         solve_cache: SolveCellCache | bool | None = None,
         max_pending: int = 256,
+        rollout_batch: int = 0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -242,18 +244,35 @@ class SolveServer:
         self.solve_cache = self._resolve(solve_cache, SolveCellCache)
         self.broker = Broker(max_pending=max_pending)
         self.stats = ServiceStats()
+        self.rollout_batch = max(0, int(rollout_batch))
         self._tcp = _ServiceTCPServer((host, port), _ConnectionHandler)
         self._tcp.service = self
-        self._workers = [
-            Worker(
-                self.broker,
-                self.stats,
-                sim_cache=self.sim_cache,
-                solve_cache=self.solve_cache,
-                name=f"repro-service-worker-{index}",
-            )
-            for index in range(workers)
-        ]
+        if self.rollout_batch:
+            # Batching mode: each worker gathers up to rollout_batch
+            # dedup-distinct in-flight cells and gang-schedules their
+            # sampling through shared scoring waves.
+            self._workers: list = [
+                RolloutWorker(
+                    self.broker,
+                    self.stats,
+                    sim_cache=self.sim_cache,
+                    solve_cache=self.solve_cache,
+                    batch=self.rollout_batch,
+                    name=f"repro-service-rollout-{index}",
+                )
+                for index in range(workers)
+            ]
+        else:
+            self._workers = [
+                Worker(
+                    self.broker,
+                    self.stats,
+                    sim_cache=self.sim_cache,
+                    solve_cache=self.solve_cache,
+                    name=f"repro-service-worker-{index}",
+                )
+                for index in range(workers)
+            ]
         self._acceptor: threading.Thread | None = None
         self._stopped = threading.Event()
         self._shutdown_lock = threading.Lock()
@@ -368,6 +387,7 @@ class SolveServer:
         return {
             "address": self.address,
             "workers": len(self._workers),
+            "rollout_batch": self.rollout_batch,
             "pending": len(self.broker),
             "broker": self.broker.stats.snapshot(),
             "service": self.stats.snapshot(),

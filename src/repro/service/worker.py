@@ -30,7 +30,8 @@ from repro.runtime.cache import (
     system_fingerprint,
 )
 from repro.runtime.context import RuntimeContext, runtime_session
-from repro.runtime.executor import SerialExecutor
+from repro.runtime.executor import Executor, SerialExecutor, ThreadExecutor
+from repro.runtime.rollout import RolloutRequest, RolloutScheduler
 from repro.runtime.workers import solve_streaming
 
 
@@ -200,6 +201,142 @@ def solve_service_request(
         system=registered_system_name(system),
         solve_cached=cached,
     )
+
+
+class RolloutWorker(threading.Thread):
+    """A worker that gang-schedules sampling across in-flight cells.
+
+    Where :class:`Worker` drains one job at a time, this worker gathers
+    up to ``batch`` dedup-distinct jobs from the broker (after the
+    first blocking pop it lingers ``linger`` seconds for stragglers),
+    turns them into rollout requests, and drives them through a shared
+    :class:`~repro.runtime.rollout.RolloutScheduler`: every gathered
+    cell advances to its Step-4 suspension point, their candidate
+    simulations coalesce into shared scoring waves, and each job's
+    event stream is published as its phases complete.
+
+    Batch *composition* is timing-dependent (it depends on what is
+    queued when), but per-job output is not: the rollout determinism
+    contract makes every job's events and result identical to a plain
+    :class:`Worker`'s, whichever batch it happened to ride in.
+    """
+
+    def __init__(
+        self,
+        broker,
+        stats: ServiceStats,
+        sim_cache: SimulationCache | None = None,
+        solve_cache: SolveCellCache | None = None,
+        batch: int = 4,
+        linger: float = 0.05,
+        executor: Executor | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "repro-service-rollout", daemon=True)
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.broker = broker
+        self.stats = stats
+        self.sim_cache = sim_cache
+        self.solve_cache = solve_cache
+        self.batch = batch
+        self.linger = linger
+        self._owns_executor = executor is None
+        self.scheduler = RolloutScheduler(
+            executor=(
+                executor
+                if executor is not None
+                else ThreadExecutor(max(2, batch))
+            ),
+            batch=batch,
+            cache=sim_cache,
+            solve_cache=solve_cache,
+        )
+
+    def run(self) -> None:
+        try:
+            while True:
+                job = self.broker.next_job()
+                if job is None:
+                    return  # broker closed and drained
+                jobs = [job]
+                while len(jobs) < self.batch:
+                    extra = self.broker.next_job(timeout=self.linger)
+                    if extra is None:
+                        break  # nothing else queued right now
+                    jobs.append(extra)
+                self._solve_batch(jobs)
+        finally:
+            if self._owns_executor:
+                self.scheduler.executor.shutdown()
+
+    def _solve_batch(self, jobs: list) -> None:
+        from repro.baselines.registry import SYSTEMS, system_names
+        from repro.evalsets import get_problem, golden_testbench
+
+        requests: list[RolloutRequest] = []
+        admitted: list = []
+        for job in jobs:
+            spec = SYSTEMS.get(job.system)
+            if spec is None:
+                self.stats.count("errors")
+                self.broker.fail(
+                    job,
+                    f"KeyError: unknown system {job.system!r}; "
+                    f"known: {', '.join(system_names())}",
+                )
+                continue
+            try:
+                problem = get_problem(job.problem)
+                golden = golden_testbench(problem)
+            except Exception as exc:  # noqa: BLE001 -- becomes an error frame
+                self.stats.count("errors")
+                self.broker.fail(job, f"{type(exc).__name__}: {exc}")
+                continue
+            requests.append(
+                RolloutRequest(
+                    index=len(requests),
+                    factory=spec.factory,
+                    problem=problem,
+                    golden_tb=golden,
+                    seed=job.seed,
+                    sink=job.publish,
+                    fingerprint=(
+                        registered_fingerprint(job.system)
+                        if self.solve_cache is not None
+                        else None
+                    ),
+                )
+            )
+            admitted.append(job)
+        if not requests:
+            return
+        try:
+            results = self.scheduler.run(requests)
+        except Exception as exc:  # noqa: BLE001 -- fail the whole batch
+            for job in admitted:
+                self.stats.count("errors")
+                self.broker.fail(job, f"{type(exc).__name__}: {exc}")
+            return
+        for job, result in zip(admitted, results):
+            if result.error is not None:
+                self.stats.count("errors")
+                self.broker.fail(job, result.error)
+                continue
+            self.stats.count(
+                "cache_served" if result.solve_cached else "executed"
+            )
+            self.broker.finish(
+                job,
+                ServiceResult(
+                    source=result.source,
+                    passed=result.passed,
+                    score=result.score,
+                    seconds=result.seconds,
+                    system=registered_system_name(job.system),
+                    solve_cached=result.solve_cached,
+                ),
+            )
 
 
 class Worker(threading.Thread):

@@ -12,9 +12,13 @@ from repro.core.pipeline import (
     FileCheckpointer,
     MemoryCheckpointer,
     Pipeline,
+    ProgramSpec,
     RunState,
     Stage,
+    resume_program,
     restore_state,
+    stage_before,
+    start_program,
 )
 from repro.core.task import DesignTask
 from repro.evalsets import get_problem
@@ -105,6 +109,43 @@ class TestRunner:
         with pytest.raises(TypeError):
             restore_state(pickle.dumps("not a state"))
 
+    def test_stop_after_final_stage_marks_finished(self):
+        """Regression: pausing "after" the last stage is not a pause --
+        there is nothing left to resume, so the state must come back
+        finished, not claiming to be resumable."""
+        pipe = Pipeline(
+            "p", [Stage("a", _record("a")), Stage("b", _record("b"))]
+        )
+        state = pipe.run(RunState(), stop_after="b")
+        assert state.finished
+        assert state.next_stage == 2
+        # Resuming a finished state is a no-op, not a re-run.
+        pipe.run(state)
+        assert state.data["trace"] == ["a", "b"]
+
+    def test_stop_after_final_stage_after_resume_marks_finished(self):
+        pipe = Pipeline(
+            "p", [Stage("a", _record("a")), Stage("b", _record("b"))]
+        )
+        state = pipe.run(RunState(), stop_after="a")
+        assert not state.finished
+        pipe.run(state, stop_after="b")
+        assert state.finished
+
+    def test_empty_pipeline_finishes_immediately(self):
+        """A stage list with nothing to run can never leave a state
+        pretending to be resumable."""
+        state = Pipeline("p", []).run(RunState())
+        assert state.finished
+
+    def test_state_cursor_past_end_marks_finished(self):
+        pipe = Pipeline("p", [Stage("a", _record("a"))])
+        stale = RunState(next_stage=1, finished=False)
+        ck = MemoryCheckpointer()
+        pipe.run(stale, checkpoint=ck)
+        assert stale.finished
+        assert restore_state(ck.blob).finished
+
     def test_file_checkpointer_roundtrip(self, tmp_path):
         ck = FileCheckpointer(str(tmp_path / "ckpt" / "run.ckpt"))
         pipe = Pipeline("p", [Stage("a", _record("a")), Stage("b", _record("b"))])
@@ -113,6 +154,62 @@ class TestRunner:
         assert restored.data["trace"] == ["a"]
         pipe.run(restored)
         assert restored.data["trace"] == ["a", "b"]
+
+
+def _program_pipeline():
+    return Pipeline("p", [Stage("a", _record("a")), Stage("b", _record("b"))])
+
+
+def _program_extract(state):
+    return ",".join(state.data["trace"])
+
+
+class TestRunProgram:
+    def _spec(self):
+        return ProgramSpec(
+            pipeline_factory=_program_pipeline,
+            system="prog",
+            task_name="task",
+            extractor=_program_extract,
+        )
+
+    def test_advance_emits_run_started_once(self):
+        from repro.core.events import ListSink
+
+        program = start_program(self._spec(), RunState(seed=3))
+        sink = ListSink()
+        program.advance(sink=sink, stop_after="a")
+        program.advance(sink=sink)
+        kinds = [e.kind for e in sink.events]
+        assert kinds.count("run-started") == 1
+        assert kinds[0] == "run-started"
+        assert sink.events[0].seed == 3
+        assert program.finished
+        assert program.source() == "a,b"
+
+    def test_source_requires_finished_state(self):
+        program = start_program(self._spec(), RunState())
+        program.advance(stop_after="a")
+        with pytest.raises(ValueError):
+            program.source()
+
+    def test_spec_travels_with_the_pickled_state(self):
+        program = start_program(self._spec(), RunState())
+        program.advance(stop_after="a")
+        resumed = resume_program(restore_state(program.state.snapshot()))
+        resumed.advance()
+        assert resumed.source() == "a,b"
+
+    def test_resume_program_requires_a_spec(self):
+        with pytest.raises(ValueError):
+            resume_program(RunState())
+
+    def test_stage_before(self):
+        pipe = _program_pipeline()
+        assert stage_before(pipe, "b") == "a"
+        assert stage_before(pipe, "a") is None
+        with pytest.raises(ValueError):
+            stage_before(pipe, "zz")
 
 
 class TestMagePipeline:

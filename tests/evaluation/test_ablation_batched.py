@@ -1,0 +1,185 @@
+"""Ablation arms and figure collectors under cached/batched execution.
+
+The Table III arms and the Fig. 3/4 config switches were only ever
+exercised through the serial path; these tests drive them through
+``evaluate_many`` with rollout batching and the solve-cell cache, and
+check the figure collectors fold identical series out of live, batched,
+and cache-replayed event streams.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.baselines.registry import MAGESystem
+from repro.core.events import ListSink
+from repro.core.task import DesignTask
+from repro.evalsets import get_problem, golden_testbench
+from repro.evaluation.ablation import (
+    TABLE3_ARMS,
+    checkpoint_ablation_configs,
+    sampling_ablation_configs,
+)
+from repro.evaluation.figures import ScoreSeries
+from repro.runtime.batch import evaluate_many
+from repro.runtime.cache import (
+    SimulationCache,
+    SolveCellCache,
+    system_fingerprint,
+)
+from repro.runtime.executor import SerialExecutor, ThreadExecutor
+from repro.runtime.rollout import RolloutRequest, RolloutScheduler
+
+PROBLEMS = [get_problem("cb_kmap_mux"), get_problem("fs_vending")]
+
+
+class TestAblationArmsBatched:
+    @pytest.mark.parametrize("arm", TABLE3_ARMS, ids=lambda a: a.key)
+    def test_arm_rows_identical_serial_vs_rollout(self, arm):
+        with SerialExecutor() as executor:
+            serial, _ = evaluate_many(
+                arm.factory,
+                "verilogeval-v2",
+                runs=2,
+                problems=PROBLEMS,
+                executor=executor,
+                cache=SimulationCache(),
+            )
+        with ThreadExecutor(2) as executor:
+            batched, _ = evaluate_many(
+                arm.factory,
+                "verilogeval-v2",
+                runs=2,
+                problems=PROBLEMS,
+                executor=executor,
+                cache=SimulationCache(),
+                rollout_batch=4,
+            )
+        assert batched.outcomes == serial.outcomes
+
+    @pytest.mark.parametrize("arm", TABLE3_ARMS, ids=lambda a: a.key)
+    def test_arm_is_solve_cacheable(self, arm):
+        """Every Table III arm has a stable fingerprint, and a repeated
+        batched sweep re-serves all its cells from the solve cache."""
+        assert system_fingerprint(arm.factory) is not None
+        solve_cache = SolveCellCache()
+        passes = []
+        for _ in range(2):
+            with SerialExecutor() as executor:
+                result, report = evaluate_many(
+                    arm.factory,
+                    "verilogeval-v2",
+                    runs=1,
+                    problems=PROBLEMS,
+                    executor=executor,
+                    cache=SimulationCache(),
+                    solve_cache=solve_cache,
+                    rollout_batch=4,
+                )
+            passes.append((result, report))
+        (cold, cold_report), (warm, warm_report) = passes
+        assert warm.outcomes == cold.outcomes
+        assert cold_report.solve_cache.misses == len(PROBLEMS)
+        assert warm_report.solve_cache.hits == len(PROBLEMS)
+
+    @pytest.mark.parametrize(
+        "configs",
+        [checkpoint_ablation_configs, sampling_ablation_configs],
+        ids=["checkpoints", "sampling"],
+    )
+    def test_config_switch_grids_identical_under_rollout(self, configs):
+        for label, config in configs().items():
+            factory = partial(MAGESystem, config)
+            with SerialExecutor() as executor:
+                serial, _ = evaluate_many(
+                    factory,
+                    "verilogeval-v2",
+                    runs=1,
+                    seed0=2,
+                    problems=PROBLEMS,
+                    executor=executor,
+                    cache=SimulationCache(),
+                    name=label,
+                )
+            with ThreadExecutor(2) as executor:
+                batched, _ = evaluate_many(
+                    factory,
+                    "verilogeval-v2",
+                    runs=1,
+                    seed0=2,
+                    problems=PROBLEMS,
+                    executor=executor,
+                    cache=SimulationCache(),
+                    name=label,
+                    rollout_batch=4,
+                )
+            assert batched.outcomes == serial.outcomes, label
+
+
+class TestFiguresFromBatchedStreams:
+    def _series(self, events_per_run):
+        series = ScoreSeries()
+        for events in events_per_run:
+            series.fold_events(events)
+        return series
+
+    def _snapshot(self, series):
+        return (
+            series.initial_scores,
+            series.sampled_best_scores,
+            series.rounds,
+        )
+
+    def test_series_from_rollout_equals_serial(self):
+        """Fig. 4 collectors read identical series out of a batched
+        run's event stream and a serial run's."""
+        problem = get_problem("fs_vending")
+        serial_sink = ListSink()
+        MAGESystem().solve(
+            DesignTask.from_problem(problem), seed=2, sink=serial_sink
+        )
+        request = RolloutRequest(
+            index=0,
+            factory=MAGESystem,
+            problem=problem,
+            golden_tb=golden_testbench(problem),
+            seed=2,
+        )
+        with ThreadExecutor(2) as executor:
+            scheduler = RolloutScheduler(
+                executor=executor, cache=SimulationCache()
+            )
+            result = scheduler.run([request])[0]
+        assert result.error is None
+        serial = self._series([serial_sink.events])
+        batched = self._series([result.events])
+        assert self._snapshot(batched) == self._snapshot(serial)
+        # The run entered Step 4, so the figure actually has data.
+        assert serial.initial_scores and serial.sampled_best_scores
+
+    def test_series_from_cache_replay_equals_live(self):
+        """A solve-cell cache hit replays a stream the collectors fold
+        into exactly the live series (warm sweeps can draw figures)."""
+        problem = get_problem("fs_vending")
+        factory = MAGESystem
+        solve_cache = SolveCellCache()
+        scheduler = RolloutScheduler(
+            executor=SerialExecutor(),
+            cache=SimulationCache(),
+            solve_cache=solve_cache,
+        )
+        fingerprint = system_fingerprint(factory)
+        request = RolloutRequest(
+            index=0,
+            factory=factory,
+            problem=problem,
+            golden_tb=golden_testbench(problem),
+            seed=2,
+            fingerprint=fingerprint,
+        )
+        cold = scheduler.run([request])[0]
+        warm = scheduler.run([request])[0]
+        assert not cold.solve_cached and warm.solve_cached
+        assert self._snapshot(self._series([warm.events])) == self._snapshot(
+            self._series([cold.events])
+        )

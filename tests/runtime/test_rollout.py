@@ -1,0 +1,220 @@
+"""RolloutScheduler unit behaviour: waves, caching, errors, fallbacks."""
+
+import pytest
+
+from repro.baselines.registry import SYSTEMS
+from repro.core.events import CellFinished, ListSink
+from repro.core.task import DesignTask
+from repro.evalsets import get_problem, golden_testbench
+from repro.runtime.batch import evaluate_many
+from repro.runtime.cache import (
+    SimulationCache,
+    SolveCellCache,
+    system_fingerprint,
+)
+from repro.runtime.executor import SerialExecutor, ThreadExecutor
+from repro.runtime.rollout import (
+    RolloutRequest,
+    RolloutScheduler,
+    ScoreTask,
+    rollout_score,
+)
+
+
+def _request(index, problem_id, seed=0, factory=None, **kwargs):
+    problem = get_problem(problem_id)
+    return RolloutRequest(
+        index=index,
+        factory=factory if factory is not None else SYSTEMS["mage"].factory,
+        problem=problem,
+        golden_tb=golden_testbench(problem),
+        seed=seed,
+        **kwargs,
+    )
+
+
+class _LegacySystem:
+    """A pre-program system: ``solve`` only, no ``start_run``."""
+
+    name = "legacy"
+
+    def solve(self, task, seed=0):
+        return (
+            f"module {task.top}(input a, output y);\n"
+            "  assign y = a;\nendmodule\n"
+        )
+
+
+class _BoomSystem:
+    name = "boom"
+
+    def start_run(self, task, seed=0):
+        raise RuntimeError("kaboom")
+
+    def solve(self, task, seed=0):
+        raise RuntimeError("kaboom")
+
+
+class TestScheduler:
+    def test_batch_width_does_not_change_results(self):
+        ids = ["cb_mux2", "cb_kmap_mux", "fs_vending"]
+        outs = []
+        for batch in (1, 2, 8):
+            requests = [_request(i, pid, seed=1) for i, pid in enumerate(ids)]
+            scheduler = RolloutScheduler(
+                executor=SerialExecutor(), batch=batch, cache=SimulationCache()
+            )
+            outs.append(
+                [(r.source, r.passed, r.score) for r in scheduler.run(requests)]
+            )
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            RolloutScheduler(batch=0)
+
+    def test_solve_cache_serves_warm_repeat_with_same_events(self):
+        fingerprint = system_fingerprint(SYSTEMS["mage"].factory)
+        solve_cache = SolveCellCache()
+        scheduler = RolloutScheduler(
+            executor=SerialExecutor(),
+            cache=SimulationCache(),
+            solve_cache=solve_cache,
+        )
+        cold_sink, warm_sink = ListSink(), ListSink()
+        cold = scheduler.run(
+            [_request(0, "fs_vending", 2, sink=cold_sink, fingerprint=fingerprint)]
+        )[0]
+        warm = scheduler.run(
+            [_request(0, "fs_vending", 2, sink=warm_sink, fingerprint=fingerprint)]
+        )[0]
+        assert not cold.solve_cached and warm.solve_cached
+        assert warm.source == cold.source
+        assert warm_sink.events == cold_sink.events  # replayed verbatim
+        assert solve_cache.stats.hits == 1 and solve_cache.stats.misses == 1
+
+    def test_legacy_system_without_start_run_still_evaluates(self):
+        request = _request(0, "cb_mux2", factory=_LegacySystem)
+        result = RolloutScheduler(executor=SerialExecutor()).run([request])[0]
+        assert result.error is None
+        assert result.system == "legacy"
+        assert result.source.startswith("module")
+
+    def test_one_failing_run_does_not_poison_the_wave(self):
+        requests = [
+            _request(0, "cb_mux2", seed=0),
+            _request(1, "cb_kmap_mux", factory=_BoomSystem),
+            _request(2, "fs_vending", seed=2),
+        ]
+        scheduler = RolloutScheduler(
+            executor=ThreadExecutor(2), cache=SimulationCache()
+        )
+        results = scheduler.run(requests)
+        assert results[0].error is None and results[0].passed is not None
+        assert results[1].error is not None and "kaboom" in results[1].error
+        assert results[2].error is None and results[2].source
+
+    def test_results_return_in_request_order(self):
+        ids = ["fs_vending", "cb_mux2", "sq_counter_ud", "cb_kmap_mux"]
+        requests = [_request(i, pid, seed=1) for i, pid in enumerate(ids)]
+        scheduler = RolloutScheduler(
+            executor=ThreadExecutor(4), batch=2, cache=SimulationCache()
+        )
+        results = scheduler.run(requests)
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert [r.problem_id for r in results] == ids
+
+
+class TestScoreWaveDedup:
+    def test_identical_candidates_simulate_once(self):
+        problem = get_problem("cb_mux2")
+        golden = golden_testbench(problem)
+        source = (
+            f"module {problem.top}(input a, b, sel, output y);\n"
+            "  assign y = sel ? b : a;\nendmodule\n"
+        )
+        cache = SimulationCache()
+        scheduler = RolloutScheduler(
+            executor=SerialExecutor(), cache=cache
+        )
+        tasks = [
+            ScoreTask(source, golden, problem.top, True, None)
+            for _ in range(5)
+        ]
+        outcomes = scheduler._score_wave(tasks)
+        assert len(outcomes) == 5
+        scores = {o.report.score for o in outcomes}
+        assert len(scores) == 1
+        # One simulation executed; the duplicates reused its report.
+        executed = sum(o.counters.simulations for o in outcomes)
+        assert executed == 1
+
+    def test_score_task_matches_direct_simulation(self):
+        problem = get_problem("cb_mux2")
+        golden = golden_testbench(problem)
+        source = (
+            f"module {problem.top}(input a, b, sel, output y);\n"
+            "  assign y = sel ? b : a;\nendmodule\n"
+        )
+        outcome = rollout_score(
+            ScoreTask(source, golden, problem.top, True, None),
+            SimulationCache(),
+        )
+        from repro.tb.runner import run_testbench
+
+        direct = run_testbench(source, golden, problem.top)
+        assert outcome.report.score == direct.score
+        assert outcome.report.passed == direct.passed
+
+
+class TestEvaluateManyRollout:
+    def test_streams_cell_finished_events(self):
+        problems = [get_problem("cb_mux2"), get_problem("cb_kmap_mux")]
+        sink = ListSink()
+        with ThreadExecutor(2) as executor:
+            result, report = evaluate_many(
+                SYSTEMS["mage"].factory,
+                "verilogeval-v2",
+                runs=2,
+                problems=problems,
+                executor=executor,
+                cache=SimulationCache(),
+                events=sink,
+                rollout_batch=4,
+            )
+        cells = [e for e in sink.events if isinstance(e, CellFinished)]
+        assert len(cells) == 4
+        assert report.cells == 4
+        assert sink.events[-1].kind == "batch-finished"
+
+    def test_progress_lines_match_serial_path(self):
+        problems = [get_problem("cb_mux2"), get_problem("cb_kmap_mux")]
+        lines = {}
+        for batch in (0, 4):
+            captured = []
+            with SerialExecutor() as executor:
+                evaluate_many(
+                    SYSTEMS["mage"].factory,
+                    "verilogeval-v2",
+                    runs=2,
+                    problems=problems,
+                    executor=executor,
+                    cache=SimulationCache(),
+                    progress=captured.append,
+                    rollout_batch=batch,
+                )
+            lines[batch] = captured
+        assert lines[0] == lines[4]
+
+    def test_rollout_cell_failure_raises(self):
+        with pytest.raises(RuntimeError, match="kaboom"):
+            with SerialExecutor() as executor:
+                evaluate_many(
+                    _BoomSystem,
+                    "verilogeval-v2",
+                    runs=1,
+                    problems=[get_problem("cb_mux2")],
+                    executor=executor,
+                    name="boom",
+                    rollout_batch=2,
+                )

@@ -1,0 +1,172 @@
+"""Cross-path determinism matrix: {mage, vanilla, single-agent,
+two-agent} x {serial, rollout-batched, service}.
+
+The rollout determinism contract says batched output is *bit-identical*
+to a ``--jobs 1 --rollout-batch 0`` serial run: same final sources,
+same result rows, and the same typed event stream event-by-event.  The
+only fields allowed to differ are wall-clock measurements
+(``seconds``), which are zeroed by :func:`canonical` before comparison;
+every other field -- scores, pool shapes, LLM-call counts, stage order
+-- must match exactly.
+"""
+
+import pytest
+
+from repro.baselines.registry import SYSTEMS
+from repro.core.events import ListSink
+from repro.core.task import DesignTask
+from repro.evalsets import get_problem, golden_testbench
+from repro.runtime.batch import evaluate_many
+from repro.runtime.cache import SimulationCache
+from repro.runtime.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.runtime.rollout import RolloutRequest, RolloutScheduler
+from repro.service import ServiceClient, SolveServer
+
+# One representative per row of the matrix: the full engine, the
+# single-stage baseline, the Table III single-agent ablation, and the
+# AIVRIL-style coder+reviewer pair.
+SYSTEM_KEYS = ["mage", "vanilla-claude", "single-agent", "aivril"]
+PROBLEM_IDS = ["cb_kmap_mux", "fs_vending"]
+SEED = 2
+
+
+def canonical(events):
+    """Event stream as JSON payloads with wall-clock fields zeroed."""
+    payloads = []
+    for event in events:
+        payload = event.to_json()
+        if "seconds" in payload:
+            payload["seconds"] = 0.0
+        payloads.append(payload)
+    return payloads
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """(system, problem) -> (source, canonical events) from plain solves."""
+    reference = {}
+    for key in SYSTEM_KEYS:
+        for problem_id in PROBLEM_IDS:
+            sink = ListSink()
+            system = SYSTEMS[key].factory()
+            source = system.solve(
+                DesignTask.from_problem(get_problem(problem_id)),
+                seed=SEED,
+                sink=sink,
+            )
+            reference[(key, problem_id)] = (source, canonical(sink.events))
+    return reference
+
+
+def _rollout_run(key, executor, batch=8):
+    sinks = {}
+    requests = []
+    for index, problem_id in enumerate(PROBLEM_IDS):
+        problem = get_problem(problem_id)
+        sinks[problem_id] = ListSink()
+        requests.append(
+            RolloutRequest(
+                index=index,
+                factory=SYSTEMS[key].factory,
+                problem=problem,
+                golden_tb=golden_testbench(problem),
+                seed=SEED,
+                sink=sinks[problem_id],
+            )
+        )
+    scheduler = RolloutScheduler(
+        executor=executor, batch=batch, cache=SimulationCache()
+    )
+    results = scheduler.run(requests)
+    return results, sinks
+
+
+class TestRolloutPathParity:
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_batched_event_streams_are_bit_identical(
+        self, key, serial_reference
+    ):
+        with ThreadExecutor(2) as executor:
+            results, sinks = _rollout_run(key, executor)
+        for result, problem_id in zip(results, PROBLEM_IDS):
+            assert result.error is None
+            source, events = serial_reference[(key, problem_id)]
+            assert result.source == source
+            assert canonical(sinks[problem_id].events) == events
+            # The result's own recorded stream is the same stream.
+            assert canonical(result.events) == events
+
+    def test_batched_streams_survive_process_boundaries(
+        self, serial_reference
+    ):
+        """States snapshot into worker processes and back bit-identically
+        (the mage row exercises suspension, injection, and resume)."""
+        with ProcessExecutor(2) as executor:
+            results, sinks = _rollout_run("mage", executor)
+        for result, problem_id in zip(results, PROBLEM_IDS):
+            assert result.error is None
+            source, events = serial_reference[("mage", problem_id)]
+            assert result.source == source
+            assert canonical(sinks[problem_id].events) == events
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_rollout_grid_rows_match_serial(self, key):
+        problems = [get_problem(problem_id) for problem_id in PROBLEM_IDS]
+        with SerialExecutor() as executor:
+            serial_result, _ = evaluate_many(
+                SYSTEMS[key].factory,
+                "verilogeval-v2",
+                runs=2,
+                seed0=SEED,
+                problems=problems,
+                executor=executor,
+                cache=SimulationCache(),
+            )
+        with ThreadExecutor(2) as executor:
+            rollout_result, report = evaluate_many(
+                SYSTEMS[key].factory,
+                "verilogeval-v2",
+                runs=2,
+                seed0=SEED,
+                problems=problems,
+                executor=executor,
+                cache=SimulationCache(),
+                rollout_batch=4,
+            )
+        assert rollout_result.outcomes == serial_result.outcomes
+        assert "rollout[4]" in report.executor
+
+
+class TestServicePathParity:
+    @pytest.fixture(scope="class")
+    def rollout_server(self):
+        with SolveServer(workers=1, rollout_batch=4) as server:
+            yield server
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_batching_service_streams_are_bit_identical(
+        self, key, serial_reference, rollout_server
+    ):
+        for problem_id in PROBLEM_IDS:
+            sink = ListSink()
+            with ServiceClient(rollout_server.address) as client:
+                outcome = client.solve(
+                    key, problem_id, seed=SEED, events=sink
+                )
+            source, events = serial_reference[(key, problem_id)]
+            assert outcome.source == source
+            # Frames crossed the wire via Event.to_json/from_json; the
+            # canonical streams must still agree field-by-field.
+            assert canonical(sink.events) == events
+
+    def test_warm_service_replay_is_the_same_stream(
+        self, serial_reference, rollout_server
+    ):
+        sink = ListSink()
+        with ServiceClient(rollout_server.address) as client:
+            outcome = client.solve(
+                "mage", PROBLEM_IDS[0], seed=SEED, events=sink
+            )
+        assert outcome.cached  # second submit of the matrix cell
+        _, events = serial_reference[("mage", PROBLEM_IDS[0])]
+        assert canonical(sink.events) == events

@@ -238,6 +238,68 @@ def _event_lines(text: str) -> list[str]:
     return [line for line in text.splitlines() if line.startswith("  | ")]
 
 
+class TestCliRollout:
+    def test_eval_rollout_row_matches_serial(self, capsys):
+        argv = ["eval", "mage", "--runs", "2", "--limit", "3"]
+        assert main(argv) == 0
+        serial_row = capsys.readouterr().out.splitlines()[0]
+        assert main(argv + ["--rollout-batch", "4"]) == 0
+        rollout_row = capsys.readouterr().out.splitlines()[0]
+        assert rollout_row == serial_row
+
+    def test_eval_rollout_verbose_reports_executor(self, capsys):
+        argv = [
+            "eval", "mage", "--runs", "1", "--limit", "2",
+            "--rollout-batch", "4", "--verbose",
+        ]
+        assert main(argv) == 0
+        assert "rollout[4]" in capsys.readouterr().out
+
+    def test_eval_rollout_rejected_with_service(self, capsys):
+        argv = [
+            "eval", "mage", "--limit", "1",
+            "--service", "127.0.0.1:1", "--rollout-batch", "2",
+        ]
+        assert main(argv) == 2
+        assert "--rollout-batch" in capsys.readouterr().out
+
+    def test_bench_rollout_writes_gate_file(self, capsys, tmp_path):
+        # No --min-speedup here: wall-clock gates belong to the CI bench
+        # step, where the run is not contending with the test suite.
+        out_path = tmp_path / "BENCH_rollout.json"
+        argv = [
+            "bench", "mage", "--runs", "2", "--limit", "4", "--rollout",
+            "--rollout-batch", "4", "--bench-out", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "rollout[4]" in out
+        assert "deterministic   yes" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["rollout_batch"] == 4
+        assert payload["deterministic"] is True
+        assert payload["speedup"] > 0
+        assert payload["cache_hit_rate"] == 1.0  # warm pass fully served
+
+    def test_bench_rollout_rejected_with_service(self, capsys):
+        argv = ["bench", "mage", "--limit", "1", "--service", "--rollout"]
+        assert main(argv) == 2
+        assert "--rollout" in capsys.readouterr().out
+
+    def test_bench_rollout_batch_requires_rollout(self, capsys):
+        argv = ["bench", "mage", "--limit", "1", "--rollout-batch", "4"]
+        assert main(argv) == 2
+        assert "--rollout-batch only applies" in capsys.readouterr().out
+
+    def test_serve_rollout_batch_flag_wired(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--rollout-batch", "3"])
+        assert args.rollout_batch == 3
+
+
 class TestCliServiceMode:
     @pytest.fixture()
     def server_addr(self):
