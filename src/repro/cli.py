@@ -7,7 +7,9 @@ Commands:
 - ``run <problem_id>``            solve one task with a live event stream
 - ``eval <system> <suite>``       evaluate a registered system
 - ``bench <system> <suite>``      benchmark the runtime (speedup, cache)
-- ``cache``                       report cache hit/miss/size stats per layer
+- ``cache``                       per-layer, per-tier cache stats
+                                  (``--clear [--layer sim|solve]`` wipes
+                                  a disk tier)
 - ``serve``                       start a long-lived solve service
 - ``submit <system> <problem>``   submit one cell to a running service
 - ``lint <file.v>``               lint a Verilog file
@@ -39,6 +41,15 @@ merge (bit-identical to local ``--jobs 1``); ``bench --service``
 measures submit-to-done latency and warm-cache serving speedup, writing
 ``BENCH_service.json``; ``cache --service`` and ``serve --stop`` query
 and drain a running server.
+
+Cache fabric: both cache layers are tiered (memory -> disk -> remote
+peers).  ``eval --cache-peer ADDR``, ``serve --cache-peer ADDR``, and
+``bench --cache-peer ADDR`` join one or more running solve servers to
+the local fabric as remote tiers -- cells and simulations warmed
+anywhere in the peer ring replay locally (rows and event streams stay
+bit-identical), and fresh results gossip back over the service
+protocol's ``CachePut`` frames.  ``bench --peer-cache`` gates the
+cold-via-peer speedup into ``BENCH_cache.json``.
 """
 
 from __future__ import annotations
@@ -149,24 +160,82 @@ def _render_counter_line(stats: dict) -> str:
     lookups = stats.get("lookups", 0)
     hits = stats.get("hits", 0)
     rate = 100.0 * hits / lookups if lookups else 0.0
-    return (
+    line = (
         f"lookups {lookups}, hits {hits} "
-        f"(disk {stats.get('disk_hits', 0)}), "
+        f"(disk {stats.get('disk_hits', 0)}, "
+        f"peer {stats.get('remote_hits', 0)}), "
         f"misses {stats.get('misses', 0)}, "
         f"stores {stats.get('stores', 0)}, hit-rate {rate:.1f}%"
     )
+    if stats.get("corrupt"):
+        line += f", corrupt {stats['corrupt']}"
+    return line
+
+
+def _render_tier_lines(tiers: list[dict]) -> list[str]:
+    """One indented line per cache tier (the fabric's stats surface)."""
+    lines = []
+    for tier in tiers:
+        entries = tier.get("entries")
+        shown = "?" if entries is None else str(entries)
+        line = (
+            f"    tier {tier.get('detail', tier.get('kind', '?')):40s} "
+            f"entries {shown:>6s}  hits {tier.get('hits', 0)}, "
+            f"misses {tier.get('misses', 0)}, stores {tier.get('stores', 0)}"
+        )
+        if tier.get("corrupt"):
+            line += f", corrupt {tier['corrupt']}"
+        if tier.get("errors"):
+            line += f", errors {tier['errors']}"
+        lines.append(line)
+    return lines
+
+
+def _cmd_cache_clear(args) -> int:
+    """``cache --clear``: wipe the selected on-disk tier(s)."""
+    from repro.runtime.cache import clear_disk_cache
+
+    layers = [
+        ("sim", args.sim_dir or os.environ.get("REPRO_SIM_CACHE_DIR")),
+        ("solve", args.solve_dir or os.environ.get("REPRO_SOLVE_CACHE_DIR")),
+    ]
+    if args.layer:
+        layers = [(name, directory) for name, directory in layers if name == args.layer]
+    cleared = False
+    for name, directory in layers:
+        if not directory:
+            print(f"{name}: no disk directory configured, nothing to clear")
+            continue
+        removed = clear_disk_cache(directory)
+        print(
+            f"{name}: cleared {removed.entries} entries "
+            f"({removed.megabytes:.2f} MiB) from {directory}"
+        )
+        cleared = True
+    if not cleared:
+        print(
+            "error: nothing to clear; pass --sim-dir/--solve-dir or set "
+            "REPRO_SIM_CACHE_DIR / REPRO_SOLVE_CACHE_DIR"
+        )
+        return 2
+    return 0
 
 
 def _cmd_cache(args) -> int:
-    """Per-layer cache report: disk size plus hit/miss counters.
+    """Per-layer cache report: disk size plus per-tier hit/miss counters.
 
-    The two layers (simulation vs solve-cell) are reported separately;
-    ``--service`` queries a running solve server's live counters
-    instead of this process's.
+    The two layers (simulation vs solve-cell) are reported separately
+    and identically (entry counts + bytes for the disk tier, counters
+    for every tier of the live fabric); ``--service`` queries a running
+    solve server's live counters instead of this process's, and
+    ``--clear`` wipes the selected on-disk tier(s) instead of
+    reporting.
     """
     from repro.runtime.cache import disk_cache_info
     from repro.runtime.context import get_runtime
 
+    if args.clear:
+        return _cmd_cache_clear(args)
     if args.service:
         from repro.service import ProtocolError, ServiceError, fetch_stats
 
@@ -194,6 +263,11 @@ def _cmd_cache(args) -> int:
             f"cache-served {workers.get('cache_served', 0)}, "
             f"errors {workers.get('errors', 0)}"
         )
+        print(
+            f"  peer traffic: gets {workers.get('peer_gets', 0)} "
+            f"(hits {workers.get('peer_hits', 0)}), "
+            f"puts {workers.get('peer_puts', 0)}"
+        )
         layers = stats.get("caches", {})
         for label, key in (
             ("simulation cache", "simulation"),
@@ -207,6 +281,8 @@ def _cmd_cache(args) -> int:
                 f"  {label}: {layer.get('entries', 0)} entries, "
                 + _render_counter_line(layer)
             )
+            for line in _render_tier_lines(layer.get("tiers") or []):
+                print("  " + line)
         return 0
 
     runtime = get_runtime()
@@ -249,9 +325,13 @@ def _cmd_cache(args) -> int:
                         "misses": stats.misses,
                         "stores": stats.stores,
                         "disk_hits": stats.disk_hits,
+                        "remote_hits": stats.remote_hits,
+                        "corrupt": stats.corrupt,
                     }
                 )
             )
+            for line in _render_tier_lines(live.tier_report()):
+                print(line)
     if not reported:
         print(
             "hint: set REPRO_SIM_CACHE_DIR / REPRO_SOLVE_CACHE_DIR (or pass "
@@ -296,6 +376,7 @@ def _cmd_eval(args) -> int:
                 ("--cache/--no-cache", args.cache),
                 ("--solve-cache/--no-solve-cache", args.solve_cache),
                 ("--rollout-batch", args.rollout_batch),
+                ("--cache-peer", args.cache_peer),
             )
             if value is not None
         ]
@@ -308,6 +389,30 @@ def _cmd_eval(args) -> int:
             )
             return 2
         return _eval_via_service(args, runs, events)
+    cache_arg = args.cache
+    solve_arg = args.solve_cache
+    if args.cache_peer:
+        # Peered local evaluation: both cache fabrics gain one remote
+        # tier per peer address, so cells warmed anywhere in the ring
+        # replay here (and local results gossip back out).  Layer
+        # enablement and directories still resolve exactly as without
+        # peers (flags beat env vars beat defaults) -- --cache-peer
+        # must never re-enable a layer the user disabled.
+        from repro.runtime import RuntimeConfig, SimulationCache, SolveCellCache
+        from repro.service import parse_shards
+
+        try:
+            peers = tuple(parse_shards(args.cache_peer))
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        resolved = RuntimeConfig.from_env(
+            cache=args.cache, solve_cache=args.solve_cache
+        )
+        if resolved.cache:
+            cache_arg = SimulationCache(resolved.cache_dir, peers=peers)
+        if resolved.solve_cache:
+            solve_arg = SolveCellCache(resolved.solve_cache_dir, peers=peers)
     try:
         executor = create_executor(jobs=args.jobs, kind=args.executor)
     except ValueError as exc:
@@ -321,8 +426,8 @@ def _cmd_eval(args) -> int:
             seed0=args.seed0,
             problems=_choose_problems(args.suite, args.limit),
             executor=executor,
-            cache=args.cache,
-            solve_cache=args.solve_cache,
+            cache=cache_arg,
+            solve_cache=solve_arg,
             progress=(lambda line: print("  " + line)) if args.verbose else None,
             events=events,
             rollout_batch=args.rollout_batch or 0,
@@ -420,6 +525,10 @@ def _cmd_bench(args) -> int:
             conflicting.append("--rollout")
         if args.rollout_batch is not None:
             conflicting.append("--rollout-batch")
+        if args.peer_cache:
+            conflicting.append("--peer-cache")
+        if args.cache_peer is not None:
+            conflicting.append("--cache-peer")
         if conflicting:
             print(
                 "error: "
@@ -428,6 +537,31 @@ def _cmd_bench(args) -> int:
             )
             return 2
         return _bench_service(args, spec, problems)
+    if args.peer_cache:
+        # Self-contained peer-cache gate: spawns its own in-process
+        # server, so per-pass cache flags don't apply.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--repeat", args.repeat),
+                ("--cache/--no-cache", args.cache),
+                ("--cache-dir", args.cache_dir),
+                ("--solve-cache/--no-solve-cache", args.solve_cache),
+                ("--solve-cache-dir", args.solve_cache_dir),
+                ("--cache-peer", args.cache_peer),
+            )
+            if value is not None
+        ]
+        if args.rollout:
+            conflicting.append("--rollout")
+        if conflicting:
+            print(
+                "error: "
+                + ", ".join(conflicting)
+                + " cannot be combined with --peer-cache"
+            )
+            return 2
+        return _bench_peer_cache(args, spec, problems)
     if args.rollout_batch is not None and not args.rollout:
         print(
             "error: --rollout-batch only applies to bench --rollout "
@@ -463,8 +597,19 @@ def _cmd_bench(args) -> int:
                 "note: process executor; sharing the solve cache via "
                 f"{solve_dir}"
             )
-    cache = SimulationCache(cache_dir) if use_cache else False
-    solve_cache = SolveCellCache(solve_dir) if use_solve_cache else False
+    peers: tuple = ()
+    if args.cache_peer:
+        from repro.service import parse_shards
+
+        try:
+            peers = tuple(parse_shards(args.cache_peer))
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+    cache = SimulationCache(cache_dir, peers=peers) if use_cache else False
+    solve_cache = (
+        SolveCellCache(solve_dir, peers=peers) if use_solve_cache else False
+    )
     rollout_batch = (args.rollout_batch or 8) if args.rollout else 0
     if args.rollout:
         # Fixed shape: the cold serial-sampling baseline, then a *warm
@@ -561,6 +706,130 @@ def _cmd_bench(args) -> int:
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(
             f"error: speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+def _bench_peer_cache(args, spec, problems) -> int:
+    """Benchmark cold-start serving through a warm peer's cache fabric.
+
+    Three measured passes over the same grid: a cold local serial
+    baseline over fresh caches, the same grid executed through a fresh
+    in-process solve server (which warms the *server's* tiers), and a
+    second cold local pass whose fresh caches carry a
+    :class:`~repro.runtime.cache.RemoteTier` pointed at that server --
+    every solve cell and golden scoring then replays over ``CacheGet``
+    frames instead of re-running.  ``--min-speedup`` gates cold-local
+    vs cold-via-peer; the numbers land in ``BENCH_cache.json``.
+    """
+    import json
+
+    from repro.runtime import SerialExecutor, SimulationCache, SolveCellCache
+    from repro.runtime.batch import evaluate_many
+    from repro.service import ServiceError, SolveServer, solve_grid
+
+    try:
+        with SerialExecutor() as executor:
+            base_result, base_report = evaluate_many(
+                spec.factory,
+                args.suite,
+                runs=args.runs,
+                seed0=args.seed0,
+                problems=problems,
+                executor=executor,
+                cache=SimulationCache(),
+                solve_cache=False,
+            )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(
+        f"pass 1 (      cold local): {base_report.wall_seconds:7.2f} s  "
+        f"{base_report.cells_per_second:7.2f} cells/s"
+    )
+    peer_sim = peer_solve = None
+    try:
+        with SolveServer(workers=args.jobs or 2) as server:
+            warm_result, warm_report = solve_grid(
+                args.system,
+                args.suite,
+                runs=args.runs,
+                seed0=args.seed0,
+                problems=problems,
+                shards=[server.address],
+            )
+            print(
+                f"pass 2 (  warming peer): {warm_report.wall_seconds:7.2f} s  "
+                f"{warm_report.cells_per_second:7.2f} cells/s"
+            )
+            # Pass 3 is a *cold* process-local state: fresh caches whose
+            # only warmth is the remote tier into the peer just warmed.
+            peer_sim = SimulationCache(peers=(server.address,))
+            peer_solve = SolveCellCache(peers=(server.address,))
+            with SerialExecutor() as executor:
+                peered_result, peered_report = evaluate_many(
+                    spec.factory,
+                    args.suite,
+                    runs=args.runs,
+                    seed0=args.seed0,
+                    problems=problems,
+                    executor=executor,
+                    cache=peer_sim,
+                    solve_cache=peer_solve,
+                )
+            print(
+                f"pass 3 ( cold via peer): {peered_report.wall_seconds:7.2f} s  "
+                f"{peered_report.cells_per_second:7.2f} cells/s  "
+                f"peer hits {peer_solve.stats.remote_hits} solve + "
+                f"{peer_sim.stats.remote_hits} sim"
+            )
+    except (OSError, ServiceError, ValueError, KeyError) as exc:
+        print(f"error: {exc}")
+        return 2
+    deterministic = (
+        warm_result.outcomes == base_result.outcomes
+        and peered_result.outcomes == base_result.outcomes
+    )
+    speedup = (
+        base_report.wall_seconds / peered_report.wall_seconds
+        if peered_report.wall_seconds > 0
+        else 0.0
+    )
+    payload = {
+        "system": args.system,
+        "suite": args.suite,
+        "runs": args.runs,
+        "seed0": args.seed0,
+        "cells": peered_report.cells,
+        "cold_local_wall_seconds": round(base_report.wall_seconds, 6),
+        "peer_warming_wall_seconds": round(warm_report.wall_seconds, 6),
+        "cold_via_peer_wall_seconds": round(peered_report.wall_seconds, 6),
+        # Gated number: a cold process served through a warm peer vs
+        # the same cold process computing everything itself.
+        "speedup": round(speedup, 3),
+        "peer_solve_hits": peer_solve.stats.remote_hits,
+        "peer_sim_hits": peer_sim.stats.remote_hits,
+        "deterministic": deterministic,
+    }
+    bench_out = args.bench_out or "BENCH_cache.json"
+    with open(bench_out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(peered_result.render_row())
+    print(f"peer speedup    {speedup:8.2f}x  (cold local vs cold via peer)")
+    print(f"deterministic   {'yes' if deterministic else 'NO -- MISMATCH'}")
+    print(f"written         {bench_out}")
+    if not deterministic:
+        return 1
+    if peer_solve.stats.remote_hits == 0:
+        print("error: no peer solve-cell hits; the fabric never engaged")
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"error: peer speedup {speedup:.2f}x below required "
             f"{args.min_speedup:.2f}x"
         )
         return 1
@@ -703,13 +972,22 @@ def _cmd_serve(args) -> int:
     solve_dir = (
         args.solve_cache_dir or os.environ.get("REPRO_SOLVE_CACHE_DIR") or None
     )
+    peers: tuple = ()
+    if args.cache_peer:
+        from repro.service import parse_shards
+
+        try:
+            peers = tuple(parse_shards(args.cache_peer))
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
     try:
         server = SolveServer(
             host=args.host,
             port=args.port,
             workers=args.workers,
-            sim_cache=SimulationCache(sim_dir),
-            solve_cache=SolveCellCache(solve_dir),
+            sim_cache=SimulationCache(sim_dir, peers=peers),
+            solve_cache=SolveCellCache(solve_dir, peers=peers),
             max_pending=args.max_pending,
             rollout_batch=args.rollout_batch,
         )
@@ -895,6 +1173,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="route the grid through running solve servers (sharded, "
         "deterministic merge; bit-identical to local --jobs 1)",
     )
+    evaluate.add_argument(
+        "--cache-peer",
+        default=None,
+        metavar="ADDR[,ADDR...]",
+        help="peer solve servers whose caches join the local fabric as "
+        "remote tiers (cells warmed anywhere in the ring replay here; "
+        "rows stay bit-identical)",
+    )
     evaluate.set_defaults(fn=_cmd_eval)
 
     bench = sub.add_parser(
@@ -966,10 +1252,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="wave width for --rollout (default 8)",
     )
     bench.add_argument(
+        "--peer-cache",
+        action="store_true",
+        help="benchmark the cache fabric's peer sharing: cold local "
+        "baseline, a pass warming an in-process server, then a cold "
+        "pass served through that peer (writes BENCH_cache.json)",
+    )
+    bench.add_argument(
+        "--cache-peer",
+        default=None,
+        metavar="ADDR[,ADDR...]",
+        help="peer solve servers joined to the warm passes' cache "
+        "fabrics as remote tiers",
+    )
+    bench.add_argument(
         "--bench-out",
         default=None,
-        help="where --service / --rollout write their numbers "
-        "(default BENCH_service.json / BENCH_rollout.json)",
+        help="where --service / --rollout / --peer-cache write their "
+        "numbers (default BENCH_service.json / BENCH_rollout.json / "
+        "BENCH_cache.json)",
     )
     bench.set_defaults(fn=_cmd_bench)
 
@@ -991,6 +1292,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="HOST:PORT",
         help="report a running solve server's live counters instead",
+    )
+    cache_cmd.add_argument(
+        "--clear",
+        action="store_true",
+        help="wipe the on-disk cache tier(s) instead of reporting",
+    )
+    cache_cmd.add_argument(
+        "--layer",
+        choices=["sim", "solve"],
+        default=None,
+        help="restrict --clear to one cache layer (default: both)",
     )
     cache_cmd.set_defaults(fn=_cmd_cache)
 
@@ -1027,6 +1339,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--solve-cache-dir",
         default=None,
         help="on-disk solve-cell cache (default: $REPRO_SOLVE_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--cache-peer",
+        default=None,
+        metavar="ADDR[,ADDR...]",
+        help="peer solve servers whose caches join this server's fabric "
+        "as remote tiers (warm cells replay across the ring; fresh "
+        "results gossip back)",
     )
     serve.add_argument(
         "--stop",

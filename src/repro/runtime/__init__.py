@@ -4,11 +4,13 @@ The scaling layer under the MAGE engine and the evaluation harness:
 
 - :mod:`repro.runtime.executor` -- serial / thread / process executors
   behind one ``map``/``submit`` API with deterministic result ordering;
-- :mod:`repro.runtime.cache` -- two content-addressed memoizers:
-  ``run_testbench`` keyed by ``hash(design_source, testbench,
-  top_module)``, and whole solve cells keyed by ``hash(config,
-  problem, seed)`` (source + typed event stream), both with hit/miss
-  counters and optional on-disk layers;
+- :mod:`repro.runtime.cache` -- the tiered cache fabric: two
+  content-addressed memoizers (``run_testbench`` keyed by
+  ``hash(design_source, testbench, top_module)``, whole solve cells
+  keyed by ``hash(config, problem, seed)`` -- source + typed event
+  stream), each a :class:`TieredCache` stacking memory -> disk ->
+  remote-peer tiers with read-through promotion, write-through gossip,
+  and per-tier hit/miss counters;
 - :mod:`repro.runtime.context` -- the ambient (executor, caches) set the
   engine's hot paths pick up without signature threading;
 - :mod:`repro.runtime.batch` -- ``evaluate_many``, fanning the Eq. 7
@@ -24,12 +26,19 @@ serial, so ``--jobs N`` reproduces ``--jobs 1`` exactly for fixed seeds.
 from repro.runtime.batch import BatchReport, evaluate_many
 from repro.runtime.cache import (
     CacheStats,
+    CacheTier,
     ContentCache,
     DiskCacheInfo,
+    DiskTier,
+    MemoryTier,
+    RemoteTier,
     SimulationCache,
     SolveCellCache,
     SolveCellRecord,
+    TierStats,
+    TieredCache,
     cached_run_testbench,
+    clear_disk_cache,
     disk_cache_info,
     simulation_count,
     simulation_key,
@@ -51,6 +60,7 @@ from repro.runtime.executor import (
     create_executor,
 )
 from repro.runtime.rollout import (
+    RolloutDedupStats,
     RolloutRequest,
     RolloutResult,
     RolloutScheduler,
@@ -59,10 +69,15 @@ from repro.runtime.rollout import (
 __all__ = [
     "BatchReport",
     "CacheStats",
+    "CacheTier",
     "ContentCache",
     "DiskCacheInfo",
+    "DiskTier",
     "Executor",
+    "MemoryTier",
     "ProcessExecutor",
+    "RemoteTier",
+    "RolloutDedupStats",
     "RolloutRequest",
     "RolloutResult",
     "RolloutScheduler",
@@ -73,7 +88,10 @@ __all__ = [
     "SolveCellCache",
     "SolveCellRecord",
     "ThreadExecutor",
+    "TierStats",
+    "TieredCache",
     "cached_run_testbench",
+    "clear_disk_cache",
     "configure",
     "create_executor",
     "disk_cache_info",

@@ -1,29 +1,46 @@
-"""Content-addressed caches: simulation reports and whole solve cells.
+"""Tiered cache fabric: content-addressed caches behind memory/disk/remote tiers.
 
-Two memoization layers with the same two-tier (memory LRU + optional
-disk) machinery, :class:`ContentCache`:
+Both memoization layers of the runtime -- simulation reports and whole
+solve cells -- are instances of one :class:`TieredCache`, a stack of
+:class:`CacheTier`s consulted in order:
+
+- :class:`MemoryTier` -- an LRU-bounded in-process map (the cap comes
+  from ``RuntimeConfig.cache_max_entries`` / ``REPRO_CACHE_MAX_ENTRIES``
+  unless given explicitly);
+- :class:`DiskTier` -- pickled values, atomically written, shared
+  across processes and sessions; a truncated or garbage file counts as
+  a miss (tracked by the ``corrupt`` counter), never an exception;
+- :class:`RemoteTier` -- a peer solve server reached through the
+  versioned service protocol's ``CacheGet``/``CachePut`` frames, making
+  another machine's memory+disk tiers part of this cache's fabric.
+
+Reads are read-through with promotion: a hit at a lower tier is copied
+into every tier above it, so a record fetched from a peer lands in the
+local memory and disk tiers and the next lookup is local.  Writes are
+write-through to every tier whose ``writes`` policy allows it -- by
+default memory, disk, *and* remote peers, which is how freshly computed
+records gossip across machines.  Tiers only ever short-circuit pure
+replay (simulation reports, recorded solve cells), so any tier stack
+produces bit-identical results; peers change *where* work happens, not
+*what* comes out.
+
+The concrete caches:
 
 - :class:`SimulationCache` -- ``run_testbench`` is deterministic, so the
   same (design source, testbench, top module) triple always produces
-  the same :class:`TestReport` and the dominant cost of evaluation
-  collapses whenever a triple repeats: re-scored debug candidates,
-  duplicate sampled sources, T=0 stages recurring across runs.
-- :class:`SolveCellCache` -- one level up, the ROADMAP's solve-cell
-  cache: a whole engine run is deterministic in (system configuration,
-  problem, seed), so ``hash(config, problem, seed)`` addresses the
-  final source *plus the typed event stream* of the run.  Repeated
-  temperature/ablation sweeps over the same grid become near-free;
-  only genuinely new cells pay for LLM calls and simulation.
+  the same :class:`TestReport`.
+- :class:`SolveCellCache` -- one level up: a whole engine run is
+  deterministic in (system configuration, problem, seed), so
+  ``hash(config, problem, seed)`` addresses the final source *plus the
+  typed event stream* of the run.
 
 Keys are SHA-256 over length-prefixed fields, so no concatenation of
-fields can collide with a different split of the same bytes.  The
-in-memory layer is a plain dict behind a lock; the optional on-disk
-layer (pickled values, atomically written) persists across processes
-and sessions and is shared by process-pool workers.
+fields can collide with a different split of the same bytes.
 """
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import functools
 import hashlib
@@ -35,6 +52,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.runtime.config import _env_int
 from repro.tb.runner import TestReport, run_testbench
 from repro.tb.stimulus import Testbench, render_testbench
 
@@ -91,12 +109,20 @@ def simulation_count() -> int:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters (disk hits also count as hits)."""
+    """Aggregate hit/miss counters for one tiered cache.
+
+    ``hits`` counts every served lookup regardless of tier;
+    ``disk_hits``/``remote_hits`` attribute them to the tier that
+    answered.  ``corrupt`` counts disk entries that failed to
+    deserialise (each also counted as a miss, never raised).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     disk_hits: int = 0
+    remote_hits: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -107,7 +133,14 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.stores, self.disk_hits)
+        return CacheStats(
+            self.hits,
+            self.misses,
+            self.stores,
+            self.disk_hits,
+            self.remote_hits,
+            self.corrupt,
+        )
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(
@@ -115,68 +148,500 @@ class CacheStats:
             misses=self.misses - earlier.misses,
             stores=self.stores - earlier.stores,
             disk_hits=self.disk_hits - earlier.disk_hits,
+            remote_hits=self.remote_hits - earlier.remote_hits,
+            corrupt=self.corrupt - earlier.corrupt,
         )
 
 
-class ContentCache:
-    """Two-layer (memory + optional disk) content-addressed cache.
+@dataclass
+class TierStats:
+    """Per-tier counters (a tier's own view of its traffic)."""
 
-    The memory layer is LRU-bounded by ``max_entries`` (cached values
-    carry per-check records or whole event streams, so an unbounded map
-    would grow with every unique entry ever stored); evicted entries
-    remain on disk when a directory is configured.  Cached values are
-    shared objects; callers treat them as read-only, which every
-    consumer in the engine already does.
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    errors: int = 0
+    evictions: int = 0
 
-    ``value_type`` guards the disk layer: a pickle that does not
-    deserialise to it is treated as a miss, so corrupt or foreign files
-    never reach callers.
+
+# ----------------------------------------------------------------------
+# Value transport: the disk and remote tiers share one serialisation.
+# ----------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> str:
+    """Pickle + base64 a cache value for the wire (``CachePut`` blobs)."""
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_value(blob: str, value_type: type = object) -> Any | None:
+    """Inverse of :func:`encode_value`; None for garbage or foreign types.
+
+    The type guard mirrors the disk tier's: a blob that does not decode
+    to ``value_type`` is treated as absent, so a *corrupt* blob can
+    never push a wrong-shaped object into a cache.  The guard runs
+    after unpickling, so it is shape protection, not a security
+    boundary: peers share the disk tier's trust model (unpickling data
+    an adversary controls executes their code), and ``--cache-peer``
+    rings must only span machines that already trust each other --
+    exactly like pointing them at one shared cache directory.
+    """
+    try:
+        value = pickle.loads(base64.b64decode(blob.encode("ascii")))
+    except Exception:  # noqa: BLE001 -- any undecodable blob is a miss
+        return None
+    return value if isinstance(value, value_type) else None
+
+
+# ----------------------------------------------------------------------
+# The tier interface and its three implementations.
+# ----------------------------------------------------------------------
+
+
+class CacheTier:
+    """One storage level of a :class:`TieredCache`.
+
+    ``kind`` labels the tier for stats attribution ("memory" | "disk" |
+    "remote"); ``writes`` is the write-through policy (a read-only tier
+    is skipped by puts and promotions).  ``get`` counts the tier's own
+    hit/miss; ``peek`` is the stats-neutral probe.
+    """
+
+    kind: str = "tier"
+    writes: bool = True
+
+    def __init__(self) -> None:
+        self.stats = TierStats()
+
+    def get(self, key: str) -> Any | None:
+        raise NotImplementedError
+
+    def peek(self, key: str) -> Any | None:
+        raise NotImplementedError
+
+    def put(self, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop the tier's contents (no-op where not meaningful)."""
+
+    def entry_count(self) -> int | None:
+        """Entries held by this tier, or None when unknowable (remote)."""
+        return None
+
+    def describe(self) -> str:
+        return self.kind
+
+    def report(self) -> dict:
+        """One stats row for the CLI / service ``cache`` surfaces."""
+        return {
+            "kind": self.kind,
+            "detail": self.describe(),
+            "entries": self.entry_count(),
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "stores": self.stats.stores,
+            "corrupt": self.stats.corrupt,
+            "errors": self.stats.errors,
+        }
+
+
+class MemoryTier(CacheTier):
+    """LRU-bounded in-process map."""
+
+    kind = "memory"
+
+    def __init__(self, max_entries: int = 8192):
+        super().__init__()
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entry_count(self) -> int:
+        return len(self)
+
+    def describe(self) -> str:
+        return f"memory (LRU, cap {self.max_entries})"
+
+    def _lookup(self, key: str, touch: bool, count: bool) -> Any | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None and touch:
+                self._entries.move_to_end(key)
+            if count:
+                if value is not None:
+                    self.stats.hits += 1
+                else:
+                    self.stats.misses += 1
+            return value
+
+    def get(self, key: str) -> Any | None:
+        return self._lookup(key, touch=True, count=True)
+
+    def peek(self, key: str) -> Any | None:
+        # No LRU touch: probing must not perturb eviction order.
+        return self._lookup(key, touch=False, count=False)
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class DiskTier(CacheTier):
+    """Pickled values under a directory, shared across processes.
+
+    Every failure mode of a read -- missing file, truncated pickle,
+    garbage bytes, a pickle of the wrong type -- is a miss; the
+    non-missing ones additionally count as ``corrupt``.  Writes are
+    atomic (temp file + rename) and best-effort.
+    """
+
+    kind = "disk"
+
+    def __init__(self, directory: str, value_type: type = object):
+        super().__init__()
+        self.directory = directory
+        self.value_type = value_type
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def entry_count(self) -> int:
+        return disk_cache_info(self.directory).entries
+
+    def describe(self) -> str:
+        return f"disk ({self.directory})"
+
+    def _read(self, key: str, count: bool) -> Any | None:
+        path = self._path(key)
+        if not os.path.exists(path):
+            if count:
+                self.stats.misses += 1
+            return None
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except Exception:  # noqa: BLE001 -- any unreadable entry is a miss
+            value = None
+        if value is None or not isinstance(value, self.value_type):
+            # The file exists but does not hold a usable value: corrupt.
+            self.stats.corrupt += 1
+            if count:
+                self.stats.misses += 1
+            return None
+        if count:
+            self.stats.hits += 1
+        return value
+
+    def get(self, key: str) -> Any | None:
+        return self._read(key, count=True)
+
+    def peek(self, key: str) -> Any | None:
+        return self._read(key, count=False)
+
+    def put(self, key: str, value: Any) -> None:
+        # Atomic write: concurrent workers may race on the same key, and
+        # a reader must never observe a half-written pickle.
+        try:
+            fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle)
+            os.replace(tmp_path, self._path(key))
+            self.stats.stores += 1
+        except OSError:
+            self.stats.errors += 1  # best-effort; upper tiers still hold it
+
+    def clear(self) -> None:
+        clear_disk_cache(self.directory)
+
+
+class RemoteTier(CacheTier):
+    """A peer solve server's caches, reached over the service protocol.
+
+    Lookups become ``CacheGet`` frames and stores ``CachePut`` frames,
+    answered by the peer from its *local* tiers only (so mutually
+    peered servers can never ping-pong a record between themselves).
+    The tier is strictly best-effort: any connection or protocol
+    failure counts as a miss, and after ``max_failures`` consecutive
+    failures the peer is marked down and skipped without further
+    connection attempts -- a dead peer must not stall every lookup.
+    """
+
+    kind = "remote"
+
+    def __init__(
+        self,
+        address: str,
+        layer: str = "generic",
+        value_type: type = object,
+        timeout: float = 10.0,
+        connect_timeout: float = 3.0,
+        writes: bool = True,
+        max_failures: int = 3,
+    ):
+        super().__init__()
+        self.address = address
+        self.layer = layer
+        self.value_type = value_type
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.writes = writes
+        self.max_failures = max_failures
+        # One connection per calling thread: frames are strict
+        # request/reply on a socket, so sharing one connection would
+        # serialize every thread's cache traffic behind a single
+        # in-flight network round-trip.  The lock guards only the
+        # shared counters and the connection registry.
+        self._local = threading.local()
+        self._clients: list = []
+        self._failures = 0
+        self._lock = threading.Lock()
+
+    def describe(self) -> str:
+        state = " [down]" if self._down() else ""
+        return f"remote ({self.address}, layer {self.layer}){state}"
+
+    def _down(self) -> bool:
+        with self._lock:
+            return self._failures >= self.max_failures
+
+    def _connect(self):
+        from repro.service.client import ServiceClient
+
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = ServiceClient(
+                self.address,
+                timeout=self.timeout,
+                connect_timeout=self.connect_timeout,
+            )
+            self._local.client = client
+            with self._lock:
+                self._clients.append(client)
+        return client
+
+    def _drop_connection(self) -> None:
+        client = getattr(self._local, "client", None)
+        if client is None:
+            return
+        self._local.client = None
+        with self._lock:
+            if client in self._clients:
+                self._clients.remove(client)
+        client.close()
+
+    def _call(self, op: Callable[[Any], Any]) -> Any | None:
+        """Run one request/reply against the peer (this thread's socket).
+
+        Returns None on any failure (counted); a success resets the
+        consecutive-failure count so a recovered peer resumes serving.
+        """
+        if self._down():
+            return None
+        try:
+            result = op(self._connect())
+        except Exception:  # noqa: BLE001 -- peers are best-effort
+            with self._lock:
+                self.stats.errors += 1
+                self._failures += 1
+            self._drop_connection()
+            return None
+        with self._lock:
+            self._failures = 0
+        return result
+
+    def _fetch(self, key: str, count: bool) -> Any | None:
+        blob = self._call(lambda client: client.cache_get(self.layer, key))
+        value = (
+            decode_value(blob, self.value_type) if blob is not None else None
+        )
+        if count:
+            with self._lock:
+                if value is not None:
+                    self.stats.hits += 1
+                else:
+                    self.stats.misses += 1
+        return value
+
+    def get(self, key: str) -> Any | None:
+        return self._fetch(key, count=True)
+
+    def peek(self, key: str) -> Any | None:
+        # Unlike the in-process tiers, a remote peek is counted at the
+        # tier level: it is a real network round-trip, and the rollout
+        # scheduler attributes cross-machine dedup from these counters.
+        # The *aggregate* CacheStats stay peek-neutral either way.
+        return self._fetch(key, count=True)
+
+    def put(self, key: str, value: Any) -> None:
+        from repro.service.protocol import MAX_FRAME_BYTES
+
+        try:
+            blob = encode_value(value)
+        except Exception:  # noqa: BLE001 -- unpicklable: nothing to ship
+            with self._lock:
+                self.stats.errors += 1
+            return
+        if len(blob) > MAX_FRAME_BYTES - 4096:
+            # Past the frame ceiling: skip quietly.  An unsendable value
+            # says nothing about the peer's health, so it must never
+            # count toward the consecutive-failure down-marking.
+            with self._lock:
+                self.stats.errors += 1
+            return
+        stored = self._call(
+            lambda client: client.cache_put(self.layer, key, blob)
+        )
+        if stored:
+            with self._lock:
+                self.stats.stores += 1
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._clients = self._clients, []
+        for client in clients:
+            client.close()
+
+
+# ----------------------------------------------------------------------
+# The fabric: tiers composed behind the classic ContentCache surface.
+# ----------------------------------------------------------------------
+
+
+class TieredCache:
+    """Content-addressed cache over an ordered stack of tiers.
+
+    The default stack is memory -> disk (when ``directory`` is set) ->
+    one remote tier per ``peers`` address; pass ``tiers`` to compose an
+    explicit stack instead.  Reads are read-through with promotion
+    (a hit is copied into every tier above the one that answered);
+    writes go to every tier whose ``writes`` policy allows.  Cached
+    values are shared objects; callers treat them as read-only, which
+    every consumer in the engine already does.
+
+    ``value_type`` guards the non-memory tiers: a disk pickle or remote
+    blob that does not deserialise to it is a miss, so corrupt files or
+    foreign peers never reach callers.
     """
 
     value_type: type = object
+    # Wire routing tag: which server-side cache a RemoteTier's frames
+    # address ("sim" | "solve" for the two concrete caches).
+    layer: str = "generic"
 
-    def __init__(self, directory: str | None = None, max_entries: int = 8192):
-        if max_entries < 1:
-            raise ValueError("max_entries must be >= 1")
-        self.directory = directory
-        self.max_entries = max_entries
+    def __init__(
+        self,
+        directory: str | None = None,
+        max_entries: int | None = None,
+        peers: tuple[str, ...] | list[str] | None = None,
+        tiers: list[CacheTier] | None = None,
+    ):
+        if max_entries is None:
+            max_entries = _env_int("REPRO_CACHE_MAX_ENTRIES", 8192)
         self.stats = CacheStats()
-        self._memory: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
-        if directory is not None:
-            os.makedirs(directory, exist_ok=True)
+        if tiers is not None:
+            self._tiers = list(tiers)
+        else:
+            self._tiers = [MemoryTier(max_entries)]
+            if directory is not None:
+                self._tiers.append(DiskTier(directory, self.value_type))
+            for peer in tuple(peers or ()):
+                self._tiers.append(
+                    RemoteTier(peer, layer=self.layer, value_type=self.value_type)
+                )
+
+    # -- classic surface ------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._memory)
+        return sum(
+            tier.entry_count() or 0
+            for tier in self._tiers
+            if tier.kind == "memory"
+        )
 
-    def _disk_path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.pkl")
+    @property
+    def tiers(self) -> tuple[CacheTier, ...]:
+        return tuple(self._tiers)
 
-    def _remember(self, key: str, value: Any) -> None:
-        # Callers hold self._lock.
-        self._memory[key] = value
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_entries:
-            self._memory.popitem(last=False)
+    @property
+    def directory(self) -> str | None:
+        for tier in self._tiers:
+            if isinstance(tier, DiskTier):
+                return tier.directory
+        return None
+
+    @property
+    def peers(self) -> tuple[str, ...]:
+        return tuple(
+            tier.address
+            for tier in self._tiers
+            if isinstance(tier, RemoteTier)
+        )
+
+    def _local_tiers(self) -> list[CacheTier]:
+        return [t for t in self._tiers if t.kind != "remote"]
+
+    def _absorb_corruption(self, tier: CacheTier, before: int) -> None:
+        corrupt = tier.stats.corrupt - before
+        if corrupt:
+            with self._lock:
+                self.stats.corrupt += corrupt
+
+    def _attribute_hit(self, tier: CacheTier) -> None:
+        with self._lock:
+            self.stats.hits += 1
+            if tier.kind == "disk":
+                self.stats.disk_hits += 1
+            elif tier.kind == "remote":
+                self.stats.remote_hits += 1
+
+    def _promote(self, key: str, value: Any, upto: int) -> None:
+        # Copy a lower-tier hit into every writable tier above it, so
+        # the next lookup is answered as locally as possible.
+        for tier in self._tiers[:upto]:
+            if tier.writes:
+                tier.put(key, value)
+
+    def _walk(self, key: str, counted: bool, remote: bool = True) -> Any | None:
+        for index, tier in enumerate(self._tiers):
+            if not remote and tier.kind == "remote":
+                continue
+            corrupt_before = tier.stats.corrupt
+            value = tier.get(key) if counted else tier.peek(key)
+            self._absorb_corruption(tier, corrupt_before)
+            if value is None:
+                continue
+            if counted:
+                self._attribute_hit(tier)
+            self._promote(key, value, index)
+            return value
+        if counted:
+            with self._lock:
+                self.stats.misses += 1
+        return None
 
     def get(self, key: str) -> Any | None:
-        with self._lock:
-            value = self._memory.get(key)
-            if value is not None:
-                self._memory.move_to_end(key)
-                self.stats.hits += 1
-                return value
-        if self.directory is not None:
-            value = self._read_disk(key)
-            if value is not None:
-                with self._lock:
-                    self._remember(key, value)
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
-                return value
-        with self._lock:
-            self.stats.misses += 1
-        return None
+        return self._walk(key, counted=True)
 
     def peek(self, key: str) -> Any | None:
         """Like :meth:`get` but without touching the hit/miss counters.
@@ -184,58 +649,60 @@ class ContentCache:
         For callers probing whether a value exists before deciding how
         to serve it (e.g. the solve service's cache fast-path); the
         authoritative, counted lookup still happens on the serving
-        path.  A disk read is promoted into the memory layer so that
-        counted lookup doesn't unpickle the same file twice.
+        path.  Lower-tier hits are promoted exactly as a counted get
+        would, so that lookup doesn't redo the disk or network read.
         """
-        with self._lock:
-            value = self._memory.get(key)
-        if value is not None:
-            return value
-        if self.directory is not None:
-            value = self._read_disk(key)
-            if value is not None:
-                with self._lock:
-                    self._remember(key, value)
-            return value
-        return None
+        return self._walk(key, counted=False)
+
+    def peek_local(self, key: str) -> Any | None:
+        """Stats-neutral probe that never leaves this machine.
+
+        What the solve server uses to answer a peer's ``CacheGet``:
+        consulting its *own* remote tiers there would let two mutually
+        peered servers chase a missing key around the ring forever.
+        """
+        return self._walk(key, counted=False, remote=False)
 
     def put(self, key: str, value: Any) -> None:
         with self._lock:
-            self._remember(key, value)
             self.stats.stores += 1
-        if self.directory is not None:
-            self._write_disk(key, value)
+        for tier in self._tiers:
+            if tier.writes:
+                tier.put(key, value)
+
+    def put_local(self, key: str, value: Any) -> None:
+        """Store without gossiping to peers (the ``CachePut`` handler)."""
+        with self._lock:
+            self.stats.stores += 1
+        for tier in self._local_tiers():
+            if tier.writes:
+                tier.put(key, value)
 
     def clear(self) -> None:
-        with self._lock:
-            self._memory.clear()
+        """Drop the in-memory tier(s); disk and peers keep their copies."""
+        for tier in self._tiers:
+            if tier.kind == "memory":
+                tier.clear()
 
-    def _read_disk(self, key: str) -> Any | None:
-        try:
-            with open(self._disk_path(key), "rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
-        return value if isinstance(value, self.value_type) else None
+    def tier_report(self) -> list[dict]:
+        """Per-tier stats rows (the ``cache`` CLI / service surfaces)."""
+        return [tier.report() for tier in self._tiers]
 
-    def _write_disk(self, key: str, value: Any) -> None:
-        # Atomic write: concurrent workers may race on the same key, and
-        # a reader must never observe a half-written pickle.
-        try:
-            fd, tmp_path = tempfile.mkstemp(
-                dir=self.directory, suffix=".tmp"
-            )
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle)
-            os.replace(tmp_path, self._disk_path(key))
-        except OSError:
-            pass  # disk layer is best-effort; memory layer already has it
+    def close(self) -> None:
+        for tier in self._tiers:
+            if isinstance(tier, RemoteTier):
+                tier.close()
 
 
-class SimulationCache(ContentCache):
+# Back-compat alias: PR 2 named the generic base ContentCache.
+ContentCache = TieredCache
+
+
+class SimulationCache(TieredCache):
     """Memoized simulation reports keyed by :func:`simulation_key`."""
 
     value_type = TestReport
+    layer = "sim"
 
 
 def cached_run_testbench(
@@ -281,10 +748,11 @@ class SolveCellRecord:
     events: tuple = ()
 
 
-class SolveCellCache(ContentCache):
+class SolveCellCache(TieredCache):
     """Memoized whole-run results keyed by :func:`solve_cell_key`."""
 
     value_type = SolveCellRecord
+    layer = "solve"
 
 
 def solve_cell_key(fingerprint: str, problem, seed: int) -> str:
@@ -397,3 +865,21 @@ def disk_cache_info(directory: str) -> DiskCacheInfo:
         except OSError:
             pass
     return DiskCacheInfo(directory=directory, entries=entries, total_bytes=total)
+
+
+def clear_disk_cache(directory: str) -> DiskCacheInfo:
+    """Delete every cache entry under ``directory``; returns what was
+    removed (missing directory -> empty report, never an error)."""
+    info = disk_cache_info(directory)
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        if not (name.endswith(".pkl") or name.endswith(".tmp")):
+            continue
+        try:
+            os.remove(os.path.join(directory, name))
+        except OSError:
+            pass
+    return info

@@ -8,10 +8,15 @@ Environment variables:
 - ``REPRO_JOBS``             worker count (default 1 = serial)
 - ``REPRO_EXECUTOR``         ``auto`` | ``serial`` | ``thread`` | ``process``
 - ``REPRO_SIM_CACHE``        ``1``/``0`` to enable/disable the simulation cache
-- ``REPRO_SIM_CACHE_DIR``    directory for the optional on-disk cache layer
+- ``REPRO_SIM_CACHE_DIR``    directory for the optional on-disk cache tier
 - ``REPRO_SOLVE_CACHE``      ``1``/``0`` to enable the solve-cell cache
                              (whole-run memoization; default off)
-- ``REPRO_SOLVE_CACHE_DIR``  directory for the on-disk solve-cell layer
+- ``REPRO_SOLVE_CACHE_DIR``  directory for the on-disk solve-cell tier
+- ``REPRO_CACHE_PEERS``      comma-separated ``host:port`` peer solve
+                             servers whose caches join both fabrics as
+                             remote tiers (default none)
+- ``REPRO_CACHE_MAX_ENTRIES``  LRU cap of each in-memory cache tier
+                             (default 8192)
 """
 
 from __future__ import annotations
@@ -39,6 +44,11 @@ def _env_flag(name: str, fallback: bool) -> bool:
     return value.strip().lower() not in ("0", "false", "no", "off")
 
 
+def _env_addresses(name: str) -> tuple[str, ...]:
+    value = os.environ.get(name) or ""
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
 @dataclass(frozen=True)
 class RuntimeConfig:
     """Resolved runtime settings (see module docstring for env vars)."""
@@ -49,6 +59,8 @@ class RuntimeConfig:
     cache_dir: str | None = None
     solve_cache: bool = False
     solve_cache_dir: str | None = None
+    cache_peers: tuple[str, ...] = ()
+    cache_max_entries: int = 8192
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -58,6 +70,8 @@ class RuntimeConfig:
                 f"bad executor kind {self.executor!r}; "
                 f"choose from {', '.join(_EXECUTOR_KINDS)}"
             )
+        if self.cache_max_entries < 1:
+            raise ValueError("cache_max_entries must be >= 1")
 
     @staticmethod
     def from_env(
@@ -67,6 +81,8 @@ class RuntimeConfig:
         cache_dir: str | None = None,
         solve_cache: bool | None = None,
         solve_cache_dir: str | None = None,
+        cache_peers: tuple[str, ...] | list[str] | None = None,
+        cache_max_entries: int | None = None,
     ) -> "RuntimeConfig":
         """Resolve settings: explicit args beat env vars beat defaults."""
         return RuntimeConfig(
@@ -93,5 +109,15 @@ class RuntimeConfig:
                 solve_cache_dir
                 if solve_cache_dir is not None
                 else os.environ.get("REPRO_SOLVE_CACHE_DIR") or None
+            ),
+            cache_peers=(
+                tuple(cache_peers)
+                if cache_peers is not None
+                else _env_addresses("REPRO_CACHE_PEERS")
+            ),
+            cache_max_entries=(
+                cache_max_entries
+                if cache_max_entries is not None
+                else _env_int("REPRO_CACHE_MAX_ENTRIES", 8192)
             ),
         )

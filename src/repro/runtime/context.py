@@ -60,10 +60,22 @@ def _build(config: RuntimeConfig, executor: Executor | None = None) -> RuntimeCo
             if executor is not None
             else create_executor(config.jobs, config.executor)
         ),
-        cache=SimulationCache(config.cache_dir) if config.cache else None,
+        cache=(
+            SimulationCache(
+                config.cache_dir,
+                max_entries=config.cache_max_entries,
+                peers=config.cache_peers,
+            )
+            if config.cache
+            else None
+        ),
         owns_executor=executor is None,
         solve_cache=(
-            SolveCellCache(config.solve_cache_dir)
+            SolveCellCache(
+                config.solve_cache_dir,
+                max_entries=config.cache_max_entries,
+                peers=config.cache_peers,
+            )
             if config.solve_cache
             else None
         ),
@@ -90,6 +102,8 @@ def configure(
     cache_dir: str | None = None,
     solve_cache: bool | None = None,
     solve_cache_dir: str | None = None,
+    cache_peers: tuple[str, ...] | list[str] | None = None,
+    cache_max_entries: int | None = None,
 ) -> RuntimeContext:
     """Replace the process-global context (CLI and long-lived services).
 
@@ -106,6 +120,8 @@ def configure(
         cache_dir=cache_dir,
         solve_cache=solve_cache,
         solve_cache_dir=solve_cache_dir,
+        cache_peers=cache_peers,
+        cache_max_entries=cache_max_entries,
     )
     with _GLOBAL_LOCK:
         previous = _GLOBAL
@@ -123,6 +139,8 @@ def runtime_session(
     cache_dir: str | None = None,
     solve_cache: bool | None = None,
     solve_cache_dir: str | None = None,
+    cache_peers: tuple[str, ...] | list[str] | None = None,
+    cache_max_entries: int | None = None,
     context: RuntimeContext | None = None,
 ):
     """Thread-local context override, restored on exit.
@@ -141,6 +159,8 @@ def runtime_session(
             cache_dir=cache_dir,
             solve_cache=solve_cache,
             solve_cache_dir=solve_cache_dir,
+            cache_peers=cache_peers,
+            cache_max_entries=cache_max_entries,
         )
         context = _build(config, ready)
     stack = getattr(_LOCAL, "stack", None)

@@ -82,6 +82,7 @@ class RolloutCell:
     seed: int
     cache_enabled: bool = True
     cache_dir: str | None = None
+    cache_peers: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,7 @@ class ScoreTask:
     top: str
     cache_enabled: bool = True
     cache_dir: str | None = None
+    cache_peers: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -106,6 +108,7 @@ class CloseTask:
     top: str
     cache_enabled: bool = True
     cache_dir: str | None = None
+    cache_peers: tuple[str, ...] = ()
 
 
 # ----------------------------------------------------------------------
@@ -199,7 +202,9 @@ def rollout_open(cell: RolloutCell, cache: SimulationCache | None = None) -> Ope
     their golden-testbench scoring.
     """
     if cache is None:
-        cache = process_local_cache(cell.cache_enabled, cell.cache_dir)
+        cache = process_local_cache(
+            cell.cache_enabled, cell.cache_dir, cell.cache_peers
+        )
     sink = ListSink()
     inner = RuntimeContext(executor=SerialExecutor(), cache=cache)
     with _Measured(cache) as counters, runtime_session(context=inner):
@@ -271,7 +276,9 @@ def rollout_open(cell: RolloutCell, cache: SimulationCache | None = None) -> Ope
 def rollout_score(task: ScoreTask, cache: SimulationCache | None = None) -> ScoreOutcome:
     """Score one candidate: pure simulation through the shared cache."""
     if cache is None:
-        cache = process_local_cache(task.cache_enabled, task.cache_dir)
+        cache = process_local_cache(
+            task.cache_enabled, task.cache_dir, task.cache_peers
+        )
     with _Measured(cache) as counters:
         report = cached_run_testbench(
             task.source, task.testbench, task.top, cache=cache
@@ -289,7 +296,9 @@ def rollout_close(item: CloseTask, cache: SimulationCache | None = None) -> Clos
     cell performs.
     """
     if cache is None:
-        cache = process_local_cache(item.cache_enabled, item.cache_dir)
+        cache = process_local_cache(
+            item.cache_enabled, item.cache_dir, item.cache_peers
+        )
     sink = ListSink()
     inner = RuntimeContext(executor=SerialExecutor(), cache=cache)
     with _Measured(cache) as counters, runtime_session(context=inner):
@@ -332,6 +341,32 @@ class RolloutRequest:
     seed: int
     sink: object = None
     fingerprint: str | None = None
+
+
+@dataclass
+class RolloutDedupStats:
+    """Score-phase dedup accounting, attributed by mechanism.
+
+    ``wave_duplicates`` counts content-identical candidates collapsed
+    *within* one coalesced wave; ``fabric_hits`` counts candidates
+    served from the fabric's local tiers before dispatch (the memory
+    tier dedups across waves of the same scheduler, the disk tier
+    across processes); ``remote_hits`` counts candidates a dispatched
+    lookup fetched from a peer instead of simulating -- dedup across
+    schedulers and machines (measured on the live fabric, so process-
+    pool waves, whose peer probes happen inside the children, report
+    0 here).  ``executed`` is what was dispatched to the executor; a
+    dispatched candidate served by a peer still runs no simulation.
+    """
+
+    wave_duplicates: int = 0
+    fabric_hits: int = 0
+    remote_hits: int = 0
+    executed: int = 0
+
+    @property
+    def deduped(self) -> int:
+        return self.wave_duplicates + self.fabric_hits
 
 
 @dataclass
@@ -387,6 +422,7 @@ class RolloutScheduler:
         self.batch = batch
         self.cache = cache
         self.solve_cache = solve_cache
+        self.dedup = RolloutDedupStats()
 
     # ------------------------------------------------------------------
 
@@ -475,16 +511,24 @@ class RolloutScheduler:
         return outcomes
 
     def _score_wave(self, tasks: list[ScoreTask]) -> list:
-        """Score a coalesced wave, deduplicating identical simulations.
+        """Score a coalesced wave, deduplicating through the cache fabric.
 
         Concurrent runs frequently sample identical candidates (T=0
-        stages, easy problems); content-identical tasks are simulated
-        once per wave and the report fanned back to every duplicate --
-        exactly what a shared simulation cache would do, computed in
-        the parent so it works across process boundaries too.  On
-        process pools the parent cache additionally pre-serves tasks it
-        already holds and absorbs the wave's results, making it the
-        shared medium between waves and phases.
+        stages, easy problems).  Dedup happens through the cache fabric
+        at every distance, tracked in :attr:`dedup`: content-identical
+        tasks *within* the wave are simulated once and the report fanned
+        back (``wave_duplicates``); every task is probed against the
+        fabric's *local* tiers before dispatch (``fabric_hits``: the
+        memory tier carries dedup across the scheduler's own waves, the
+        disk tier across processes); and a dispatched task's own counted
+        lookup walks the full fabric including remote peers, so a
+        candidate simulated on another scheduler or machine is served
+        without re-simulating -- one network round-trip per unique cold
+        candidate, never two (``remote_hits``, visible for in-process
+        executors; process-pool waves probe peers inside the children).
+        On process pools the parent fabric absorbs the wave's results
+        locally (the children already gossiped them to peers), staying
+        the shared medium between waves and phases.
         """
         if not tasks:
             return []
@@ -500,23 +544,38 @@ class RolloutScheduler:
         ready: dict[int, ScoreOutcome] = {}
         primary: dict[str, int] = {}  # key -> index of the executed task
         to_run: list[int] = []
+
+        def remote_tier_hits() -> int:
+            if self.cache is None:
+                return 0
+            return sum(
+                tier.stats.hits
+                for tier in self.cache.tiers
+                if tier.kind == "remote"
+            )
+
+        remote_before = remote_tier_hits()
         for index, key in enumerate(keyed):
             if key is None:
                 to_run.append(index)
                 continue
-            if crossing and self.cache is not None:
-                report = self.cache.peek(key)
+            if key in primary:
+                self.dedup.wave_duplicates += 1
+                continue  # duplicate: reuse the primary's report
+            if self.cache is not None:
+                report = self.cache.peek_local(key)
                 if report is not None:
                     ready[index] = ScoreOutcome(
                         report=report,
                         counters=PhaseCounters(cache_hits=1),
                     )
+                    self.dedup.fabric_hits += 1
                     continue
-            if key in primary:
-                continue  # duplicate: reuse the primary's report
             primary[key] = index
             to_run.append(index)
+        self.dedup.executed += len(to_run)
         outcomes = self._submit_wave(rollout_score, [tasks[i] for i in to_run])
+        self.dedup.remote_hits += remote_tier_hits() - remote_before
         for index, outcome in zip(to_run, outcomes):
             ready[index] = outcome
             key = keyed[index]
@@ -526,7 +585,9 @@ class RolloutScheduler:
                 and key is not None
                 and not isinstance(outcome, Exception)
             ):
-                self.cache.put(key, outcome.report)
+                # Local absorb only: the worker process's own tiered
+                # cache already gossiped the report to every peer.
+                self.cache.put_local(key, outcome.report)
         results = []
         for index, key in enumerate(keyed):
             if index in ready:
@@ -596,6 +657,9 @@ class RolloutScheduler:
                 cache_dir=(
                     self.cache.directory if self.cache is not None else None
                 ),
+                cache_peers=(
+                    self.cache.peers if self.cache is not None else ()
+                ),
             )
             for request in pending
         ]
@@ -657,6 +721,9 @@ class RolloutScheduler:
                             if self.cache is not None
                             else None
                         ),
+                        cache_peers=(
+                            self.cache.peers if self.cache is not None else ()
+                        ),
                     )
                 )
             spans.append((begin, len(tasks)))
@@ -692,6 +759,9 @@ class RolloutScheduler:
                     cache_enabled=self.cache is not None,
                     cache_dir=(
                         self.cache.directory if self.cache is not None else None
+                    ),
+                    cache_peers=(
+                        self.cache.peers if self.cache is not None else ()
                     ),
                 )
             )

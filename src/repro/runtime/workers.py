@@ -45,7 +45,12 @@ from repro.tb.stimulus import Testbench
 
 @dataclass(frozen=True)
 class EvalCell:
-    """One (problem, run) evaluation: everything a worker needs."""
+    """One (problem, run) evaluation: everything a worker needs.
+
+    ``cache_peers`` rides along so cells shipped to pool processes
+    rebuild the same tier stack (memory -> disk -> remote peers) the
+    parent's cache fabric has.
+    """
 
     problem_index: int
     run_index: int
@@ -58,6 +63,7 @@ class EvalCell:
     solve_enabled: bool = False
     solve_dir: str | None = None
     fingerprint: str | None = None
+    cache_peers: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -87,42 +93,48 @@ class CellResult:
 
 
 # Per-process cache registries for pool workers: cells landing in the
-# same worker process share one in-memory cache (keyed by disk
-# directory).
-_WORKER_CACHES: dict[str | None, SimulationCache] = {}
-_WORKER_SOLVE_CACHES: dict[str | None, SolveCellCache] = {}
+# same worker process share one cache per tier configuration (keyed by
+# disk directory + peer addresses).
+_WORKER_CACHES: dict[tuple, SimulationCache] = {}
+_WORKER_SOLVE_CACHES: dict[tuple, SolveCellCache] = {}
 
 
 def process_local_cache(
-    enabled: bool, directory: str | None
+    enabled: bool,
+    directory: str | None,
+    peers: tuple[str, ...] = (),
 ) -> SimulationCache | None:
-    """The worker-process simulation cache for one configuration.
+    """The worker-process simulation cache for one tier configuration.
 
-    Work units landing in the same process share one in-memory cache
-    per disk directory -- the resolution both grid cells and rollout
+    Work units landing in the same process share one cache per (disk
+    directory, peer list) -- the resolution both grid cells and rollout
     phase functions use when they execute without a live cache in hand
     (i.e. across a process boundary).
     """
     if not enabled:
         return None
-    cache = _WORKER_CACHES.get(directory)
+    config = (directory, tuple(peers))
+    cache = _WORKER_CACHES.get(config)
     if cache is None:
-        cache = SimulationCache(directory)
-        _WORKER_CACHES[directory] = cache
+        cache = SimulationCache(directory, peers=peers)
+        _WORKER_CACHES[config] = cache
     return cache
 
 
 def _resolve_cache(cell: EvalCell) -> SimulationCache | None:
-    return process_local_cache(cell.cache_enabled, cell.cache_dir)
+    return process_local_cache(
+        cell.cache_enabled, cell.cache_dir, cell.cache_peers
+    )
 
 
 def _resolve_solve_cache(cell: EvalCell) -> SolveCellCache | None:
     if not cell.solve_enabled or cell.fingerprint is None:
         return None
-    cache = _WORKER_SOLVE_CACHES.get(cell.solve_dir)
+    config = (cell.solve_dir, tuple(cell.cache_peers))
+    cache = _WORKER_SOLVE_CACHES.get(config)
     if cache is None:
-        cache = SolveCellCache(cell.solve_dir)
-        _WORKER_SOLVE_CACHES[cell.solve_dir] = cache
+        cache = SolveCellCache(cell.solve_dir, peers=cell.cache_peers)
+        _WORKER_SOLVE_CACHES[config] = cache
     return cache
 
 

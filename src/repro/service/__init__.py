@@ -11,6 +11,12 @@ events of :mod:`repro.core.events` -- the event stream is the wire
 protocol.  :func:`solve_grid` shards the Eq. 7 ``problems x runs`` grid
 across servers with a deterministic merge, bit-identical to local
 serial evaluation.
+
+Servers are also cache peers: ``CacheGet``/``CachePut`` frames let a
+:class:`~repro.runtime.cache.RemoteTier` read and populate another
+server's cache layers, so warm solve cells and simulation reports
+travel the peer ring instead of being recomputed (the serving ladder's
+peer-replay rung).
 """
 
 from repro.service.broker import (
@@ -35,6 +41,9 @@ from repro.service.client import (
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Ack,
+    CacheGet,
+    CachePut,
+    CacheReply,
     ControlRequest,
     Done,
     ErrorFrame,
@@ -66,6 +75,9 @@ __all__ = [
     "BrokerClosed",
     "BrokerFull",
     "BrokerStats",
+    "CacheGet",
+    "CachePut",
+    "CacheReply",
     "ControlRequest",
     "Done",
     "ErrorFrame",

@@ -36,6 +36,9 @@ from repro.core.events import (
 )
 from repro.service.protocol import (
     Ack,
+    CacheGet,
+    CachePut,
+    CacheReply,
     ControlRequest,
     Done,
     ErrorFrame,
@@ -248,6 +251,35 @@ class ServiceClient:
             except StopIteration as stop:
                 return stop.value
             sink.emit(event)
+
+    def _cache_request(self, frame) -> CacheReply:
+        write_frame(self._wfile, frame)
+        reply = self._read()
+        if isinstance(reply, ErrorFrame):
+            raise ServiceError(reply.message)
+        if not isinstance(reply, CacheReply):
+            raise ProtocolError(f"expected cache reply, got {reply.type!r}")
+        return reply
+
+    def cache_get(self, layer: str, key: str) -> str | None:
+        """Probe the server's ``layer`` cache; the base64 blob or None.
+
+        The transport primitive behind
+        :class:`~repro.runtime.cache.RemoteTier`: decoding (and type
+        guarding) the blob is the caller's job, so this client never
+        unpickles peer data itself.
+        """
+        reply = self._cache_request(
+            CacheGet(id=self._request_id(), layer=layer, key=key)
+        )
+        return reply.blob if reply.found else None
+
+    def cache_put(self, layer: str, key: str, blob: str) -> bool:
+        """Push one encoded entry into the server's ``layer`` cache."""
+        reply = self._cache_request(
+            CachePut(id=self._request_id(), layer=layer, key=key, blob=blob)
+        )
+        return reply.stored
 
     def _control(self, op: str):
         request_id = self._request_id()

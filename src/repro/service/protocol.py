@@ -13,6 +13,12 @@ client-driven: the client writes one :class:`SolveRequest` or
   :class:`ErrorFrame`;
 - ``ControlRequest`` -> one :class:`StatsReply`, :class:`Ack`
   (``ping``/``shutdown``), or :class:`ErrorFrame`;
+- ``CacheGet``/``CachePut`` -> one :class:`CacheReply` -- the cache
+  fabric's peer-sharing rungs: a
+  :class:`~repro.runtime.cache.RemoteTier` probes or populates another
+  server's cache layers (``layer`` routes to the simulation or
+  solve-cell cache; values travel as base64-pickled blobs, type-guarded
+  on receipt exactly like the disk tier's files);
 
 after which the client may send the next request on the same
 connection.  Events cross the wire via
@@ -160,6 +166,47 @@ class ErrorFrame(Frame):
     type: ClassVar[str] = "error"
     id: int
     message: str
+
+
+@dataclass(frozen=True)
+class CacheGet(Frame):
+    """Probe a peer's cache fabric for one content-addressed key.
+
+    ``layer`` picks the server-side cache (``sim`` | ``solve``).  The
+    peer answers from its local tiers only (memory + disk), never its
+    own remote tiers, so mutually peered servers cannot loop.
+    """
+
+    type: ClassVar[str] = "cache_get"
+    id: int
+    layer: str
+    key: str
+
+
+@dataclass(frozen=True)
+class CachePut(Frame):
+    """Push one cache entry to a peer (write-through gossip).
+
+    ``blob`` is the base64-pickled value; the receiver type-guards it
+    before storing, exactly like a disk-tier read.
+    """
+
+    type: ClassVar[str] = "cache_put"
+    id: int
+    layer: str
+    key: str
+    blob: str
+
+
+@dataclass(frozen=True)
+class CacheReply(Frame):
+    """Answer to a cache frame: the blob (get) or a store ack (put)."""
+
+    type: ClassVar[str] = "cache_reply"
+    id: int
+    found: bool = False
+    stored: bool = False
+    blob: str = ""
 
 
 @dataclass(frozen=True)

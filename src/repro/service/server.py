@@ -10,10 +10,18 @@ in the server process, so the layered serving ladder is:
 1. **solve-cell cache hit** -- served inline by the connection thread
    (events replayed, scoring via the simulation cache); no worker is
    touched and no queue slot is consumed;
-2. **in-flight dedup** -- an identical queued/running cell adopts the
+2. **peer replay** -- the same rung through the cache fabric's remote
+   tiers: a cell warm on a ``cache_peers`` server is fetched over
+   ``CacheGet`` frames, promoted into the local memory/disk tiers, and
+   served inline exactly like a local cache hit;
+3. **in-flight dedup** -- an identical queued/running cell adopts the
    new subscriber; one execution, n streams;
-3. **cold cell** -- queued by priority, executed by the next free
-   worker, and stored in both caches on the way out.
+4. **cold cell** -- queued by priority, executed by the next free
+   worker, and stored in both caches on the way out (write-through to
+   peers, so the whole ring warms at once).
+
+The server also *answers* ``CacheGet``/``CachePut`` frames from its
+local tiers, making it a peer for other machines' remote tiers.
 
 Shutdown is a graceful drain: new submissions are refused, queued jobs
 finish, workers exit, then the socket closes.
@@ -28,11 +36,16 @@ import time
 from repro.runtime.cache import (
     SimulationCache,
     SolveCellCache,
+    decode_value,
+    encode_value,
     solve_cell_key,
 )
 from repro.service.broker import Broker, BrokerClosed, BrokerFull
 from repro.service.protocol import (
     Ack,
+    CacheGet,
+    CachePut,
+    CacheReply,
     ControlRequest,
     Done,
     ErrorFrame,
@@ -80,6 +93,10 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                         self._handle_solve(service, frame)
                     finally:
                         service._solve_finished()
+                elif isinstance(frame, CacheGet):
+                    self._handle_cache_get(service, frame)
+                elif isinstance(frame, CachePut):
+                    self._handle_cache_put(service, frame)
                 elif isinstance(frame, ControlRequest):
                     if not self._handle_control(service, frame):
                         return
@@ -195,6 +212,51 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             )
         )
 
+    def _handle_cache_get(self, service: "SolveServer", req: CacheGet) -> None:
+        """The peer-sharing read rung: answer from LOCAL tiers only.
+
+        A peer's :class:`~repro.runtime.cache.RemoteTier` is asking; if
+        this server consulted its *own* remote tiers here, two mutually
+        peered servers would chase a missing key around the ring.
+        """
+        from repro.service.protocol import MAX_FRAME_BYTES
+
+        service.stats.count("peer_gets")
+        cache = service.cache_layer(req.layer)
+        value = cache.peek_local(req.key) if cache is not None else None
+        if value is None:
+            self._safe_write(CacheReply(id=req.id))
+            return
+        try:
+            blob = encode_value(value)
+        except Exception:  # noqa: BLE001 -- unpicklable value: report a miss
+            self._safe_write(CacheReply(id=req.id))
+            return
+        if len(blob) > MAX_FRAME_BYTES - 4096:
+            # A value past the frame ceiling must be a typed miss, not
+            # an 'unsendable reply' error the peer would hold against
+            # this server's health.
+            self._safe_write(CacheReply(id=req.id))
+            return
+        service.stats.count("peer_hits")
+        self._safe_write(CacheReply(id=req.id, found=True, blob=blob))
+
+    def _handle_cache_put(self, service: "SolveServer", req: CachePut) -> None:
+        """The peer-sharing write rung: store locally, never re-gossip."""
+        cache = service.cache_layer(req.layer)
+        if cache is None:
+            self._safe_write(CacheReply(id=req.id))
+            return
+        value = decode_value(req.blob, cache.value_type)
+        if value is None:
+            # Garbage or wrong-typed blob: refuse, exactly like the
+            # disk tier refuses a corrupt file.
+            self._safe_write(CacheReply(id=req.id))
+            return
+        cache.put_local(req.key, value)
+        service.stats.count("peer_puts")
+        self._safe_write(CacheReply(id=req.id, stored=True))
+
     def _handle_control(
         self, service: "SolveServer", req: ControlRequest
     ) -> bool:
@@ -226,6 +288,11 @@ class SolveServer:
     ``sim_cache``/``solve_cache`` accept an instance, ``False`` to
     disable the layer, or ``None`` for a fresh in-memory cache (pass
     instances with a ``directory`` to persist across restarts).
+    ``cache_peers`` adds one :class:`~repro.runtime.cache.RemoteTier`
+    per address to each default-built cache (instances carry their own
+    tier stacks), so a cold server replays cells warmed anywhere in the
+    peer ring -- and answers the same ``CacheGet``/``CachePut`` frames
+    for its peers in turn.
     """
 
     def __init__(
@@ -237,11 +304,13 @@ class SolveServer:
         solve_cache: SolveCellCache | bool | None = None,
         max_pending: int = 256,
         rollout_batch: int = 0,
+        cache_peers: tuple[str, ...] | list[str] | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        self.sim_cache = self._resolve(sim_cache, SimulationCache)
-        self.solve_cache = self._resolve(solve_cache, SolveCellCache)
+        peers = tuple(cache_peers or ())
+        self.sim_cache = self._resolve(sim_cache, SimulationCache, peers)
+        self.solve_cache = self._resolve(solve_cache, SolveCellCache, peers)
         self.broker = Broker(max_pending=max_pending)
         self.stats = ServiceStats()
         self.rollout_batch = max(0, int(rollout_batch))
@@ -280,17 +349,21 @@ class SolveServer:
         self._idle = threading.Condition()
 
     @staticmethod
-    def _resolve(cache, default_cls):
+    def _resolve(cache, default_cls, peers=()):
         if cache is False:
             return None
         if cache is None or cache is True:
-            return default_cls()
+            return default_cls(peers=peers)
         return cache
 
     @property
     def address(self) -> str:
         host, port = self._tcp.server_address[:2]
         return f"{host}:{port}"
+
+    def cache_layer(self, layer: str):
+        """The cache a wire-level ``layer`` tag routes to (or None)."""
+        return {"sim": self.sim_cache, "solve": self.solve_cache}.get(layer)
 
     def fetch_cached(self, system: str, problem_id: str, seed: int):
         """The cell's solve-cell record, or None to take the cold path.
@@ -381,7 +454,11 @@ class SolveServer:
                 "misses": stats.misses,
                 "stores": stats.stores,
                 "disk_hits": stats.disk_hits,
+                "remote_hits": stats.remote_hits,
+                "corrupt": stats.corrupt,
                 "directory": cache.directory,
+                "peers": list(cache.peers),
+                "tiers": cache.tier_report(),
             }
 
         return {

@@ -48,13 +48,17 @@ class ServiceResult:
 
 
 class ServiceStats:
-    """Thread-safe service counters (worker executions, cache serves)."""
+    """Thread-safe service counters (worker executions, cache serves,
+    and the peer-sharing traffic answered for other machines)."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.executed = 0  # pipelines actually run (not cache-served)
         self.cache_served = 0  # results served from the solve-cell cache
         self.errors = 0
+        self.peer_gets = 0  # CacheGet frames answered
+        self.peer_hits = 0  # ... of which found a local entry
+        self.peer_puts = 0  # CachePut frames stored
 
     def count(self, field: str) -> None:
         with self._lock:
@@ -66,6 +70,9 @@ class ServiceStats:
                 "executed": self.executed,
                 "cache_served": self.cache_served,
                 "errors": self.errors,
+                "peer_gets": self.peer_gets,
+                "peer_hits": self.peer_hits,
+                "peer_puts": self.peer_puts,
             }
 
 

@@ -1,0 +1,298 @@
+"""The tiered cache fabric: tier composition, promotion, eviction,
+disk-tier corruption robustness (seeded-random, mirroring
+tests/service/test_protocol_properties.py), and config wiring."""
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.runtime.cache import (
+    CacheTier,
+    DiskTier,
+    MemoryTier,
+    SimulationCache,
+    SolveCellCache,
+    SolveCellRecord,
+    TieredCache,
+    clear_disk_cache,
+    decode_value,
+    disk_cache_info,
+    encode_value,
+)
+from repro.runtime.config import RuntimeConfig
+
+
+class TestComposition:
+    def test_default_stack_is_memory_only(self):
+        cache = SimulationCache()
+        assert [t.kind for t in cache.tiers] == ["memory"]
+        assert cache.directory is None
+        assert cache.peers == ()
+
+    def test_directory_adds_a_disk_tier(self, tmp_path):
+        cache = SimulationCache(str(tmp_path / "c"))
+        assert [t.kind for t in cache.tiers] == ["memory", "disk"]
+        assert cache.directory == str(tmp_path / "c")
+
+    def test_peers_add_remote_tiers_last(self, tmp_path):
+        cache = SolveCellCache(
+            str(tmp_path / "c"), peers=("127.0.0.1:1", "127.0.0.1:2")
+        )
+        assert [t.kind for t in cache.tiers] == [
+            "memory",
+            "disk",
+            "remote",
+            "remote",
+        ]
+        assert cache.peers == ("127.0.0.1:1", "127.0.0.1:2")
+        # The remote tiers carry the cache's wire routing tag.
+        assert all(
+            t.layer == "solve" for t in cache.tiers if t.kind == "remote"
+        )
+
+    def test_explicit_tier_stack(self):
+        cache = TieredCache(tiers=[MemoryTier(4)])
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+
+    def test_tier_report_rows(self, tmp_path):
+        cache = SimulationCache(str(tmp_path / "c"))
+        rows = cache.tier_report()
+        assert [row["kind"] for row in rows] == ["memory", "disk"]
+        assert all("hits" in row and "corrupt" in row for row in rows)
+
+
+class TestPromotionAndWritePolicy:
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        directory = str(tmp_path / "c")
+        record = SolveCellRecord(source="module m; endmodule", system="s")
+        SolveCellCache(directory).put("k", record)
+        reader = SolveCellCache(directory)
+        assert len(reader) == 0
+        got = reader.get("k")
+        assert got == record
+        assert reader.stats.disk_hits == 1
+        assert len(reader) == 1  # promoted
+        # Second lookup is answered by the memory tier.
+        assert reader.get("k") == record
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.hits == 2
+
+    def test_put_writes_through_to_disk(self, tmp_path):
+        directory = str(tmp_path / "c")
+        cache = SolveCellCache(directory)
+        cache.put("k", SolveCellRecord(source="x", system="s"))
+        assert disk_cache_info(directory).entries == 1
+
+    def test_read_only_tier_is_skipped_by_writes(self):
+        frozen = MemoryTier(8)
+        frozen.writes = False
+        cache = TieredCache(tiers=[MemoryTier(8), frozen])
+        cache.put("k", "v")
+        assert frozen.peek("k") is None
+        assert cache.get("k") == "v"
+
+    def test_peek_local_skips_remote_tiers(self):
+        class Exploding(CacheTier):
+            kind = "remote"
+
+            def get(self, key):
+                raise AssertionError("peek_local must not reach remote tiers")
+
+            peek = get
+
+            def put(self, key, value):
+                raise AssertionError("local put must not reach remote tiers")
+
+        cache = TieredCache(tiers=[MemoryTier(8), Exploding()])
+        cache.put_local("k", "v")
+        assert cache.peek_local("k") == "v"
+        assert cache.peek_local("missing") is None
+
+
+class TestMemoryTierEviction:
+    def test_lru_eviction_order(self):
+        tier = MemoryTier(max_entries=3)
+        for key in ("a", "b", "c"):
+            tier.put(key, key.upper())
+        assert tier.get("a") == "A"  # touch: a becomes most-recent
+        tier.put("d", "D")  # evicts b, the least recently used
+        assert tier.peek("b") is None
+        assert tier.peek("a") == "A"
+        assert tier.peek("c") == "C"
+        assert tier.peek("d") == "D"
+        assert tier.stats.evictions == 1
+
+    def test_peek_does_not_touch_lru_order(self):
+        tier = MemoryTier(max_entries=2)
+        tier.put("a", 1)
+        tier.put("b", 2)
+        tier.peek("a")  # NOT a touch
+        tier.put("c", 3)  # evicts a (peek kept it least-recent)
+        assert tier.peek("a") is None
+        assert tier.peek("b") == 2
+
+    def test_cap_applies_through_the_cache(self):
+        cache = SimulationCache(max_entries=2)
+        memory = cache.tiers[0]
+        assert memory.max_entries == 2
+
+    def test_env_var_sets_default_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "17")
+        assert SimulationCache().tiers[0].max_entries == 17
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTier(max_entries=0)
+        with pytest.raises(ValueError):
+            SimulationCache(max_entries=-1)
+
+
+class TestRuntimeConfigWiring:
+    def test_config_fields_resolve_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_PEERS", "127.0.0.1:7001, 127.0.0.1:7002")
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "99")
+        config = RuntimeConfig.from_env()
+        assert config.cache_peers == ("127.0.0.1:7001", "127.0.0.1:7002")
+        assert config.cache_max_entries == 99
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_PEERS", "127.0.0.1:7001")
+        config = RuntimeConfig.from_env(cache_peers=(), cache_max_entries=5)
+        assert config.cache_peers == ()
+        assert config.cache_max_entries == 5
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(cache_max_entries=0)
+
+    def test_runtime_session_builds_peered_caches(self):
+        from repro.runtime.context import get_runtime, runtime_session
+
+        with runtime_session(
+            cache_peers=("127.0.0.1:7001",), cache_max_entries=11
+        ):
+            cache = get_runtime().cache
+            assert cache.peers == ("127.0.0.1:7001",)
+            assert cache.tiers[0].max_entries == 11
+
+
+def _corrupt(rng: random.Random, path: str) -> str:
+    """Apply one random corruption to a cache file; returns its kind."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    mode = rng.choice(["truncate", "flip", "garbage", "wrong-type", "empty"])
+    if mode == "truncate":
+        cut = rng.randrange(0, max(1, len(data) - 1))
+        blob = data[:cut]
+    elif mode == "flip":
+        blob = bytearray(data)
+        for _ in range(rng.randint(1, 8)):
+            index = rng.randrange(len(blob))
+            blob[index] = rng.randrange(256)
+        blob = bytes(blob)
+    elif mode == "garbage":
+        blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 256)))
+    elif mode == "wrong-type":
+        blob = pickle.dumps({"not": "a record"})
+    else:
+        blob = b""
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return mode
+
+
+class TestDiskCorruptionProperties:
+    """Seeded-random corruption sweep: every mangled entry is a counted
+    miss, never an exception -- the disk tier's robustness contract."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_corrupted_entries_are_counted_misses(self, tmp_path, seed):
+        rng = random.Random(seed)
+        directory = str(tmp_path / "c")
+        writer = SolveCellCache(directory)
+        keys = [f"key{i}" for i in range(rng.randint(1, 5))]
+        for key in keys:
+            writer.put(
+                key, SolveCellRecord(source=f"module {key};", system="s")
+            )
+        broken = rng.sample(keys, rng.randint(1, len(keys)))
+        for key in broken:
+            _corrupt(rng, os.path.join(directory, f"{key}.pkl"))
+        reader = SolveCellCache(directory)
+        for key in keys:
+            value = reader.get(key)  # must never raise
+            if key in broken:
+                assert value is None
+            else:
+                assert value is not None
+        assert reader.stats.misses == len(broken)
+        assert reader.stats.corrupt == len(broken)
+        assert reader.stats.hits == len(keys) - len(broken)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_peek_is_equally_robust(self, tmp_path, seed):
+        rng = random.Random(1000 + seed)
+        directory = str(tmp_path / "c")
+        SolveCellCache(directory).put(
+            "k", SolveCellRecord(source="module m;", system="s")
+        )
+        _corrupt(rng, os.path.join(directory, "k.pkl"))
+        reader = SolveCellCache(directory)
+        assert reader.peek("k") is None  # never raises
+        assert reader.stats.corrupt == 1
+        assert reader.stats.misses == 0  # peek stays lookup-neutral
+
+    def test_missing_entry_is_a_plain_miss_not_corrupt(self, tmp_path):
+        cache = SolveCellCache(str(tmp_path / "c"))
+        assert cache.get("absent") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 0
+
+    def test_corrupt_entry_recovers_after_overwrite(self, tmp_path):
+        directory = str(tmp_path / "c")
+        cache = SolveCellCache(directory)
+        record = SolveCellRecord(source="module m;", system="s")
+        cache.put("k", record)
+        _corrupt(random.Random(7), os.path.join(directory, "k.pkl"))
+        cache.clear()  # drop the memory copy so the disk read happens
+        assert cache.get("k") is None
+        cache.put("k", record)
+        cache.clear()
+        assert cache.get("k") == record
+
+
+class TestValueTransport:
+    def test_roundtrip(self):
+        record = SolveCellRecord(source="module m;", system="s")
+        assert decode_value(encode_value(record), SolveCellRecord) == record
+
+    def test_wrong_type_guard(self):
+        blob = encode_value({"not": "a record"})
+        assert decode_value(blob, SolveCellRecord) is None
+        assert decode_value(blob, dict) == {"not": "a record"}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_garbage_blobs_never_raise(self, seed):
+        rng = random.Random(seed)
+        junk = "".join(
+            rng.choice("abcdef0123456789=!@#") for _ in range(rng.randrange(64))
+        )
+        assert decode_value(junk, SolveCellRecord) is None
+
+
+class TestClearDiskCache:
+    def test_clear_reports_and_removes(self, tmp_path):
+        directory = str(tmp_path / "c")
+        cache = SolveCellCache(directory)
+        cache.put("a", SolveCellRecord(source="x", system="s"))
+        cache.put("b", SolveCellRecord(source="y", system="s"))
+        removed = clear_disk_cache(directory)
+        assert removed.entries == 2
+        assert disk_cache_info(directory).entries == 0
+
+    def test_missing_directory_is_a_noop(self):
+        removed = clear_disk_cache("/nonexistent/cache/dir")
+        assert removed.entries == 0

@@ -438,3 +438,126 @@ class TestCliServiceMode:
         assert payload["warm_speedup"] > 0
         assert payload["in_process"]["wall_seconds"] > 0
         assert payload["service_cold"]["latency_mean_ms"] > 0
+
+
+class TestCliCacheFabric:
+    def _populate(self, tmp_path):
+        sim_dir = tmp_path / "sim"
+        solve_dir = tmp_path / "solve"
+        assert (
+            main([
+                "bench", "vanilla-itertl", "--runs", "1", "--limit", "2",
+                "--cache-dir", str(sim_dir),
+                "--solve-cache", "--solve-cache-dir", str(solve_dir),
+            ])
+            == 0
+        )
+        return sim_dir, solve_dir
+
+    def test_cache_clear_one_layer(self, capsys, tmp_path):
+        sim_dir, solve_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        argv = [
+            "cache", "--clear", "--layer", "solve",
+            "--sim-dir", str(sim_dir), "--solve-dir", str(solve_dir),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "solve: cleared" in out and "sim:" not in out
+        assert not list(solve_dir.glob("*.pkl"))
+        assert list(sim_dir.glob("*.pkl"))  # the other layer untouched
+
+    def test_cache_clear_both_layers(self, capsys, tmp_path):
+        sim_dir, solve_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        argv = [
+            "cache", "--clear",
+            "--sim-dir", str(sim_dir), "--solve-dir", str(solve_dir),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sim: cleared" in out and "solve: cleared" in out
+        assert not list(sim_dir.glob("*.pkl"))
+        assert not list(solve_dir.glob("*.pkl"))
+
+    def test_cache_clear_unconfigured_errors(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SOLVE_CACHE_DIR", raising=False)
+        assert main(["cache", "--clear"]) == 2
+        assert "nothing to clear" in capsys.readouterr().out
+
+    def test_cache_reports_per_tier_lines(self, capsys, tmp_path):
+        sim_dir, solve_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        argv = ["cache", "--sim-dir", str(sim_dir), "--solve-dir", str(solve_dir)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tier memory" in out
+        assert "peer 0" in out  # counter line includes peer attribution
+
+    def test_eval_cache_peer_rejected_with_service(self, capsys):
+        argv = [
+            "eval", "mage", "--limit", "1",
+            "--service", "127.0.0.1:1", "--cache-peer", "127.0.0.1:2",
+        ]
+        assert main(argv) == 2
+        assert "--cache-peer" in capsys.readouterr().out
+
+    def test_eval_bad_cache_peer_address(self, capsys):
+        argv = ["eval", "mage", "--limit", "1", "--cache-peer", "nonsense"]
+        assert main(argv) == 2
+        assert "bad service address" in capsys.readouterr().out
+
+    def test_bench_peer_cache_rejected_with_service(self, capsys):
+        argv = ["bench", "mage", "--limit", "1", "--service", "--peer-cache"]
+        assert main(argv) == 2
+        assert "--peer-cache" in capsys.readouterr().out
+
+    def test_bench_peer_cache_rejected_with_rollout(self, capsys):
+        argv = ["bench", "mage", "--limit", "1", "--peer-cache", "--rollout"]
+        assert main(argv) == 2
+        assert "cannot be combined with --peer-cache" in capsys.readouterr().out
+
+    def test_eval_via_live_peer_matches_local_row(self, capsys):
+        """serve A -> warm it -> cold eval B --cache-peer A: identical
+        row, peer hits reported."""
+        from repro.service import SolveServer
+
+        argv = ["eval", "mage", "--runs", "1", "--limit", "2"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        local_row = capsys.readouterr().out.splitlines()[0]
+        with SolveServer(workers=2) as server:
+            assert main(argv + ["--service", server.address]) == 0
+            capsys.readouterr()
+            assert (
+                main(
+                    argv
+                    + [
+                        "--solve-cache", "--verbose",
+                        "--cache-peer", server.address,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+        lines = out.splitlines()
+        row = next(line for line in lines if "Pass@1" in line)
+        assert row == local_row
+        assert any("peer hits" in line for line in lines)
+
+    def test_bench_peer_cache_writes_gate_file(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_cache.json"
+        argv = [
+            "bench", "mage", "--runs", "1", "--limit", "2", "--peer-cache",
+            "--bench-out", str(out_path), "--min-speedup", "1.0",
+        ]
+        assert main(argv) == 0
+        printed = capsys.readouterr().out
+        assert "cold via peer" in printed
+        assert "deterministic   yes" in printed
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["deterministic"] is True
+        assert payload["peer_solve_hits"] > 0
+        assert payload["speedup"] > 0
