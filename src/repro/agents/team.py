@@ -34,18 +34,26 @@ class AgentTeam:
         cls, llm: LLMClient, shared_prompt: str | None = None
     ) -> "AgentTeam":
         """Wire the team; ``shared_prompt`` merges all histories into
-        one conversation with that system prompt (the ablation mode)."""
+        one conversation with that system prompt (the ablation mode).
+
+        Clients that offer per-role routing (the LLM gateway's
+        ``for_role``) hand each role its own client -- e.g. a cheaper
+        model for testbench generation than for debugging.  Plain
+        clients serve all four roles directly, unchanged.
+        """
         shared = (
             Conversation(system_prompt=shared_prompt)
             if shared_prompt is not None
             else None
         )
+        route = getattr(llm, "for_role", None)
+        client_for = route if callable(route) else (lambda _role: llm)
         return cls(
             llm=llm,
-            tb=TestbenchAgent(llm, shared),
-            rtl=RTLAgent(llm, shared),
-            judge=JudgeAgent(llm, shared),
-            debug=DebugAgent(llm, shared),
+            tb=TestbenchAgent(client_for("tb"), shared),
+            rtl=RTLAgent(client_for("rtl"), shared),
+            judge=JudgeAgent(client_for("judge"), shared),
+            debug=DebugAgent(client_for("debug"), shared),
         )
 
     @property

@@ -8,8 +8,10 @@ Commands:
 - ``eval <system> <suite>``       evaluate a registered system
 - ``bench <system> <suite>``      benchmark the runtime (speedup, cache)
 - ``cache``                       per-layer, per-tier cache stats
-                                  (``--clear [--layer sim|solve]`` wipes
-                                  a disk tier)
+                                  (``--clear [--layer sim|solve|llm]``
+                                  wipes a disk tier)
+- ``stats``                       gateway / per-stage / cache metrics
+                                  (local process or ``--service``)
 - ``serve``                       start a long-lived solve service
 - ``submit <system> <problem>``   submit one cell to a running service
 - ``lint <file.v>``               lint a Verilog file
@@ -41,6 +43,19 @@ merge (bit-identical to local ``--jobs 1``); ``bench --service``
 measures submit-to-done latency and warm-cache serving speedup, writing
 ``BENCH_service.json``; ``cache --service`` and ``serve --stop`` query
 and drain a running server.
+
+LLM gateway: ``eval``/``run``/``serve`` accept ``--gateway`` (route
+every LLM call through the multi-backend gateway), ``--backends
+CHAIN`` (ordered fallback chain, e.g. ``openai,anthropic,sim``;
+``flaky@N`` and ``down`` exist for failure drills), ``--stage-model
+role=model`` (per-agent-role routing for tb/rtl/judge/debug), and the
+cassette pair ``--record``/``--replay`` with ``--cassette-dir DIR``:
+record writes every completion into a content-addressed cassette
+store (shareable over cache peers as the ``llm`` layer), replay
+serves from it with zero network and fails loudly on a miss.  Replay
+rows and event streams are bit-identical to the recording run.  The
+``stats`` command reports gateway call/retry/fallback/token counters
+and per-stage wall-clock.
 
 Cache fabric: both cache layers are tiered (memory -> disk -> remote
 peers).  ``eval --cache-peer ADDR``, ``serve --cache-peer ADDR``, and
@@ -112,6 +127,9 @@ def _cmd_run(args) -> int:
     except KeyError as exc:
         print(f"error: {exc}")
         return 2
+    failed = _activate_gateway(args)
+    if failed is not None:
+        return failed
     sink = StreamSink(write=lambda line: print(f"  | {line}"))
     if args.system == "mage":
         config = (
@@ -156,6 +174,153 @@ def _cmd_run(args) -> int:
     return 0 if golden.passed else 1
 
 
+def _add_gateway_flags(parser) -> None:
+    """The LLM-gateway flag family shared by eval/run/serve."""
+    parser.add_argument(
+        "--gateway",
+        action="store_true",
+        help="route LLM calls through the multi-backend gateway "
+        "(retry/backoff, fallback chains, call accounting)",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="gateway record mode: write every completion into the "
+        "cassette store (implies --gateway)",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="gateway replay mode: serve completions from the cassette "
+        "store with zero network; a miss is an error (implies --gateway)",
+    )
+    parser.add_argument(
+        "--cassette-dir",
+        default=None,
+        help="cassette store directory (default: $REPRO_CASSETTE_DIR)",
+    )
+    parser.add_argument(
+        "--backends",
+        default=None,
+        metavar="CHAIN",
+        help="ordered gateway fallback chain, comma-separated "
+        "(sim, openai[:URL], anthropic[:URL], flaky@N, down; "
+        "default: $REPRO_GATEWAY_BACKENDS or sim)",
+    )
+    parser.add_argument(
+        "--stage-model",
+        action="append",
+        default=None,
+        metavar="ROLE=MODEL",
+        help="route one agent role (tb|rtl|judge|debug) to a model; "
+        "repeatable (default: $REPRO_STAGE_MODELS)",
+    )
+
+
+def _gateway_from_args(args):
+    """(settings, error): gateway settings from flags over env, or
+    (None, None) when no gateway flag was given."""
+    flagged = any(
+        (
+            args.gateway,
+            args.record,
+            args.replay,
+            args.cassette_dir,
+            args.backends,
+            args.stage_model,
+        )
+    )
+    if not flagged:
+        return None, None
+    if args.record and args.replay:
+        return None, "error: --record and --replay are mutually exclusive"
+    from repro.llm.gateway import (
+        GatewaySettings,
+        parse_backends,
+        parse_stage_models,
+    )
+
+    overrides: dict = {"enabled": True}
+    if args.record:
+        overrides["mode"] = "record"
+    if args.replay:
+        overrides["mode"] = "replay"
+    if args.cassette_dir:
+        overrides["cassette_dir"] = args.cassette_dir
+    if args.backends:
+        overrides["backends"] = parse_backends(args.backends)
+    if args.stage_model:
+        try:
+            overrides["stage_models"] = parse_stage_models(
+                ",".join(args.stage_model)
+            )
+        except ValueError as exc:
+            return None, f"error: {exc}"
+    try:
+        settings = GatewaySettings.from_env(**overrides)
+    except ValueError as exc:
+        return None, f"error: {exc}"
+    if settings.mode in ("record", "replay") and not settings.cassette_dir:
+        return None, (
+            "error: --record/--replay need --cassette-dir "
+            "(or REPRO_CASSETTE_DIR)"
+        )
+    return settings, None
+
+
+def _activate_gateway(args) -> int | None:
+    """Materialise gateway flags into the environment; error code or None.
+
+    Writing ``settings.to_env()`` through ``os.environ`` is the one
+    propagation path that reaches everything downstream -- lazily built
+    runtime contexts, pool worker processes, and a ``serve`` server's
+    construction-time resolution -- without threading a settings object
+    through every call site.
+    """
+    settings, error = _gateway_from_args(args)
+    if error is not None:
+        print(error)
+        return 2
+    if settings is not None:
+        os.environ.update(settings.to_env())
+    return None
+
+
+def _render_gateway_lines(gw: dict, mode: str | None = None) -> list[str]:
+    """Human-readable gateway counter block (CLI stats surface)."""
+    suffix = f" (mode: {mode})" if mode else ""
+    lines = [
+        f"  calls {gw.get('calls', 0)}, "
+        f"completions {gw.get('completions', 0)}, "
+        f"retries {gw.get('retries', 0)}, "
+        f"fallbacks {gw.get('fallbacks', 0)}, "
+        f"failures {gw.get('failures', 0)}{suffix}",
+        f"  tokens: {gw.get('prompt_tokens', 0)} prompt + "
+        f"{gw.get('completion_tokens', 0)} completion "
+        f"(est. cost ${gw.get('cost', 0.0):.4f})",
+        f"  cassette: {gw.get('cassette_hits', 0)} hits, "
+        f"{gw.get('cassette_misses', 0)} misses, "
+        f"{gw.get('recorded', 0)} recorded, "
+        f"{gw.get('replayed', 0)} replayed; "
+        f"rate-limit waits {gw.get('rate_limit_waits', 0)}",
+    ]
+    return lines
+
+
+def _render_stage_lines(stages: dict) -> list[str]:
+    """One line per pipeline stage from a StageClock snapshot."""
+    lines = []
+    for name, entry in stages.items():
+        runs = entry.get("runs", 0)
+        seconds = entry.get("seconds", 0.0)
+        mean = seconds / runs if runs else 0.0
+        lines.append(
+            f"  {name:40s} runs {runs:>5d}  total {seconds:8.3f}s  "
+            f"mean {mean:7.4f}s"
+        )
+    return lines
+
+
 def _render_counter_line(stats: dict) -> str:
     lookups = stats.get("lookups", 0)
     hits = stats.get("hits", 0)
@@ -187,6 +352,10 @@ def _render_tier_lines(tiers: list[dict]) -> list[str]:
             line += f", corrupt {tier['corrupt']}"
         if tier.get("errors"):
             line += f", errors {tier['errors']}"
+        if tier.get("evictions"):
+            line += f", evictions {tier['evictions']}"
+        if tier.get("expired"):
+            line += f", expired {tier['expired']}"
         lines.append(line)
     return lines
 
@@ -198,6 +367,7 @@ def _cmd_cache_clear(args) -> int:
     layers = [
         ("sim", args.sim_dir or os.environ.get("REPRO_SIM_CACHE_DIR")),
         ("solve", args.solve_dir or os.environ.get("REPRO_SOLVE_CACHE_DIR")),
+        ("llm", args.cassette_dir or os.environ.get("REPRO_CASSETTE_DIR")),
     ]
     if args.layer:
         layers = [(name, directory) for name, directory in layers if name == args.layer]
@@ -214,8 +384,9 @@ def _cmd_cache_clear(args) -> int:
         cleared = True
     if not cleared:
         print(
-            "error: nothing to clear; pass --sim-dir/--solve-dir or set "
-            "REPRO_SIM_CACHE_DIR / REPRO_SOLVE_CACHE_DIR"
+            "error: nothing to clear; pass --sim-dir/--solve-dir/"
+            "--cassette-dir or set REPRO_SIM_CACHE_DIR / "
+            "REPRO_SOLVE_CACHE_DIR / REPRO_CASSETTE_DIR"
         )
         return 2
     return 0
@@ -272,6 +443,7 @@ def _cmd_cache(args) -> int:
         for label, key in (
             ("simulation cache", "simulation"),
             ("solve-cell cache", "solve_cell"),
+            ("cassette cache", "cassette"),
         ):
             layer = layers.get(key)
             if layer is None:
@@ -298,6 +470,12 @@ def _cmd_cache(args) -> int:
             args.solve_dir or os.environ.get("REPRO_SOLVE_CACHE_DIR"),
             runtime.solve_cache,
             "REPRO_SOLVE_CACHE=1",
+        ),
+        (
+            "cassette cache",
+            args.cassette_dir or os.environ.get("REPRO_CASSETTE_DIR"),
+            None,
+            "REPRO_GATEWAY=1 with a cassette dir",
         ),
     ]
     reported = False
@@ -341,6 +519,95 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """Runtime metrics report: gateway, per-stage wall-clock, caches.
+
+    Local mode reports this process's counters -- mostly useful after
+    an in-process run or under test; ``--service HOST:PORT`` renders a
+    running solve server's live :class:`StatsReply` instead, which is
+    the normal way to watch a long-lived deployment.
+    """
+    if args.service:
+        from repro.service import ProtocolError, ServiceError, fetch_stats
+
+        try:
+            stats = fetch_stats(args.service)
+        except (OSError, ValueError, ServiceError, ProtocolError) as exc:
+            print(f"error: cannot reach service at {args.service}: {exc}")
+            return 2
+        print(
+            f"service {stats.get('address', args.service)}: "
+            f"{stats.get('workers', 0)} workers, "
+            f"{stats.get('pending', 0)} pending"
+        )
+        print("gateway")
+        for line in _render_gateway_lines(
+            stats.get("gateway", {}), stats.get("gateway_mode")
+        ):
+            print(line)
+        stages = stats.get("stages", {})
+        print("stages")
+        if stages:
+            for line in _render_stage_lines(stages):
+                print(line)
+        else:
+            print("  no stage executions yet")
+        layers = stats.get("caches", {})
+        print("caches")
+        for label, key in (
+            ("simulation", "simulation"),
+            ("solve-cell", "solve_cell"),
+            ("cassette", "cassette"),
+        ):
+            layer = layers.get(key)
+            if layer is None:
+                print(f"  {label}: disabled")
+                continue
+            print(
+                f"  {label}: {layer.get('entries', 0)} entries, "
+                + _render_counter_line(layer)
+            )
+            for line in _render_tier_lines(layer.get("tiers") or []):
+                print("  " + line)
+        return 0
+
+    from repro.core.pipeline import STAGE_CLOCK
+    from repro.llm.gateway import GATEWAY_STATS, resolve_gateway_settings
+    from repro.runtime.cache import disk_cache_info
+
+    settings = resolve_gateway_settings()
+    print("gateway" + ("" if settings.enabled else " (not enabled)"))
+    for line in _render_gateway_lines(
+        GATEWAY_STATS.snapshot(), settings.mode if settings.enabled else None
+    ):
+        print(line)
+    stages = STAGE_CLOCK.snapshot()
+    print("stages")
+    if stages:
+        for line in _render_stage_lines(stages):
+            print(line)
+    else:
+        print("  no stage executions in this process")
+    print("disk caches")
+    reported = False
+    for label, directory in (
+        ("simulation", os.environ.get("REPRO_SIM_CACHE_DIR")),
+        ("solve-cell", os.environ.get("REPRO_SOLVE_CACHE_DIR")),
+        ("cassette", settings.cassette_dir),
+    ):
+        if not directory:
+            continue
+        info = disk_cache_info(directory)
+        print(
+            f"  {label}: {info.directory}: {info.entries} entries, "
+            f"{info.megabytes:.2f} MiB"
+        )
+        reported = True
+    if not reported:
+        print("  none configured")
+    return 0
+
+
 def _choose_problems(suite: str, limit: int | None):
     if limit is None:
         return None
@@ -365,6 +632,10 @@ def _cmd_eval(args) -> int:
         if args.progress
         else None
     )
+    gateway_settings, gateway_error = _gateway_from_args(args)
+    if gateway_error is not None:
+        print(gateway_error)
+        return 2
     if args.service:
         # Execution happens server-side; local-executor flags would be
         # silently meaningless, so reject the combination outright.
@@ -377,6 +648,7 @@ def _cmd_eval(args) -> int:
                 ("--solve-cache/--no-solve-cache", args.solve_cache),
                 ("--rollout-batch", args.rollout_batch),
                 ("--cache-peer", args.cache_peer),
+                ("--gateway/--record/--replay", gateway_settings),
             )
             if value is not None
         ]
@@ -389,6 +661,8 @@ def _cmd_eval(args) -> int:
             )
             return 2
         return _eval_via_service(args, runs, events)
+    if gateway_settings is not None:
+        os.environ.update(gateway_settings.to_env())
     cache_arg = args.cache
     solve_arg = args.solve_cache
     if args.cache_peer:
@@ -965,6 +1239,9 @@ def _cmd_serve(args) -> int:
             return 2
         print(f"server at {args.stop} draining")
         return 0
+    failed = _activate_gateway(args)
+    if failed is not None:
+        return failed
     from repro.runtime import SimulationCache, SolveCellCache
     from repro.service import SolveServer
 
@@ -995,6 +1272,11 @@ def _cmd_serve(args) -> int:
         print(f"error: {exc}")
         return 2
     server.start()
+    if server.gateway is not None:
+        print(
+            f"gateway: mode {server.gateway.mode}, "
+            f"backends {','.join(server.gateway.backends)}"
+        )
     print(f"listening on {server.address}", flush=True)
     try:
         server.wait()
@@ -1111,6 +1393,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk solve-cell cache; a warm second run replays its "
         "event stream from cache",
     )
+    _add_gateway_flags(run)
     run.set_defaults(fn=_cmd_run)
 
     evaluate = sub.add_parser("eval", help="evaluate a system on a suite")
@@ -1181,6 +1464,7 @@ def build_parser() -> argparse.ArgumentParser:
         "remote tiers (cells warmed anywhere in the ring replay here; "
         "rows stay bit-identical)",
     )
+    _add_gateway_flags(evaluate)
     evaluate.set_defaults(fn=_cmd_eval)
 
     bench = sub.add_parser(
@@ -1288,6 +1572,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve-cell cache directory (default: $REPRO_SOLVE_CACHE_DIR)",
     )
     cache_cmd.add_argument(
+        "--cassette-dir",
+        default=None,
+        help="LLM cassette directory (default: $REPRO_CASSETTE_DIR)",
+    )
+    cache_cmd.add_argument(
         "--service",
         default=None,
         metavar="HOST:PORT",
@@ -1300,11 +1589,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_cmd.add_argument(
         "--layer",
-        choices=["sim", "solve"],
+        choices=["sim", "solve", "llm"],
         default=None,
-        help="restrict --clear to one cache layer (default: both)",
+        help="restrict --clear to one cache layer (default: all)",
     )
     cache_cmd.set_defaults(fn=_cmd_cache)
+
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="gateway, per-stage, and cache metrics (local or --service)",
+    )
+    stats_cmd.add_argument(
+        "--service",
+        default=None,
+        metavar="HOST:PORT",
+        help="report a running solve server's live metrics instead of "
+        "this process's",
+    )
+    stats_cmd.set_defaults(fn=_cmd_stats)
 
     serve = sub.add_parser(
         "serve", help="start a long-lived solve service on localhost"
@@ -1354,6 +1656,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         help="gracefully drain and stop a running server instead of starting",
     )
+    _add_gateway_flags(serve)
     serve.set_defaults(fn=_cmd_serve)
 
     submit = sub.add_parser(

@@ -47,6 +47,7 @@ from repro.core.events import (
     TestbenchReady,
     TestbenchRegenerated,
     TestbenchVerdict,
+    ambient_sink,
     as_sink,
 )
 from repro.core.pipeline import (
@@ -188,8 +189,15 @@ def _stage_sample(state: RunState, emit) -> str | None:
     task: DesignTask = data["task"]
     sources = data.pop("rollout_sources", None)
     reports = data.pop("rollout_reports", None)
+    parked_events = data.pop("rollout_gateway_events", ())
     data.pop("rollout_call_debt", None)  # the probe now sees the raw counter
     if sources is not None:
+        # Generation ran out-of-band under the scheduler; its gateway
+        # accounting events were parked on the state.  Emit them now,
+        # first -- exactly where an inline run's generation calls would
+        # have placed them (before any CandidateScored).
+        for event in parked_events:
+            emit(event)
         if reports is None:
             # Generation ran out-of-band but the reports never arrived.
             # Re-sampling would double the LLM calls and silently break
@@ -287,10 +295,16 @@ def mage_sample_plan(state: RunState) -> SampleWork | None:
     config: MAGEConfig = data["config"]
     team: AgentTeam = data["team"]
     before = team.llm_calls
-    sources = generate_candidates(
-        data["task"], data["tb_text"], team.rtl, config
-    )
+    # Generation happens outside any pipeline stage here, so no ambient
+    # sink is installed; collect the gateway's accounting events and
+    # park them for ``_stage_sample`` to emit in the inline position.
+    collector = ListSink()
+    with ambient_sink(collector):
+        sources = generate_candidates(
+            data["task"], data["tb_text"], team.rtl, config
+        )
     data["rollout_sources"] = tuple(sources)
+    data["rollout_gateway_events"] = tuple(collector.events)
     data["rollout_call_debt"] = team.llm_calls - before
     return SampleWork(
         sources=tuple(sources),

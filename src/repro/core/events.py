@@ -26,6 +26,8 @@ from frames alone -- no transcript parsing.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, fields
 from typing import Any, Callable, ClassVar, Protocol, runtime_checkable
 
@@ -287,6 +289,39 @@ class RunFinished(Event):
         )
 
 
+@dataclass(frozen=True)
+class GatewayCall(Event):
+    """One LLM gateway call with token/cost accounting.
+
+    Emitted by the :mod:`repro.llm.gateway` client for every completion
+    request it serves -- live, recorded, or replayed from a cassette.
+    The fields are deterministic functions of the request and the
+    serving backend (no wall-clock, no attempt counts), so a cassette
+    replay emits the *bit-identical* event the recording run emitted:
+    transcripts, solve-cell records, and the parity matrix stay exact
+    across record/replay.  Operational counters (retries, fallbacks,
+    rate-limit waits) live in the gateway's process-global stats
+    instead, surfaced through ``StatsReply`` and the ``stats`` CLI.
+    """
+
+    kind: ClassVar[str] = "gateway-call"
+    model: str
+    backend: str
+    role: str = ""
+    n: int = 1
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost: float = 0.0
+
+    def render(self) -> str:
+        role = f" [{self.role}]" if self.role else ""
+        return (
+            f"gateway {self.model}{role} via {self.backend}: "
+            f"{self.n} completion(s), "
+            f"{self.prompt_tokens}+{self.completion_tokens} tokens"
+        )
+
+
 # ----------------------------------------------------------------------
 # Batch-level events (evaluate_many streaming).
 # ----------------------------------------------------------------------
@@ -409,3 +444,41 @@ def as_sink(
     if hasattr(target, "emit"):
         return target
     return CallbackSink(target)
+
+
+# ----------------------------------------------------------------------
+# Ambient sink: how deep layers reach the run's event stream.
+# ----------------------------------------------------------------------
+#
+# Stage functions receive ``emit`` explicitly, but code *below* them --
+# the LLM gateway inside an agent inside a stage -- has no sink in its
+# signature and must not grow one (the LLMClient protocol is
+# deliberately sink-free).  The pipeline runner installs the active
+# stage's emit as a thread-local ambient sink around every stage body;
+# anything executing under it can narrate into the run's stream with
+# :func:`emit_ambient`.  A stack (not a single slot) keeps nested runs
+# sane, and thread-locality keeps concurrent cells' streams separate.
+
+_AMBIENT = threading.local()
+
+
+@contextmanager
+def ambient_sink(target: EventSink | Callable[[Event], None] | None):
+    """Install ``target`` as this thread's ambient event sink."""
+    stack = getattr(_AMBIENT, "stack", None)
+    if stack is None:
+        stack = _AMBIENT.stack = []
+    stack.append(as_sink(target))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def emit_ambient(event: Event) -> bool:
+    """Emit into the innermost ambient sink; False when none is active."""
+    stack = getattr(_AMBIENT, "stack", None)
+    if not stack:
+        return False
+    stack[-1].emit(event)
+    return True

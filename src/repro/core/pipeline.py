@@ -22,6 +22,7 @@ callables when states are checkpointed across processes.
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -33,8 +34,47 @@ from repro.core.events import (
     RunStarted,
     StageFinished,
     StageStarted,
+    ambient_sink,
     as_sink,
 )
+
+
+class StageClock:
+    """Process-wide per-stage wall-clock accounting.
+
+    Every :meth:`Pipeline.run` stage execution records its measured
+    seconds here under ``"<pipeline>/<stage>"``.  The snapshot is the
+    ``stages`` section of the service ``StatsReply`` and the ``stats``
+    CLI report -- where the per-run event stream answers "how long did
+    *this* run's step4 take", this answers "where does a whole server's
+    wall-clock go".
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, list] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            entry = self._stages.get(name)
+            if entry is None:
+                entry = self._stages[name] = [0, 0.0]
+            entry[0] += 1
+            entry[1] += seconds
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                name: {"runs": entry[0], "seconds": entry[1]}
+                for name, entry in sorted(self._stages.items())
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stages.clear()
+
+
+STAGE_CLOCK = StageClock()
 
 # Sentinel a stage returns to stop the pipeline (the run is complete).
 DONE = "__pipeline_done__"
@@ -150,8 +190,13 @@ class Pipeline:
                 self.calls_probe(state) if self.calls_probe is not None else 0
             )
             started = time.perf_counter()
-            signal = stage.run(state, emit)
+            # The stage's emit doubles as the thread's ambient sink, so
+            # layers without a sink in their signature (the LLM gateway
+            # under the agents) narrate into this run's stream.
+            with ambient_sink(emit):
+                signal = stage.run(state, emit)
             seconds = time.perf_counter() - started
+            STAGE_CLOCK.record(f"{self.name}/{stage.name}", seconds)
             calls_after = (
                 self.calls_probe(state) if self.calls_probe is not None else 0
             )

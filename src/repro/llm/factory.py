@@ -13,6 +13,14 @@ spelling:
 - merged-history systems (the Table III single-agent ablation, the
   AIVRIL-style coder) get a pollution-penalised profile, with optional
   per-system multipliers.
+
+When the ambient :class:`~repro.llm.gateway.GatewaySettings` enable the
+gateway (``--gateway`` / ``REPRO_GATEWAY``), whatever client this
+factory would have produced is wrapped in a
+:class:`~repro.llm.gateway.Gateway` instead -- retry/fallback chains,
+rate limiting, accounting events, and cassette record/replay, with the
+original client carried along as the ``sim`` backend so polluted
+profiles keep their penalty.
 """
 
 from __future__ import annotations
@@ -20,6 +28,18 @@ from __future__ import annotations
 from repro.llm.interface import LLMClient, create_llm
 from repro.llm.profiles import get_profile
 from repro.llm.simllm import SimLLM
+
+
+def _maybe_gateway(model: str, inner: LLMClient | None) -> LLMClient | None:
+    """Wrap ``inner`` in a gateway when the ambient settings ask for one."""
+    from repro.llm.gateway import Gateway, resolve_gateway_settings
+
+    if isinstance(inner, Gateway):
+        return inner  # caller-injected gateway: never double-wrap
+    settings = resolve_gateway_settings()
+    if not settings.enabled:
+        return None
+    return Gateway(model=model, settings=settings, inner=inner)
 
 
 def build_llm(
@@ -30,19 +50,26 @@ def build_llm(
 ) -> LLMClient:
     """Build the client one solve path runs on.
 
-    ``llm`` short-circuits everything (caller-injected client);
+    ``llm`` short-circuits the inner-client choice (caller-injected
+    client; still gateway-wrapped when the gateway is enabled);
     ``merged_history`` applies the default Sec. II-A pollution penalty;
     ``pollution`` overrides the (lambda, fix, tb) multipliers (implies
     merged history).
     """
+    inner: LLMClient | None
     if llm is not None:
-        return llm
-    if pollution is not None:
+        inner = llm
+    elif pollution is not None:
         lam, fix, tb = pollution
         profile = get_profile(model).polluted(
             lambda_mult=lam, fix_mult=fix, tb_mult=tb
         )
-        return SimLLM(profile=profile)
-    if merged_history:
-        return SimLLM(profile=get_profile(model).polluted())
-    return create_llm(model)
+        inner = SimLLM(profile=profile)
+    elif merged_history:
+        inner = SimLLM(profile=get_profile(model).polluted())
+    else:
+        inner = None
+    wrapped = _maybe_gateway(model, inner)
+    if wrapped is not None:
+        return wrapped
+    return inner if inner is not None else create_llm(model)

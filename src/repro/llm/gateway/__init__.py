@@ -1,0 +1,97 @@
+"""Multi-backend LLM gateway: retry/fallback chains, rate limiting,
+per-call accounting, and recorded-replay cassettes.
+
+Importing this package registers the ``gateway`` provider with the
+:mod:`repro.llm.interface` registry, so
+``create_llm("gateway", model="claude-3.5-sonnet")`` builds a gateway
+from the ambient :class:`GatewaySettings` exactly like the
+``--gateway`` CLI flag does.
+"""
+
+from __future__ import annotations
+
+from repro.llm.gateway.backends import (
+    AnthropicBackend,
+    BackendError,
+    BackendResult,
+    DownBackend,
+    FlakyBackend,
+    GatewayBackend,
+    OpenAIBackend,
+    SimBackend,
+    TransientBackendError,
+    build_backend,
+)
+from repro.llm.gateway.cassette import (
+    CassetteMiss,
+    CassetteRecord,
+    CassetteStore,
+    cassette_key,
+    cassette_store,
+)
+from repro.llm.gateway.client import (
+    GATEWAY_STATS,
+    Gateway,
+    GatewayExhausted,
+    GatewayStats,
+    model_cost,
+)
+from repro.llm.gateway.limiter import TokenBucket
+from repro.llm.gateway.settings import (
+    AGENT_ROLES,
+    GatewaySettings,
+    active_gateway_fingerprint,
+    parse_backends,
+    parse_stage_models,
+    resolve_gateway_settings,
+)
+from repro.llm.interface import register_llm
+
+
+def _gateway_factory(
+    model: str = "claude-3.5-sonnet", **kwargs
+) -> Gateway:
+    settings = kwargs.pop("settings", None)
+    if settings is None:
+        resolved = resolve_gateway_settings()
+        # Constructing the provider by name *is* the opt-in; a disabled
+        # ambient config still yields a working sim-backed gateway.
+        settings = (
+            resolved
+            if resolved.enabled
+            else GatewaySettings.from_env(enabled=True)
+        )
+    return Gateway(model=model, settings=settings, **kwargs)
+
+
+register_llm("gateway", _gateway_factory)
+
+__all__ = [
+    "AGENT_ROLES",
+    "AnthropicBackend",
+    "BackendError",
+    "BackendResult",
+    "CassetteMiss",
+    "CassetteRecord",
+    "CassetteStore",
+    "DownBackend",
+    "FlakyBackend",
+    "GATEWAY_STATS",
+    "Gateway",
+    "GatewayBackend",
+    "GatewayExhausted",
+    "GatewaySettings",
+    "GatewayStats",
+    "OpenAIBackend",
+    "SimBackend",
+    "TokenBucket",
+    "TransientBackendError",
+    "active_gateway_fingerprint",
+    "build_backend",
+    "cassette_key",
+    "cassette_store",
+    "model_cost",
+    "parse_backends",
+    "parse_stage_models",
+    "resolve_gateway_settings",
+]

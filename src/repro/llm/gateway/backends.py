@@ -1,0 +1,427 @@
+"""Provider adapters: one call surface over heterogeneous LLM backends.
+
+A :class:`GatewayBackend` turns ``(model, messages, params)`` into
+completions plus token usage.  The shipped adapters:
+
+- :class:`SimBackend` -- wraps the deterministic
+  :class:`~repro.llm.simllm.SimLLM` (or any injected
+  :class:`~repro.llm.interface.LLMClient`), so the gateway sits on the
+  call path even in tests and CI;
+- :class:`OpenAIBackend` / :class:`AnthropicBackend` -- OpenAI-compatible
+  and Anthropic-style HTTP chat APIs over stdlib ``urllib`` (no extra
+  dependencies; the cassette store keeps CI off the network entirely);
+- :class:`DownBackend` -- always raises a transient error: the
+  "sockets disabled" stub replay runs and fallback tests pin the chain
+  against;
+- :class:`FlakyBackend` -- fails its first N calls then behaves like
+  :class:`SimBackend`: the seeded failure-mode fixture for retry and
+  fallback coverage.
+
+Failure taxonomy: :class:`TransientBackendError` (timeouts, 429s, 5xx,
+connection refusals) is retried and then failed over;
+:class:`BackendError` (bad request, auth) aborts the chain immediately
+-- retrying a 401 across providers just burns quota.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.llm.interface import ChatMessage, LLMClient, SamplingParams
+
+
+class BackendError(Exception):
+    """Permanent backend failure: retrying cannot help."""
+
+
+class TransientBackendError(BackendError):
+    """Retryable failure: timeout, rate limit, 5xx, connection refused."""
+
+
+def estimate_tokens(text: str) -> int:
+    """Deterministic whitespace-split token estimate (sim accounting)."""
+    return len(text.split())
+
+
+def prompt_token_estimate(messages: list[ChatMessage]) -> int:
+    return sum(estimate_tokens(m.content) for m in messages)
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """Completions plus usage, as one backend call produced them."""
+
+    completions: tuple[str, ...]
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+
+class GatewayBackend:
+    """One provider behind the gateway's retry/fallback chain."""
+
+    name = "backend"
+
+    def complete(
+        self, model: str, messages: list[ChatMessage], params: SamplingParams
+    ) -> BackendResult:
+        raise NotImplementedError
+
+    def sample(
+        self, model: str, messages: list[ChatMessage], params: SamplingParams
+    ) -> BackendResult:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SimBackend(GatewayBackend):
+    """The deterministic simulated provider as a gateway backend.
+
+    Delegates straight to the wrapped client so a gateway over a
+    ``SimBackend`` is bit-identical to calling the client directly --
+    same RNG entropy (the client's own call counter), same genome
+    registry, same outputs.
+    """
+
+    name = "sim"
+
+    def __init__(self, client: LLMClient):
+        self.client = client
+
+    def _usage(
+        self, messages: list[ChatMessage], completions: tuple[str, ...]
+    ) -> tuple[int, int]:
+        return (
+            prompt_token_estimate(messages),
+            sum(estimate_tokens(c) for c in completions),
+        )
+
+    def complete(
+        self, model: str, messages: list[ChatMessage], params: SamplingParams
+    ) -> BackendResult:
+        reply = self.client.complete(messages, params)
+        prompt, completion = self._usage(messages, (reply,))
+        return BackendResult(
+            completions=(reply,),
+            prompt_tokens=prompt,
+            completion_tokens=completion,
+        )
+
+    def sample(
+        self, model: str, messages: list[ChatMessage], params: SamplingParams
+    ) -> BackendResult:
+        replies = tuple(self.client.sample(messages, params))
+        prompt, completion = self._usage(messages, replies)
+        return BackendResult(
+            completions=replies,
+            prompt_tokens=prompt,
+            completion_tokens=completion,
+        )
+
+
+class DownBackend(GatewayBackend):
+    """A provider that is always unreachable (every call is transient).
+
+    What ``--backends down`` means in CI replay smokes: if a replay run
+    ever leaves the cassette store, the chain lands here and the run
+    fails loudly instead of silently re-recording.
+    """
+
+    name = "down"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def _fail(self) -> BackendResult:
+        self.calls += 1
+        raise TransientBackendError("backend down (scripted)")
+
+    def complete(self, model, messages, params) -> BackendResult:
+        return self._fail()
+
+    def sample(self, model, messages, params) -> BackendResult:
+        return self._fail()
+
+
+class FlakyBackend(SimBackend):
+    """Sim-backed provider that fails its first ``fail_first`` calls.
+
+    Failures happen *before* the wrapped client is touched, so the
+    client's call-counter state -- and therefore its outputs once the
+    backend recovers -- matches an unwrapped run exactly.
+    """
+
+    name = "flaky"
+
+    def __init__(self, client: LLMClient, fail_first: int):
+        super().__init__(client)
+        if fail_first < 0:
+            raise ValueError("fail_first must be >= 0")
+        self.fail_first = fail_first
+        self.failures_dealt = 0
+
+    def describe(self) -> str:
+        return f"flaky@{self.fail_first}"
+
+    def _maybe_fail(self) -> None:
+        if self.failures_dealt < self.fail_first:
+            self.failures_dealt += 1
+            raise TransientBackendError(
+                f"flaky backend failure "
+                f"{self.failures_dealt}/{self.fail_first} (scripted)"
+            )
+
+    def complete(self, model, messages, params) -> BackendResult:
+        self._maybe_fail()
+        return super().complete(model, messages, params)
+
+    def sample(self, model, messages, params) -> BackendResult:
+        self._maybe_fail()
+        return super().sample(model, messages, params)
+
+
+class _HTTPBackend(GatewayBackend):
+    """Shared plumbing for the stdlib-urllib HTTP adapters."""
+
+    def __init__(
+        self,
+        base_url: str,
+        api_key_env: str,
+        timeout: float = 60.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.api_key_env = api_key_env
+        self.timeout = timeout
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.base_url})"
+
+    def _api_key(self) -> str:
+        import os
+
+        key = os.environ.get(self.api_key_env, "")
+        if not key:
+            raise BackendError(
+                f"no API key: set {self.api_key_env} (or run --replay "
+                f"against a recorded cassette)"
+            )
+        return key
+
+    def _post(self, path: str, payload: dict, headers: dict) -> dict:
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json", **headers},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                body = resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = f"{self.name} HTTP {exc.code}"
+            if exc.code == 429 or exc.code >= 500:
+                raise TransientBackendError(detail) from exc
+            raise BackendError(detail) from exc
+        except OSError as exc:  # URLError, timeouts, refused connections
+            raise TransientBackendError(f"{self.name}: {exc}") from exc
+        try:
+            parsed = json.loads(body.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransientBackendError(
+                f"{self.name}: undecodable response body"
+            ) from exc
+        if not isinstance(parsed, dict):
+            raise TransientBackendError(f"{self.name}: non-object response")
+        return parsed
+
+
+class OpenAIBackend(_HTTPBackend):
+    """OpenAI-compatible ``/chat/completions`` adapter (native ``n``)."""
+
+    name = "openai"
+
+    def __init__(
+        self,
+        base_url: str = "https://api.openai.com/v1",
+        api_key_env: str = "OPENAI_API_KEY",
+        timeout: float = 60.0,
+    ):
+        super().__init__(base_url, api_key_env, timeout)
+
+    def _request(
+        self, model: str, messages: list[ChatMessage], params: SamplingParams, n: int
+    ) -> BackendResult:
+        payload = {
+            "model": model,
+            "messages": [
+                {"role": m.role, "content": m.content} for m in messages
+            ],
+            "temperature": params.temperature,
+            "top_p": params.top_p,
+            "n": n,
+        }
+        if params.seed is not None:
+            payload["seed"] = params.seed
+        reply = self._post(
+            "/chat/completions",
+            payload,
+            {"Authorization": f"Bearer {self._api_key()}"},
+        )
+        try:
+            completions = tuple(
+                choice["message"]["content"] for choice in reply["choices"]
+            )
+        except (KeyError, TypeError) as exc:
+            raise TransientBackendError(
+                f"{self.name}: malformed choices"
+            ) from exc
+        if len(completions) != n:
+            raise TransientBackendError(
+                f"{self.name}: asked for {n} completions, got {len(completions)}"
+            )
+        usage = reply.get("usage") or {}
+        return BackendResult(
+            completions=completions,
+            prompt_tokens=int(usage.get("prompt_tokens", 0))
+            or prompt_token_estimate(messages),
+            completion_tokens=int(usage.get("completion_tokens", 0))
+            or sum(estimate_tokens(c) for c in completions),
+        )
+
+    def complete(self, model, messages, params) -> BackendResult:
+        return self._request(model, messages, params, n=1)
+
+    def sample(self, model, messages, params) -> BackendResult:
+        return self._request(model, messages, params, n=params.n)
+
+
+class AnthropicBackend(_HTTPBackend):
+    """Anthropic-style ``/v1/messages`` adapter.
+
+    The API takes the system prompt out-of-band and has no ``n``, so
+    sampling loops one request per completion -- which is also why the
+    gateway's rate limiter meters *backend calls*, not gateway calls.
+    """
+
+    name = "anthropic"
+
+    def __init__(
+        self,
+        base_url: str = "https://api.anthropic.com",
+        api_key_env: str = "ANTHROPIC_API_KEY",
+        timeout: float = 60.0,
+        max_tokens: int = 4096,
+    ):
+        super().__init__(base_url, api_key_env, timeout)
+        self.max_tokens = max_tokens
+
+    def _request_one(
+        self, model: str, messages: list[ChatMessage], params: SamplingParams
+    ) -> tuple[str, int, int]:
+        system = "\n\n".join(
+            m.content for m in messages if m.role == "system"
+        )
+        payload = {
+            "model": model,
+            "max_tokens": self.max_tokens,
+            "messages": [
+                {"role": m.role, "content": m.content}
+                for m in messages
+                if m.role != "system"
+            ],
+            "temperature": params.temperature,
+            "top_p": params.top_p,
+        }
+        if system:
+            payload["system"] = system
+        reply = self._post(
+            "/v1/messages",
+            payload,
+            {
+                "x-api-key": self._api_key(),
+                "anthropic-version": "2023-06-01",
+            },
+        )
+        try:
+            text = "".join(
+                block["text"]
+                for block in reply["content"]
+                if block.get("type") == "text"
+            )
+        except (KeyError, TypeError) as exc:
+            raise TransientBackendError(
+                f"{self.name}: malformed content"
+            ) from exc
+        usage = reply.get("usage") or {}
+        return (
+            text,
+            int(usage.get("input_tokens", 0)),
+            int(usage.get("output_tokens", 0)),
+        )
+
+    def complete(self, model, messages, params) -> BackendResult:
+        text, prompt, completion = self._request_one(model, messages, params)
+        return BackendResult(
+            completions=(text,),
+            prompt_tokens=prompt or prompt_token_estimate(messages),
+            completion_tokens=completion or estimate_tokens(text),
+        )
+
+    def sample(self, model, messages, params) -> BackendResult:
+        completions = []
+        prompt_total = completion_total = 0
+        for _ in range(params.n):
+            text, prompt, completion = self._request_one(model, messages, params)
+            completions.append(text)
+            prompt_total += prompt
+            completion_total += completion
+        return BackendResult(
+            completions=tuple(completions),
+            prompt_tokens=prompt_total or prompt_token_estimate(messages),
+            completion_tokens=completion_total
+            or sum(estimate_tokens(c) for c in completions),
+        )
+
+
+def build_backend(
+    spec: str, sim_client: LLMClient | None = None
+) -> GatewayBackend:
+    """Instantiate one backend from its chain-spec string.
+
+    Specs: ``sim`` | ``down`` | ``flaky@N`` | ``openai[:base_url]`` |
+    ``anthropic[:base_url]``.  ``sim_client`` supplies the wrapped
+    client for the sim-backed specs (the gateway passes its routed
+    model's client so per-role routing and registry sharing hold).
+    """
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip()
+    if kind == "sim":
+        if sim_client is None:
+            raise ValueError("sim backend needs a client")
+        return SimBackend(sim_client)
+    if kind == "down":
+        return DownBackend()
+    if kind.startswith("flaky"):
+        _, _, count = kind.partition("@")
+        try:
+            fail_first = int(count)
+        except ValueError:
+            raise ValueError(
+                f"bad flaky backend spec {spec!r}; expected flaky@N"
+            ) from None
+        if sim_client is None:
+            raise ValueError("flaky backend needs a client")
+        return FlakyBackend(sim_client, fail_first=fail_first)
+    if kind == "openai":
+        return OpenAIBackend(**({"base_url": rest} if rest else {}))
+    if kind == "anthropic":
+        return AnthropicBackend(**({"base_url": rest} if rest else {}))
+    raise ValueError(
+        f"unknown gateway backend {spec!r}; "
+        "choose from sim, down, flaky@N, openai[:url], anthropic[:url]"
+    )

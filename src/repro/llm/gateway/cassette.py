@@ -1,0 +1,100 @@
+"""Recorded-replay cassettes on the tiered cache fabric.
+
+A cassette entry is content-addressed by the *full request*: operation,
+model, role, every message, and the sampling parameters -- plus an
+ordinal so repeated identical requests (a high-temperature agent asked
+the same thing twice) each keep their own completion.  ``record`` mode
+writes entries after live calls; ``replay`` mode serves them with zero
+network and raises :class:`CassetteMiss` on anything unrecorded, so a
+replay run can never silently fall through to a provider.
+
+The store is a :class:`~repro.runtime.cache.TieredCache`
+(memory -> disk -> remote peers), which buys cassette sharing across
+machines for free: a recording made on one host replays on another
+through the existing ``CacheGet``/``CachePut`` peer fabric under the
+``llm`` layer tag.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.llm.interface import ChatMessage, SamplingParams
+from repro.runtime.cache import TieredCache, _digest
+
+
+class CassetteMiss(KeyError):
+    """Replay asked for a request the cassette never recorded."""
+
+
+@dataclass(frozen=True)
+class CassetteRecord:
+    """One recorded gateway exchange: completions plus the usage that
+    was observed live, so replayed accounting events are bit-identical
+    to the recording run's."""
+
+    completions: tuple[str, ...]
+    backend: str
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+
+class CassetteStore(TieredCache):
+    """Cassette entries keyed by :func:`cassette_key`."""
+
+    value_type = CassetteRecord
+    layer = "llm"
+
+
+def cassette_key(
+    op: str,
+    model: str,
+    role: str,
+    messages: list[ChatMessage],
+    params: SamplingParams,
+    ordinal: int,
+) -> str:
+    """Content hash of one gateway request.
+
+    ``op`` separates ``complete`` from ``sample`` (same conversation,
+    different return shape); the ordinal distinguishes the Nth repeat
+    of an identical request, mirroring how a live stochastic backend
+    would answer each repeat independently.
+    """
+    parts: list[str] = ["llm-cassette", op, model, role]
+    for message in messages:
+        parts.append(message.role)
+        parts.append(message.content)
+    parts.extend(
+        (
+            repr(params.temperature),
+            repr(params.top_p),
+            str(params.n),
+            repr(params.seed),
+            str(ordinal),
+        )
+    )
+    return _digest(tuple(parts))
+
+
+# Process-local store registry, mirroring the worker-side cache
+# registries in :mod:`repro.runtime.workers`: every cell in a worker
+# process that targets the same cassette directory shares one store
+# (one memory tier, one set of peer connections).
+_STORES: dict = {}
+_STORES_LOCK = threading.Lock()
+
+
+def cassette_store(
+    directory: str | None, peers: tuple[str, ...] = ()
+) -> CassetteStore:
+    """The process-shared store for one (directory, peers) target."""
+    key = (directory, tuple(peers))
+    with _STORES_LOCK:
+        store = _STORES.get(key)
+        if store is None:
+            store = _STORES[key] = CassetteStore(
+                directory=directory, peers=peers
+            )
+        return store

@@ -1,0 +1,61 @@
+"""Token-bucket rate limiter for outbound gateway calls.
+
+Providers meter requests per second with burst allowances; the bucket
+mirrors that: it holds up to ``burst`` tokens, refills at ``rate``
+tokens per second, and every call consumes one.  An empty bucket makes
+the caller *sleep* until a token accrues (queueing, not rejection), so
+a saturated gateway degrades to provider speed instead of erroring.
+
+``clock``/``sleep`` are injectable for deterministic tests -- the same
+seam the retry backoff uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """Blocking token bucket; ``rate <= 0`` disables limiting."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self.sleep = sleep
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate)
+
+    def acquire(self) -> float:
+        """Take one token, sleeping until available; returns seconds waited."""
+        if self.rate <= 0:
+            return 0.0
+        waited = 0.0
+        while True:
+            with self._lock:
+                now = self.clock()
+                self._refill(now)
+                if self._tokens >= 1.0:
+                    self._tokens -= 1.0
+                    return waited
+                deficit = (1.0 - self._tokens) / self.rate
+            # Sleep outside the lock so concurrent callers queue fairly
+            # on wake-up order instead of serialising the whole wait.
+            self.sleep(deficit)
+            waited += deficit

@@ -270,10 +270,18 @@ def evaluate_many(
     candidate-scoring waves (see :mod:`repro.runtime.rollout`).  Rows
     stay bit-identical to ``rollout_batch=0`` at any worker count.
     """
+    from repro.llm.gateway.settings import resolve_gateway_settings
+
     chosen = problems if problems is not None else get_suite(suite)
     resolved_name = name if name is not None else system_factory().name
     live_cache = _resolve_cache(cache)
     live_solve = _resolve_solve_cache(solve_cache)
+    # Resolve the gateway once, here, and pin it on every cell: worker
+    # processes must see the exact settings this process resolved, not
+    # whatever their own environment happens to say.
+    gateway = resolve_gateway_settings()
+    if not gateway.enabled:
+        gateway = None
     fingerprint = (
         system_fingerprint(system_factory) if live_solve is not None else None
     )
@@ -297,6 +305,7 @@ def evaluate_many(
             progress,
             sink,
             rollout_batch,
+            gateway=gateway,
         )
 
     cells: list[EvalCell] = []
@@ -325,6 +334,7 @@ def evaluate_many(
                         if live_cache is not None
                         else (live_solve.peers if live_solve is not None else ())
                     ),
+                    gateway=gateway,
                 )
             )
 
@@ -414,6 +424,7 @@ def _evaluate_rollout(
     progress: Callable[[str], None] | None,
     sink,
     rollout_batch: int,
+    gateway=None,
 ):
     """The ``rollout_batch > 0`` grid path: gang-scheduled sampling.
 
@@ -490,6 +501,7 @@ def _evaluate_rollout(
         batch=rollout_batch,
         cache=live_cache,
         solve_cache=live_solve,
+        gateway=gateway,
     )
     outcomes = scheduler.run(requests, on_result=on_result)
     wall = time.perf_counter() - started

@@ -48,6 +48,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -155,7 +156,12 @@ class CacheStats:
 
 @dataclass
 class TierStats:
-    """Per-tier counters (a tier's own view of its traffic)."""
+    """Per-tier counters (a tier's own view of its traffic).
+
+    ``evictions`` counts entries dropped to respect a size bound (LRU
+    order); ``expired`` counts entries dropped because they outlived a
+    TTL (each also a miss for the lookup that found them stale).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -163,6 +169,7 @@ class TierStats:
     corrupt: int = 0
     errors: int = 0
     evictions: int = 0
+    expired: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -246,6 +253,8 @@ class CacheTier:
             "stores": self.stats.stores,
             "corrupt": self.stats.corrupt,
             "errors": self.stats.errors,
+            "evictions": self.stats.evictions,
+            "expired": self.stats.expired,
         }
 
 
@@ -312,14 +321,40 @@ class DiskTier(CacheTier):
     garbage bytes, a pickle of the wrong type -- is a miss; the
     non-missing ones additionally count as ``corrupt``.  Writes are
     atomic (temp file + rename) and best-effort.
+
+    The tier can be bounded.  ``max_bytes`` caps the directory's total
+    size: each put re-scans the directory and evicts
+    least-recently-used entries (by mtime; counted gets touch it) until
+    the bound holds again.  ``ttl`` expires entries idle longer than
+    that many seconds -- the read that finds one stale removes it and
+    reports a miss, so a bounded cassette or cache directory ages out
+    on its own.  Both default from ``REPRO_CACHE_DISK_MAX_BYTES`` /
+    ``REPRO_CACHE_DISK_TTL``; 0 means unbounded / no expiry.  The
+    eviction scan is O(entries) per put, which the write-through access
+    pattern (one put per cache miss) keeps cheap at this fabric's
+    scale.
     """
 
     kind = "disk"
 
-    def __init__(self, directory: str, value_type: type = object):
+    def __init__(
+        self,
+        directory: str,
+        value_type: type = object,
+        max_bytes: int | None = None,
+        ttl: float | None = None,
+    ):
         super().__init__()
         self.directory = directory
         self.value_type = value_type
+        self.max_bytes = (
+            max_bytes
+            if max_bytes is not None
+            else _env_int("REPRO_CACHE_DISK_MAX_BYTES", 0)
+        )
+        self.ttl = (
+            ttl if ttl is not None else float(_env_int("REPRO_CACHE_DISK_TTL", 0))
+        )
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, key: str) -> str:
@@ -329,13 +364,29 @@ class DiskTier(CacheTier):
         return disk_cache_info(self.directory).entries
 
     def describe(self) -> str:
-        return f"disk ({self.directory})"
+        bounds = ""
+        if self.max_bytes > 0:
+            bounds += f", cap {self.max_bytes} B"
+        if self.ttl > 0:
+            bounds += f", ttl {self.ttl:g} s"
+        return f"disk ({self.directory}{bounds})"
 
     def _read(self, key: str, count: bool) -> Any | None:
         path = self._path(key)
-        if not os.path.exists(path):
+        try:
+            stamp = os.stat(path)
+        except OSError:
             if count:
                 self.stats.misses += 1
+            return None
+        if self.ttl > 0 and time.time() - stamp.st_mtime > self.ttl:
+            self.stats.expired += 1
+            if count:
+                self.stats.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
             return None
         try:
             with open(path, "rb") as handle:
@@ -350,6 +401,12 @@ class DiskTier(CacheTier):
             return None
         if count:
             self.stats.hits += 1
+            # Counted hits refresh recency (and TTL idle age); peeks
+            # stay neutral, like the memory tier's LRU order.
+            try:
+                os.utime(path, None)
+            except OSError:
+                pass
         return value
 
     def get(self, key: str) -> Any | None:
@@ -357,6 +414,41 @@ class DiskTier(CacheTier):
 
     def peek(self, key: str) -> Any | None:
         return self._read(key, count=False)
+
+    def _evict(self, keep: str) -> None:
+        """Drop LRU entries until the directory fits ``max_bytes``.
+
+        The freshly written entry (``keep``) is never a victim: a bound
+        smaller than one entry must not turn every put into a no-op.
+        """
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        entries = []
+        total = 0
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stamp = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stamp.st_mtime, stamp.st_size, path))
+            total += stamp.st_size
+        entries.sort()
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self.stats.evictions += 1
 
     def put(self, key: str, value: Any) -> None:
         # Atomic write: concurrent workers may race on the same key, and
@@ -369,6 +461,9 @@ class DiskTier(CacheTier):
             self.stats.stores += 1
         except OSError:
             self.stats.errors += 1  # best-effort; upper tiers still hold it
+            return
+        if self.max_bytes > 0:
+            self._evict(keep=self._path(key))
 
     def clear(self) -> None:
         clear_disk_cache(self.directory)
@@ -819,14 +914,28 @@ def system_fingerprint(factory: Callable[[], object]) -> str | None:
     closure over mutable state) -- solve-cell caching is then skipped
     for that system.  Objects may also provide an explicit
     ``cache_fingerprint`` attribute, which wins.
+
+    When the LLM gateway is active, its fingerprint fragment (backend
+    chain, per-role routing -- *not* the cassette mode, so record and
+    replay share cells) is folded in: the same system over a different
+    routing is a different computation and must address different
+    solve cells.  With the gateway off, the base fingerprint is
+    returned unchanged, so existing caches stay valid.
     """
     explicit = getattr(factory, "cache_fingerprint", None)
     if isinstance(explicit, str):
-        return explicit
-    try:
-        return _stable_repr(factory)
-    except _Unfingerprintable:
-        return None
+        base = explicit
+    else:
+        try:
+            base = _stable_repr(factory)
+        except _Unfingerprintable:
+            return None
+    from repro.llm.gateway.settings import active_gateway_fingerprint
+
+    extra = active_gateway_fingerprint()
+    if extra is None:
+        return base
+    return _digest((base, extra))
 
 
 @dataclass(frozen=True)

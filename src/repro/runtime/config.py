@@ -17,12 +17,29 @@ Environment variables:
                              remote tiers (default none)
 - ``REPRO_CACHE_MAX_ENTRIES``  LRU cap of each in-memory cache tier
                              (default 8192)
+- ``REPRO_CACHE_DISK_MAX_BYTES``  size bound of each on-disk cache tier;
+                             puts evict least-recently-used entries
+                             (by mtime) past it (default 0 = unbounded)
+- ``REPRO_CACHE_DISK_TTL``   max age in seconds of on-disk entries;
+                             expired entries read as misses and are
+                             removed (default 0 = no expiry)
+
+The LLM gateway adds its own ``REPRO_GATEWAY*`` family, documented in
+:mod:`repro.llm.gateway.settings`.  Those stay live: an env-derived
+config leaves ``gateway`` as None so gateway settings re-resolve from
+the environment at each LLM construction (a long-lived process can
+flip record -> replay without rebuilding its runtime context); only
+explicitly passed :class:`GatewaySettings` are pinned.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover -- annotation-only import
+    from repro.llm.gateway.settings import GatewaySettings
 
 _EXECUTOR_KINDS = ("auto", "serial", "thread", "process")
 
@@ -61,6 +78,10 @@ class RuntimeConfig:
     solve_cache_dir: str | None = None
     cache_peers: tuple[str, ...] = ()
     cache_max_entries: int = 8192
+    # None = resolve lazily from the environment at each use, so
+    # long-lived processes see env flips (record -> replay) without a
+    # context rebuild.  Only an explicit argument pins settings here.
+    gateway: "GatewaySettings | None" = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -83,8 +104,16 @@ class RuntimeConfig:
         solve_cache_dir: str | None = None,
         cache_peers: tuple[str, ...] | list[str] | None = None,
         cache_max_entries: int | None = None,
+        gateway: "GatewaySettings | None" = None,
     ) -> "RuntimeConfig":
-        """Resolve settings: explicit args beat env vars beat defaults."""
+        """Resolve settings: explicit args beat env vars beat defaults.
+
+        ``gateway`` is deliberately *not* snapshotted from the
+        environment here: an env-derived config leaves it None so
+        :func:`repro.llm.gateway.settings.resolve_gateway_settings`
+        reads the live environment on every LLM construction.  Pass
+        explicit settings to pin them.
+        """
         return RuntimeConfig(
             jobs=jobs if jobs is not None else _env_int("REPRO_JOBS", 1),
             executor=(
@@ -120,4 +149,5 @@ class RuntimeConfig:
                 if cache_max_entries is not None
                 else _env_int("REPRO_CACHE_MAX_ENTRIES", 8192)
             ),
+            gateway=gateway,
         )

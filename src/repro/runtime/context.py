@@ -21,10 +21,14 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.runtime.cache import SimulationCache, SolveCellCache
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.executor import Executor, SerialExecutor, create_executor
+
+if TYPE_CHECKING:  # pragma: no cover -- annotation-only import
+    from repro.llm.gateway.settings import GatewaySettings
 
 
 @dataclass
@@ -34,18 +38,27 @@ class RuntimeContext:
     ``owns_executor`` records whether this context created its executor
     (and is therefore responsible for shutting it down) or was handed a
     caller-managed one.  ``solve_cache`` memoizes whole evaluation
-    cells (off by default; see ``REPRO_SOLVE_CACHE``).
+    cells (off by default; see ``REPRO_SOLVE_CACHE``).  ``gateway``
+    carries the LLM gateway settings new clients resolve ambiently
+    (None = fall back to the environment; see
+    :func:`repro.llm.gateway.settings.resolve_gateway_settings`).
     """
 
     executor: Executor
     cache: SimulationCache | None
     owns_executor: bool = False
     solve_cache: SolveCellCache | None = None
+    gateway: "GatewaySettings | None" = None
 
     def describe(self) -> str:
         cache = "cache=off" if self.cache is None else "cache=on"
         solve = "" if self.solve_cache is None else " solve-cache=on"
-        return f"{self.executor.describe()} {cache}{solve}"
+        gateway = (
+            ""
+            if self.gateway is None or not self.gateway.enabled
+            else f" gateway={self.gateway.mode}"
+        )
+        return f"{self.executor.describe()} {cache}{solve}{gateway}"
 
 
 _GLOBAL: RuntimeContext | None = None
@@ -79,6 +92,7 @@ def _build(config: RuntimeConfig, executor: Executor | None = None) -> RuntimeCo
             if config.solve_cache
             else None
         ),
+        gateway=config.gateway,
     )
 
 
@@ -104,6 +118,7 @@ def configure(
     solve_cache_dir: str | None = None,
     cache_peers: tuple[str, ...] | list[str] | None = None,
     cache_max_entries: int | None = None,
+    gateway: "GatewaySettings | None" = None,
 ) -> RuntimeContext:
     """Replace the process-global context (CLI and long-lived services).
 
@@ -122,6 +137,7 @@ def configure(
         solve_cache_dir=solve_cache_dir,
         cache_peers=cache_peers,
         cache_max_entries=cache_max_entries,
+        gateway=gateway,
     )
     with _GLOBAL_LOCK:
         previous = _GLOBAL
@@ -141,6 +157,7 @@ def runtime_session(
     solve_cache_dir: str | None = None,
     cache_peers: tuple[str, ...] | list[str] | None = None,
     cache_max_entries: int | None = None,
+    gateway: "GatewaySettings | None" = None,
     context: RuntimeContext | None = None,
 ):
     """Thread-local context override, restored on exit.
@@ -161,6 +178,7 @@ def runtime_session(
             solve_cache_dir=solve_cache_dir,
             cache_peers=cache_peers,
             cache_max_entries=cache_max_entries,
+            gateway=gateway,
         )
         context = _build(config, ready)
     stack = getattr(_LOCAL, "stack", None)

@@ -49,6 +49,7 @@ from repro.core.task import DesignTask
 
 if TYPE_CHECKING:  # the agents stack must not load at runtime-import time
     from repro.core.sampling import SampleWork
+    from repro.llm.gateway.settings import GatewaySettings
 from repro.evalsets.problem import Problem
 from repro.runtime.cache import (
     CacheStats,
@@ -73,7 +74,12 @@ from repro.tb.stimulus import Testbench
 
 @dataclass(frozen=True)
 class RolloutCell:
-    """One run entering the scheduler: everything ``rollout_open`` needs."""
+    """One run entering the scheduler: everything ``rollout_open`` needs.
+
+    ``gateway`` pins the LLM gateway settings on the cell's inner
+    runtime context, so the system built inside a pool process resolves
+    the same gateway the scheduler's caller configured.
+    """
 
     index: int
     factory: Callable[[], object]
@@ -83,6 +89,7 @@ class RolloutCell:
     cache_enabled: bool = True
     cache_dir: str | None = None
     cache_peers: tuple[str, ...] = ()
+    gateway: "GatewaySettings | None" = None
 
 
 @dataclass(frozen=True)
@@ -109,6 +116,7 @@ class CloseTask:
     cache_enabled: bool = True
     cache_dir: str | None = None
     cache_peers: tuple[str, ...] = ()
+    gateway: "GatewaySettings | None" = None
 
 
 # ----------------------------------------------------------------------
@@ -206,7 +214,9 @@ def rollout_open(cell: RolloutCell, cache: SimulationCache | None = None) -> Ope
             cell.cache_enabled, cell.cache_dir, cell.cache_peers
         )
     sink = ListSink()
-    inner = RuntimeContext(executor=SerialExecutor(), cache=cache)
+    inner = RuntimeContext(
+        executor=SerialExecutor(), cache=cache, gateway=cell.gateway
+    )
     with _Measured(cache) as counters, runtime_session(context=inner):
         system = cell.factory()
         name = getattr(system, "name", type(system).__name__)
@@ -300,7 +310,9 @@ def rollout_close(item: CloseTask, cache: SimulationCache | None = None) -> Clos
             item.cache_enabled, item.cache_dir, item.cache_peers
         )
     sink = ListSink()
-    inner = RuntimeContext(executor=SerialExecutor(), cache=cache)
+    inner = RuntimeContext(
+        executor=SerialExecutor(), cache=cache, gateway=item.gateway
+    )
     with _Measured(cache) as counters, runtime_session(context=inner):
         state = restore_state(item.blob)
         if item.has_sample:
@@ -415,6 +427,7 @@ class RolloutScheduler:
         batch: int = 8,
         cache: SimulationCache | None = None,
         solve_cache: SolveCellCache | None = None,
+        gateway: "GatewaySettings | None" = None,
     ):
         if batch < 1:
             raise ValueError("batch must be >= 1")
@@ -422,6 +435,7 @@ class RolloutScheduler:
         self.batch = batch
         self.cache = cache
         self.solve_cache = solve_cache
+        self.gateway = gateway
         self.dedup = RolloutDedupStats()
 
     # ------------------------------------------------------------------
@@ -660,6 +674,7 @@ class RolloutScheduler:
                 cache_peers=(
                     self.cache.peers if self.cache is not None else ()
                 ),
+                gateway=self.gateway,
             )
             for request in pending
         ]
@@ -763,6 +778,7 @@ class RolloutScheduler:
                     cache_peers=(
                         self.cache.peers if self.cache is not None else ()
                     ),
+                    gateway=self.gateway,
                 )
             )
             for outcome in slice_outcomes:

@@ -25,7 +25,10 @@ from __future__ import annotations
 import inspect
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover -- annotation-only import
+    from repro.llm.gateway.settings import GatewaySettings
 
 from repro.core.task import DesignTask
 from repro.evalsets.problem import Problem
@@ -49,7 +52,10 @@ class EvalCell:
 
     ``cache_peers`` rides along so cells shipped to pool processes
     rebuild the same tier stack (memory -> disk -> remote peers) the
-    parent's cache fabric has.
+    parent's cache fabric has.  ``gateway`` carries the LLM gateway
+    settings the same way: the cell's inner runtime context pins them,
+    so a system built inside a pool process resolves the identical
+    gateway (mode, chain, cassette target) the parent configured.
     """
 
     problem_index: int
@@ -64,6 +70,7 @@ class EvalCell:
     solve_dir: str | None = None
     fingerprint: str | None = None
     cache_peers: tuple[str, ...] = ()
+    gateway: "GatewaySettings | None" = None
 
 
 @dataclass(frozen=True)
@@ -232,7 +239,9 @@ def run_cell(
     )
     sims_before = simulation_count()
     started = time.perf_counter()
-    inner = RuntimeContext(executor=SerialExecutor(), cache=cache)
+    inner = RuntimeContext(
+        executor=SerialExecutor(), cache=cache, gateway=cell.gateway
+    )
     with runtime_session(context=inner):
         source, solve_cached = _solve_cell(cell, solve_cache)
         report = cached_run_testbench(

@@ -16,9 +16,9 @@ client-driven: the client writes one :class:`SolveRequest` or
 - ``CacheGet``/``CachePut`` -> one :class:`CacheReply` -- the cache
   fabric's peer-sharing rungs: a
   :class:`~repro.runtime.cache.RemoteTier` probes or populates another
-  server's cache layers (``layer`` routes to the simulation or
-  solve-cell cache; values travel as base64-pickled blobs, type-guarded
-  on receipt exactly like the disk tier's files);
+  server's cache layers (``layer`` routes to the simulation,
+  solve-cell, or LLM-cassette cache; values travel as base64-pickled
+  blobs, type-guarded on receipt exactly like the disk tier's files);
 
 after which the client may send the next request on the same
 connection.  Events cross the wire via
@@ -172,7 +172,8 @@ class ErrorFrame(Frame):
 class CacheGet(Frame):
     """Probe a peer's cache fabric for one content-addressed key.
 
-    ``layer`` picks the server-side cache (``sim`` | ``solve``).  The
+    ``layer`` picks the server-side cache (``sim`` | ``solve`` |
+    ``llm``).  The
     peer answers from its local tiers only (memory + disk), never its
     own remote tiers, so mutually peered servers cannot loop.
     """
@@ -211,7 +212,9 @@ class CacheReply(Frame):
 
 @dataclass(frozen=True)
 class StatsReply(Frame):
-    """Server-side counters (broker, workers, both cache layers)."""
+    """Server-side metrics report: broker and worker counters, every
+    cache layer's tier stats, gateway call/retry/fallback/token
+    totals, and per-stage wall-clock."""
 
     type: ClassVar[str] = "stats"
     id: int

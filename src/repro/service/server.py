@@ -293,6 +293,13 @@ class SolveServer:
     tier stacks), so a cold server replays cells warmed anywhere in the
     peer ring -- and answers the same ``CacheGet``/``CachePut`` frames
     for its peers in turn.
+
+    ``gateway`` pins the LLM gateway settings every worker solve runs
+    under (``None`` resolves from the environment at construction, and
+    stays ``None`` when the gateway is not enabled).  When a cassette
+    directory is configured the server also exposes the cassette store
+    as the ``llm`` cache layer, so peers can share recorded completions
+    over the same wire protocol as the other tiers.
     """
 
     def __init__(
@@ -305,12 +312,19 @@ class SolveServer:
         max_pending: int = 256,
         rollout_batch: int = 0,
         cache_peers: tuple[str, ...] | list[str] | None = None,
+        gateway=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         peers = tuple(cache_peers or ())
         self.sim_cache = self._resolve(sim_cache, SimulationCache, peers)
         self.solve_cache = self._resolve(solve_cache, SolveCellCache, peers)
+        if gateway is None:
+            from repro.llm.gateway.settings import GatewaySettings
+
+            resolved = GatewaySettings.from_env()
+            gateway = resolved if resolved.enabled else None
+        self.gateway = gateway
         self.broker = Broker(max_pending=max_pending)
         self.stats = ServiceStats()
         self.rollout_batch = max(0, int(rollout_batch))
@@ -328,6 +342,7 @@ class SolveServer:
                     solve_cache=self.solve_cache,
                     batch=self.rollout_batch,
                     name=f"repro-service-rollout-{index}",
+                    gateway=self.gateway,
                 )
                 for index in range(workers)
             ]
@@ -339,6 +354,7 @@ class SolveServer:
                     sim_cache=self.sim_cache,
                     solve_cache=self.solve_cache,
                     name=f"repro-service-worker-{index}",
+                    gateway=self.gateway,
                 )
                 for index in range(workers)
             ]
@@ -361,8 +377,20 @@ class SolveServer:
         host, port = self._tcp.server_address[:2]
         return f"{host}:{port}"
 
+    def cassette(self):
+        """The server's cassette store, or None without a gateway."""
+        if self.gateway is None:
+            return None
+        from repro.llm.gateway.cassette import cassette_store
+
+        return cassette_store(
+            self.gateway.cassette_dir, self.gateway.cache_peers
+        )
+
     def cache_layer(self, layer: str):
         """The cache a wire-level ``layer`` tag routes to (or None)."""
+        if layer == "llm":
+            return self.cassette()
         return {"sim": self.sim_cache, "solve": self.solve_cache}.get(layer)
 
     def fetch_cached(self, system: str, problem_id: str, seed: int):
@@ -378,8 +406,18 @@ class SolveServer:
         if self.solve_cache is None:
             return None
         from repro.evalsets import get_problem
+        from repro.runtime.context import RuntimeContext, runtime_session
+        from repro.runtime.executor import SerialExecutor
 
-        fingerprint = registered_fingerprint(system)
+        # Resolve under the server's pinned gateway so the fingerprint
+        # matches what the workers' pinned sessions compute.
+        inner = RuntimeContext(
+            executor=SerialExecutor(),
+            cache=self.sim_cache,
+            gateway=self.gateway,
+        )
+        with runtime_session(context=inner):
+            fingerprint = registered_fingerprint(system)
         if fingerprint is None:
             return None
         try:
@@ -461,6 +499,9 @@ class SolveServer:
                 "tiers": cache.tier_report(),
             }
 
+        from repro.core.pipeline import STAGE_CLOCK
+        from repro.llm.gateway.client import GATEWAY_STATS
+
         return {
             "address": self.address,
             "workers": len(self._workers),
@@ -468,9 +509,15 @@ class SolveServer:
             "pending": len(self.broker),
             "broker": self.broker.stats.snapshot(),
             "service": self.stats.snapshot(),
+            "gateway": GATEWAY_STATS.snapshot(),
+            "gateway_mode": (
+                self.gateway.mode if self.gateway is not None else None
+            ),
+            "stages": STAGE_CLOCK.snapshot(),
             "caches": {
                 "simulation": cache_stats(self.sim_cache),
                 "solve_cell": cache_stats(self.solve_cache),
+                "cassette": cache_stats(self.cassette()),
             },
         }
 

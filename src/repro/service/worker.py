@@ -22,6 +22,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover -- annotation-only import
+    from repro.llm.gateway.settings import GatewaySettings
 
 from repro.runtime.cache import (
     SimulationCache,
@@ -77,11 +81,12 @@ class ServiceStats:
 
 
 # Registered-system display names and config fingerprints, resolved
-# once per process: both are pure functions of the registry key, and
-# recomputing them (an instance construction, a _stable_repr walk over
-# the whole config) per request would be wasted work on hot paths.
+# once per process: both are pure functions of the registry key (plus,
+# for fingerprints, the active gateway configuration), and recomputing
+# them (an instance construction, a _stable_repr walk over the whole
+# config) per request would be wasted work on hot paths.
 _NAME_CACHE: dict[str, str] = {}
-_FINGERPRINT_CACHE: dict[str, str | None] = {}
+_FINGERPRINT_CACHE: dict[tuple, str | None] = {}
 _NAME_LOCK = threading.Lock()
 
 
@@ -107,17 +112,23 @@ def registered_fingerprint(key: str) -> str | None:
     """Memoized :func:`system_fingerprint` of a registered system.
 
     None means the factory has no stable configuration identity (and
-    solve-cell caching is skipped for it), memoized all the same.
+    solve-cell caching is skipped for it), memoized all the same.  The
+    memo key folds in the active gateway fingerprint because
+    ``system_fingerprint`` resolves it ambiently: the same system key
+    under a different backend chain or stage routing is a different
+    solve-cell identity and must not reuse a stale memo entry.
     """
     from repro.baselines.registry import SYSTEMS
+    from repro.llm.gateway.settings import active_gateway_fingerprint
 
+    memo_key = (key, active_gateway_fingerprint())
     with _NAME_LOCK:
-        if key not in _FINGERPRINT_CACHE:
+        if memo_key not in _FINGERPRINT_CACHE:
             spec = SYSTEMS.get(key)
-            _FINGERPRINT_CACHE[key] = (
+            _FINGERPRINT_CACHE[memo_key] = (
                 system_fingerprint(spec.factory) if spec is not None else None
             )
-        return _FINGERPRINT_CACHE[key]
+        return _FINGERPRINT_CACHE[memo_key]
 
 
 def serve_cached_record(
@@ -166,6 +177,7 @@ def solve_service_request(
     sink=None,
     sim_cache: SimulationCache | None = None,
     solve_cache: SolveCellCache | None = None,
+    gateway: "GatewaySettings | None" = None,
 ) -> ServiceResult:
     """Run one (system, problem, seed) cell exactly as a grid cell would.
 
@@ -182,15 +194,19 @@ def solve_service_request(
         )
     problem = get_problem(problem_id)
     golden = golden_testbench(problem)
-    fingerprint = (
-        registered_fingerprint(system) if solve_cache is not None else None
-    )
     started = time.perf_counter()
     # Same isolation as a batch cell: the whole request runs under a
-    # serial inner runtime, so worker threads never nest parallelism and
-    # LLM-call ordering matches a plain local solve.
-    inner = RuntimeContext(executor=SerialExecutor(), cache=sim_cache)
+    # serial inner runtime (pinning the server's gateway settings), so
+    # worker threads never nest parallelism and LLM-call ordering
+    # matches a plain local solve.  The fingerprint is resolved inside
+    # the session so it sees the same gateway the solve will.
+    inner = RuntimeContext(
+        executor=SerialExecutor(), cache=sim_cache, gateway=gateway
+    )
     with runtime_session(context=inner):
+        fingerprint = (
+            registered_fingerprint(system) if solve_cache is not None else None
+        )
         source, cached = solve_streaming(
             spec.factory,
             problem,
@@ -238,6 +254,7 @@ class RolloutWorker(threading.Thread):
         linger: float = 0.05,
         executor: Executor | None = None,
         name: str | None = None,
+        gateway: "GatewaySettings | None" = None,
     ):
         super().__init__(name=name or "repro-service-rollout", daemon=True)
         if batch < 1:
@@ -248,6 +265,7 @@ class RolloutWorker(threading.Thread):
         self.solve_cache = solve_cache
         self.batch = batch
         self.linger = linger
+        self.gateway = gateway
         self._owns_executor = executor is None
         self.scheduler = RolloutScheduler(
             executor=(
@@ -258,7 +276,21 @@ class RolloutWorker(threading.Thread):
             batch=batch,
             cache=sim_cache,
             solve_cache=solve_cache,
+            gateway=gateway,
         )
+
+    def _fingerprint(self, system: str) -> str | None:
+        # Resolve under a context pinning the worker's gateway settings
+        # so the memoized fingerprint matches what the scheduler's
+        # pinned cells will compute (not whatever this thread's ambient
+        # environment happens to say).
+        inner = RuntimeContext(
+            executor=SerialExecutor(),
+            cache=self.sim_cache,
+            gateway=self.gateway,
+        )
+        with runtime_session(context=inner):
+            return registered_fingerprint(system)
 
     def run(self) -> None:
         try:
@@ -309,7 +341,7 @@ class RolloutWorker(threading.Thread):
                     seed=job.seed,
                     sink=job.publish,
                     fingerprint=(
-                        registered_fingerprint(job.system)
+                        self._fingerprint(job.system)
                         if self.solve_cache is not None
                         else None
                     ),
@@ -356,12 +388,14 @@ class Worker(threading.Thread):
         sim_cache: SimulationCache | None = None,
         solve_cache: SolveCellCache | None = None,
         name: str | None = None,
+        gateway: "GatewaySettings | None" = None,
     ):
         super().__init__(name=name or "repro-service-worker", daemon=True)
         self.broker = broker
         self.stats = stats
         self.sim_cache = sim_cache
         self.solve_cache = solve_cache
+        self.gateway = gateway
 
     def run(self) -> None:
         while True:
@@ -376,6 +410,7 @@ class Worker(threading.Thread):
                     sink=job.publish,
                     sim_cache=self.sim_cache,
                     solve_cache=self.solve_cache,
+                    gateway=self.gateway,
                 )
             except Exception as exc:  # noqa: BLE001 -- becomes an error frame
                 self.stats.count("errors")

@@ -1,0 +1,143 @@
+"""Disk-tier bounds: size-capped LRU eviction (by mtime, counted gets
+refresh recency), TTL expiry on read, and the env-var defaults that
+bound every disk tier in the fabric -- cassettes included."""
+
+import os
+import pickle
+import time
+
+from repro.runtime.cache import DiskTier, SimulationCache
+
+PAYLOAD = "x" * 64
+ENTRY_BYTES = len(pickle.dumps(PAYLOAD, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def backdate(tier: DiskTier, key: str, seconds: float) -> None:
+    """Shift one entry's mtime ``seconds`` into the past."""
+    path = os.path.join(tier.directory, f"{key}.pkl")
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+class TestSizeBound:
+    def test_put_evicts_the_least_recent_entry_past_the_cap(self, tmp_path):
+        tier = DiskTier(str(tmp_path / "c"), max_bytes=2 * ENTRY_BYTES)
+        tier.put("a", PAYLOAD)
+        backdate(tier, "a", 300)
+        tier.put("b", PAYLOAD)
+        backdate(tier, "b", 200)
+        tier.put("c", PAYLOAD)  # over the cap: "a" (oldest) must go
+        assert tier.peek("a") is None
+        assert tier.peek("b") == PAYLOAD
+        assert tier.peek("c") == PAYLOAD
+        assert tier.stats.evictions == 1
+
+    def test_fresh_entry_is_never_the_victim(self, tmp_path):
+        # A cap smaller than one entry must not turn puts into no-ops.
+        tier = DiskTier(str(tmp_path / "c"), max_bytes=ENTRY_BYTES // 2)
+        tier.put("a", PAYLOAD)
+        assert tier.peek("a") == PAYLOAD
+        assert tier.stats.evictions == 0
+        backdate(tier, "a", 300)
+        tier.put("b", PAYLOAD)  # evicts "a", keeps the write that ran
+        assert tier.peek("a") is None
+        assert tier.peek("b") == PAYLOAD
+        assert tier.stats.evictions == 1
+
+    def test_counted_hit_refreshes_recency(self, tmp_path):
+        tier = DiskTier(str(tmp_path / "c"), max_bytes=2 * ENTRY_BYTES)
+        tier.put("a", PAYLOAD)
+        backdate(tier, "a", 300)
+        tier.put("b", PAYLOAD)
+        backdate(tier, "b", 200)
+        assert tier.get("a") == PAYLOAD  # touch: "a" becomes most-recent
+        tier.put("c", PAYLOAD)  # now "b" is the LRU victim
+        assert tier.peek("a") == PAYLOAD
+        assert tier.peek("b") is None
+        assert tier.peek("c") == PAYLOAD
+
+    def test_peek_does_not_refresh_recency(self, tmp_path):
+        tier = DiskTier(str(tmp_path / "c"), max_bytes=2 * ENTRY_BYTES)
+        tier.put("a", PAYLOAD)
+        backdate(tier, "a", 300)
+        tier.put("b", PAYLOAD)
+        backdate(tier, "b", 200)
+        assert tier.peek("a") == PAYLOAD  # NOT a touch
+        tier.put("c", PAYLOAD)  # "a" stayed oldest and is evicted
+        assert tier.peek("a") is None
+        assert tier.peek("b") == PAYLOAD
+
+    def test_unbounded_tier_never_evicts(self, tmp_path):
+        tier = DiskTier(str(tmp_path / "c"), max_bytes=0)
+        for index in range(20):
+            tier.put(f"k{index}", PAYLOAD)
+        assert tier.entry_count() == 20
+        assert tier.stats.evictions == 0
+
+
+class TestTTL:
+    def test_expired_entry_reads_as_a_miss_and_is_removed(self, tmp_path):
+        tier = DiskTier(str(tmp_path / "c"), ttl=60)
+        tier.put("k", PAYLOAD)
+        backdate(tier, "k", 120)
+        assert tier.get("k") is None
+        assert tier.stats.expired == 1
+        assert tier.stats.misses == 1
+        # The stale file is gone, not just skipped.
+        assert tier.entry_count() == 0
+
+    def test_fresh_entry_within_ttl_hits(self, tmp_path):
+        tier = DiskTier(str(tmp_path / "c"), ttl=60)
+        tier.put("k", PAYLOAD)
+        backdate(tier, "k", 30)
+        assert tier.get("k") == PAYLOAD
+        assert tier.stats.hits == 1
+        assert tier.stats.expired == 0
+
+    def test_peek_expires_but_stays_lookup_neutral(self, tmp_path):
+        tier = DiskTier(str(tmp_path / "c"), ttl=60)
+        tier.put("k", PAYLOAD)
+        backdate(tier, "k", 120)
+        assert tier.peek("k") is None
+        assert tier.stats.expired == 1
+        assert tier.stats.misses == 0  # peeks never count as lookups
+
+    def test_counted_hit_resets_the_idle_clock(self, tmp_path):
+        tier = DiskTier(str(tmp_path / "c"), ttl=60)
+        tier.put("k", PAYLOAD)
+        backdate(tier, "k", 50)  # close to expiry
+        assert tier.get("k") == PAYLOAD  # touch: idle age restarts
+        path = os.path.join(tier.directory, "k.pkl")
+        assert time.time() - os.stat(path).st_mtime < 5
+
+
+class TestReportingAndDefaults:
+    def test_counters_surface_in_tier_report_rows(self, tmp_path):
+        cache = SimulationCache(str(tmp_path / "c"))
+        for row in cache.tier_report():
+            assert "evictions" in row
+            assert "expired" in row
+
+    def test_env_vars_bound_every_disk_tier(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DISK_MAX_BYTES", "4096")
+        monkeypatch.setenv("REPRO_CACHE_DISK_TTL", "3600")
+        tier = DiskTier(str(tmp_path / "c"))
+        assert tier.max_bytes == 4096
+        assert tier.ttl == 3600.0
+        assert "cap 4096 B" in tier.describe()
+        assert "ttl 3600 s" in tier.describe()
+
+    def test_explicit_bounds_beat_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DISK_MAX_BYTES", "4096")
+        monkeypatch.setenv("REPRO_CACHE_DISK_TTL", "3600")
+        tier = DiskTier(str(tmp_path / "c"), max_bytes=100, ttl=5)
+        assert tier.max_bytes == 100
+        assert tier.ttl == 5.0
+
+    def test_defaults_are_unbounded(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DISK_MAX_BYTES", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DISK_TTL", raising=False)
+        tier = DiskTier(str(tmp_path / "c"))
+        assert tier.max_bytes == 0
+        assert tier.ttl == 0.0
+        assert tier.describe() == f"disk ({tier.directory})"
