@@ -33,6 +33,71 @@ class DebugOutcome:
         return best_candidate(self.survivors)
 
 
+@dataclass(frozen=True)
+class DebugWork:
+    """One debug round's simulations, detached for gang-scheduling.
+
+    The sibling of :class:`repro.core.sampling.SampleWork`: the rollout
+    scheduler coalesces the ``sources`` of many concurrent runs into
+    shared deduplicated score waves, then feeds the reports back through
+    the program's ``debug_step`` hook.  ``testbench`` is the run's
+    *working* (optimized) testbench -- the same one the inline loop
+    scores against -- not the golden one.
+    """
+
+    sources: tuple[str, ...]
+    testbench: Testbench
+    top: str
+
+
+def draw_trials(
+    task: DesignTask,
+    survivors: list[ScoredCandidate],
+    debug_agent: DebugAgent,
+    config: MAGEConfig,
+) -> list[tuple[int, str]]:
+    """Phase 1 of one debug round: draw one trial per active incumbent.
+
+    Serial on purpose -- LLM-call ordering is part of the
+    reproducibility contract, so trials are never reordered by worker
+    count.  Incumbents that already pass, or whose report carries a
+    compile/elaboration error (no signal to debug against), are
+    skipped, exactly as the inline loop does.
+    """
+    trials: list[tuple[int, str]] = []
+    for index, incumbent in enumerate(survivors):
+        if incumbent.passed or incumbent.report.error is not None:
+            continue
+        trial_source = debug_agent.debug(
+            task,
+            incumbent.source,
+            incumbent.report,
+            config.debug_params,
+            use_checkpoints=config.use_checkpoints,
+            window=config.checkpoint_window,
+        )
+        trials.append((index, trial_source))
+    return trials
+
+
+def apply_round(
+    survivors: list[ScoredCandidate],
+    trials: list[tuple[int, str]],
+    reports: list,
+) -> list[ScoredCandidate]:
+    """Phase 2 of one debug round: the Eq. 4 accept/rollback update.
+
+    ``reports`` are the trial scorings in ``trials`` order, however they
+    were produced (inline executor map, or a scheduler score wave --
+    both run the same pure simulation, so results are bit-identical).
+    """
+    updated = list(survivors)
+    for (index, trial_source), report in zip(trials, reports):
+        trial = ScoredCandidate(trial_source, report)
+        updated[index] = better(survivors[index], trial)
+    return updated
+
+
 def debug_candidates(
     task: DesignTask,
     testbench: Testbench,
@@ -55,33 +120,14 @@ def debug_candidates(
     for _round in range(config.debug_iterations):
         if any(c.passed for c in outcome.survivors):
             break
-        # Phase 1 (serial): draw one debug trial per active incumbent.
-        # LLM-call ordering is part of the reproducibility contract, so
-        # the trials themselves are never reordered by worker count.
-        trials: list[tuple[int, str]] = []
-        for index, incumbent in enumerate(outcome.survivors):
-            if incumbent.passed or incumbent.report.error is not None:
-                continue
-            trial_source = debug_agent.debug(
-                task,
-                incumbent.source,
-                incumbent.report,
-                config.debug_params,
-                use_checkpoints=config.use_checkpoints,
-                window=config.checkpoint_window,
-            )
-            trials.append((index, trial_source))
-        # Phase 2 (parallel): score the trials -- pure simulation, fanned
-        # across the runtime executor with input-order results.
+        trials = draw_trials(task, outcome.survivors, debug_agent, config)
+        # Score the trials -- pure simulation, fanned across the runtime
+        # executor with input-order results.
         reports = get_runtime().executor.map(
             lambda source: judge.score(source, testbench, task.top),
             [source for _, source in trials],
         )
-        updated = list(outcome.survivors)
-        for (index, trial_source), report in zip(trials, reports):
-            trial = ScoredCandidate(trial_source, report)
-            updated[index] = better(outcome.survivors[index], trial)
-        outcome.survivors = updated
+        outcome.survivors = apply_round(outcome.survivors, trials, reports)
         outcome.round_scores.append([c.score for c in outcome.survivors])
         if on_round is not None:
             on_round(len(outcome.round_scores) - 1, outcome.round_scores[-1])

@@ -30,7 +30,12 @@ from dataclasses import dataclass, field
 
 from repro.agents.team import AgentTeam
 from repro.core.config import MAGEConfig
-from repro.core.debug_loop import debug_candidates
+from repro.core.debug_loop import (
+    DebugWork,
+    apply_round,
+    debug_candidates,
+    draw_trials,
+)
 from repro.core.events import (
     CandidateScored,
     DebugRound,
@@ -243,10 +248,46 @@ def _stage_sample(state: RunState, emit) -> str | None:
 
 
 def _stage_debug(state: RunState, emit) -> None:
-    """Step 5: checkpoint debugging with rollback."""
+    """Step 5: checkpoint debugging with rollback.
+
+    A rollout scheduler may have already driven the whole debug loop
+    out-of-band (:func:`mage_debug_plan` / :func:`mage_debug_step`,
+    with trial scorings coalesced into shared waves); in that case the
+    accumulated rounds are waiting in ``state.data`` and the stage only
+    replays them into the event stream -- round rows, parked gateway
+    events, and the final summary land exactly where an inline run
+    would put them.
+    """
     data = state.data
     config: MAGEConfig = data["config"]
     team: AgentTeam = data["team"]
+    record = data.pop("rollout_debug", None)
+    data.pop("rollout_debug_call_debt", None)  # probe now sees the raw counter
+    if record is not None:
+        if not record.get("complete"):
+            # Replaying a half-driven loop would silently drop rounds
+            # (and their LLM calls) from the stream; fail loudly.
+            raise ValueError(
+                "rollout debug injection incomplete: staged rounds were "
+                "not driven to completion"
+            )
+        round_scores = record["round_scores"]
+        round_events = record["round_events"]
+        emit(DebugRound(round_index=0, scores=tuple(round_scores[0])))
+        for index, scores in enumerate(round_scores[1:], start=1):
+            # Each round's trial-drawing gateway events precede its row,
+            # exactly where the inline loop's LLM calls would emit them.
+            for event in round_events[index - 1]:
+                emit(event)
+            emit(DebugRound(round_index=index, scores=tuple(scores)))
+        winner = best_candidate(record["survivors"])
+        data["winner"] = winner
+        emit(
+            DebugSummary(
+                rounds=len(round_scores) - 1, best_score=winner.score
+            )
+        )
+        return
 
     def on_round(index: int, scores: list[float]) -> None:
         emit(DebugRound(round_index=index, scores=tuple(scores)))
@@ -271,11 +312,18 @@ def _stage_debug(state: RunState, emit) -> None:
 
 def _team_calls(state: RunState) -> int:
     # ``rollout_call_debt`` holds LLM calls a rollout scheduler spent
-    # pre-generating Step-4 candidates while the state was suspended.
-    # Subtracting it here (and clearing it inside the sampling stage)
-    # keeps the per-stage call accounting identical to an inline run:
-    # the generation calls land in step4's StageFinished, not step3's.
-    return state.data["team"].llm_calls - state.data.get("rollout_call_debt", 0)
+    # pre-generating Step-4 candidates while the state was suspended;
+    # ``rollout_debug_call_debt`` the calls spent drawing Step-5 debug
+    # trials the same way.  Subtracting both here (and clearing each
+    # inside its stage) keeps the per-stage call accounting identical
+    # to an inline run: generation calls land in step4's StageFinished
+    # and trial calls in step5's, not in whichever stage happened to be
+    # probed while the state was suspended.
+    return (
+        state.data["team"].llm_calls
+        - state.data.get("rollout_call_debt", 0)
+        - state.data.get("rollout_debug_call_debt", 0)
+    )
 
 
 def mage_sample_plan(state: RunState) -> SampleWork | None:
@@ -311,6 +359,87 @@ def mage_sample_plan(state: RunState) -> SampleWork | None:
         testbench=data["testbench"],
         top=data["task"].top,
     )
+
+
+def _next_debug_round(state: RunState) -> DebugWork | None:
+    """Draw the next staged debug round, or mark the loop complete.
+
+    Mirrors the inline loop's control flow exactly: stop when an
+    incumbent passes or the iteration budget is spent; otherwise draw
+    one trial per active incumbent (serial, in-state LLM-call order,
+    gateway events parked per round) and hand the pure simulation work
+    back to the scheduler.  An empty round (every incumbent errored)
+    still consumes an iteration and appends an unchanged score row,
+    just like the inline loop.
+    """
+    data = state.data
+    record = data["rollout_debug"]
+    config: MAGEConfig = data["config"]
+    team: AgentTeam = data["team"]
+    survivors: list[ScoredCandidate] = record["survivors"]
+    if record["iterations_left"] <= 0 or any(c.passed for c in survivors):
+        record["complete"] = True
+        record["pending"] = None
+        return None
+    record["iterations_left"] -= 1
+    before = team.llm_calls
+    collector = ListSink()
+    with ambient_sink(collector):
+        trials = draw_trials(data["task"], survivors, team.debug, config)
+    record["round_events"].append(tuple(collector.events))
+    record["pending"] = trials
+    data["rollout_debug_call_debt"] = (
+        data.get("rollout_debug_call_debt", 0) + team.llm_calls - before
+    )
+    return DebugWork(
+        sources=tuple(source for _, source in trials),
+        testbench=data["testbench"],
+        top=data["task"].top,
+    )
+
+
+def mage_debug_plan(state: RunState) -> DebugWork | None:
+    """Start Step 5's staged form on a state suspended before ``step5``.
+
+    Seeds the round record (round 0 is the pre-debug selection, exactly
+    as :func:`~repro.core.debug_loop.debug_candidates` records it) and
+    draws the first round's trials.  Returns None when there is nothing
+    to debug -- the state is finished, sampling never ran, or the loop
+    terminates immediately -- in which case advancing through ``step5``
+    replays whatever was recorded.
+    """
+    data = state.data
+    if state.finished or "selected" not in data:
+        return None
+    config: MAGEConfig = data["config"]
+    selected: list[ScoredCandidate] = data["selected"]
+    data["rollout_debug"] = {
+        "survivors": list(selected),
+        "round_scores": [[c.score for c in selected]],
+        "round_events": [],
+        "pending": None,
+        "iterations_left": config.debug_iterations,
+        "complete": False,
+    }
+    return _next_debug_round(state)
+
+
+def mage_debug_step(state: RunState, reports: list) -> DebugWork | None:
+    """Feed one staged round's trial reports back; draw the next round.
+
+    ``reports`` are the wave scorings of the pending trials, in trial
+    order -- the same pure simulations the inline loop's executor map
+    would have produced, so the accept/rollback update is bit-identical.
+    """
+    data = state.data
+    record = data["rollout_debug"]
+    trials: list[tuple[int, str]] = record.get("pending") or []
+    record["pending"] = None
+    record["survivors"] = apply_round(
+        record["survivors"], trials, list(reports)
+    )
+    record["round_scores"].append([c.score for c in record["survivors"]])
+    return _next_debug_round(state)
 
 
 def mage_extract(state: RunState) -> str:
@@ -478,6 +607,9 @@ class MAGE:
             runner=run_mage_state,
             sample_stage="step4",
             sample_plan=mage_sample_plan,
+            debug_stage="step5",
+            debug_plan=mage_debug_plan,
+            debug_step=mage_debug_step,
         )
         return start_program(spec, state)
 

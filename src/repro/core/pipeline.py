@@ -241,6 +241,17 @@ class ProgramSpec:
     suspended just before ``sample_stage``; it performs the run's own
     candidate *generation* (LLM calls, in-state order) and returns the
     pure simulation work a scheduler may coalesce across runs.
+
+    The debug trio extends the same suspension protocol to iterative
+    debug rounds.  ``debug_plan(state)`` is called on a state suspended
+    just before ``debug_stage``: it draws the first round's trials
+    (LLM calls, parked events) and returns their simulation work, or
+    None when the stage has nothing left to gang-schedule.
+    ``debug_step(state, reports)`` feeds one round's trial reports back,
+    applies the accept/rollback update, and returns the *next* round's
+    work (again None when done).  After a None, advancing the state
+    through ``debug_stage`` replays the accumulated rounds into the
+    event stream bit-identically to an inline run.
     """
 
     pipeline_factory: Callable[[], "Pipeline"]
@@ -250,6 +261,9 @@ class ProgramSpec:
     runner: Callable | None = None
     sample_stage: str | None = None
     sample_plan: Callable[["RunState"], Any] | None = None
+    debug_stage: str | None = None
+    debug_plan: Callable[["RunState"], Any] | None = None
+    debug_step: Callable[["RunState", list], Any] | None = None
 
 
 @dataclass

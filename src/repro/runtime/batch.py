@@ -61,6 +61,10 @@ class BatchReport:
     cell_seconds: list[float] = field(default_factory=list)
     cache: CacheStats = field(default_factory=CacheStats)
     solve_cache: CacheStats = field(default_factory=CacheStats)
+    # Resolved executor fan-out (0 = not recorded), and -- when the
+    # rollout scheduler speculated -- its accounting snapshot.
+    jobs: int = 0
+    speculation: dict = field(default_factory=dict)
 
     @property
     def total_cell_seconds(self) -> float:
@@ -81,6 +85,10 @@ class BatchReport:
     def render(self) -> str:
         lines = [
             f"executor        {self.executor}",
+        ]
+        if self.jobs:
+            lines.append(f"jobs            {self.jobs:8d}")
+        lines += [
             f"wall clock      {self.wall_seconds:8.2f} s",
             f"grid cells      {self.cells:8d}  "
             f"({self.cells_per_second:.2f} cells/s)",
@@ -96,6 +104,13 @@ class BatchReport:
                 f"(hits {self.solve_cache.hits}, "
                 f"misses {self.solve_cache.misses}, "
                 f"hit-rate {100.0 * self.solve_cache.hit_rate:.1f}%)"
+            )
+        if self.speculation:
+            lines.append(
+                f"speculation     {self.speculation.get('launched', 0):8d}  "
+                f"(used {self.speculation.get('used', 0)}, "
+                f"mispredicted {self.speculation.get('mispredicted', 0)}, "
+                f"already cached {self.speculation.get('already_cached', 0)})"
             )
         peer_hits = self.cache.remote_hits + self.solve_cache.remote_hits
         if peer_hits:
@@ -247,7 +262,7 @@ def evaluate_many(
     solve_cache: SolveCellCache | bool | None = None,
     progress: Callable[[str], None] | None = None,
     events: EventSink | Callable[[Event], None] | None = None,
-    rollout_batch: int = 0,
+    rollout_batch: int | str = 0,
 ):
     """Evaluate one system over a suite, fanned across workers.
 
@@ -267,8 +282,11 @@ def evaluate_many(
 
     ``rollout_batch`` > 0 switches the grid to the rollout scheduler:
     up to that many cells advance together and share coalesced
-    candidate-scoring waves (see :mod:`repro.runtime.rollout`).  Rows
-    stay bit-identical to ``rollout_batch=0`` at any worker count.
+    candidate-scoring waves (see :mod:`repro.runtime.rollout`).
+    ``"auto"`` hands wave sizing to the scheduler's cost-aware planner
+    and enables speculative simulation.  Rows stay bit-identical to
+    ``rollout_batch=0`` at any worker count, any width, speculation on
+    or off.
     """
     from repro.llm.gateway.settings import resolve_gateway_settings
 
@@ -290,7 +308,7 @@ def evaluate_many(
     pool = executor if executor is not None else get_runtime().executor
     sink = as_sink(events)
 
-    if rollout_batch and rollout_batch > 0:
+    if rollout_batch:  # positive width or "auto" (the scheduler validates)
         return _evaluate_rollout(
             system_factory,
             suite,
@@ -388,7 +406,9 @@ def evaluate_many(
     wall = time.perf_counter() - started
     sink.emit(BatchFinished(cells=len(cells), seconds=wall))
 
-    report = BatchReport(executor=pool.describe(), wall_seconds=wall)
+    report = BatchReport(
+        executor=pool.describe(), wall_seconds=wall, jobs=pool.workers
+    )
     ordered = {
         problem_index: sorted(rows, key=lambda r: r.run_index)
         for problem_index, rows in by_problem.items()
@@ -423,7 +443,7 @@ def _evaluate_rollout(
     fingerprint: str | None,
     progress: Callable[[str], None] | None,
     sink,
-    rollout_batch: int,
+    rollout_batch: int | str,
     gateway=None,
 ):
     """The ``rollout_batch > 0`` grid path: gang-scheduled sampling.
@@ -502,6 +522,10 @@ def _evaluate_rollout(
         cache=live_cache,
         solve_cache=live_solve,
         gateway=gateway,
+        # Scheduler telemetry (WaveScheduled / SpeculationOutcome) is
+        # batch-level, so it shares the batch events channel -- never a
+        # per-run stream.
+        events=sink,
     )
     outcomes = scheduler.run(requests, on_result=on_result)
     wall = time.perf_counter() - started
@@ -510,6 +534,10 @@ def _evaluate_rollout(
     report = BatchReport(
         executor=f"{pool.describe()} rollout[{rollout_batch}]",
         wall_seconds=wall,
+        jobs=pool.workers,
+        speculation=(
+            scheduler.speculation.snapshot() if scheduler.speculate else {}
+        ),
     )
     result = _assemble_result(suite, resolved_name, chosen, by_problem, report)
     report.cells = len(requests)

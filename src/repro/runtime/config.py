@@ -54,6 +54,17 @@ def _env_int(name: str, fallback: int) -> int:
         return fallback
 
 
+def default_jobs() -> int:
+    """Worker count when nobody asked: ``REPRO_JOBS``, else every core.
+
+    The explicit-config default stays 1 (serial unless asked), but
+    surfaces that *size* a machine -- the ``--jobs`` CLI default and
+    the service worker's wave fan-out -- saturate the hardware instead
+    of pretending it has one core.
+    """
+    return _env_int("REPRO_JOBS", os.cpu_count() or 1)
+
+
 def _env_flag(name: str, fallback: bool) -> bool:
     value = os.environ.get(name)
     if value is None or value == "":

@@ -1,50 +1,91 @@
-"""Rollout batching: gang-schedule Step-4 sampling across concurrent runs.
+"""Rollout batching: gang-schedule sampling *and* debugging across runs.
 
 The Eq. 7 ``problems x runs`` grid spends most of its wall-clock in the
-``step4`` sampling stage -- c high-temperature candidates, each scored
-by pure simulation.  A plain grid fan-out parallelises *cells*; this
-module goes one level deeper (the ChipMATE direction): a
+``step4`` sampling stage and the ``step5`` debug loop -- LLM calls
+interleaved with pure simulations.  A plain grid fan-out parallelises
+*cells*; this module goes one level deeper (the ChipMATE direction): a
 :class:`RolloutScheduler` drives many concurrent
 :class:`~repro.core.pipeline.RunState`s through their staged pipelines,
-suspends each just before its sampling stage (``stop_after=`` plus a
-state snapshot), coalesces the pending candidate generations and
-simulations of the whole batch into **waves**, fans each wave through
-one ``Executor.map``-shaped call (and the content-addressed simulation
-cache), then resumes every state with its scored candidates.
+suspends each at its simulation points (``stop_after=`` plus a state
+snapshot), coalesces the pending simulations of the whole batch into
+**waves**, fans each wave through one ``Executor.map``-shaped call (and
+the content-addressed simulation cache), then resumes every state with
+its scored candidates.
 
-Each run advances in three phase functions, all module-level and
-picklable so waves can cross process pools:
+Each run advances through module-level, picklable phase functions so
+waves can cross process pools:
 
 - :func:`rollout_open` -- stages up to the sampling stage under a
   pinned-serial runtime, then the run's *own* candidate generation
   (LLM calls, in-state order) via the program's ``sample_plan`` hook;
 - :func:`rollout_score` -- one pure simulation of one candidate (the
   coalesced wave: every pending candidate of every in-flight run);
-- :func:`rollout_close` -- inject the reports, resume to completion
-  (Top-K ranking, Step-5 debugging), score against the golden
-  testbench.
+- :func:`rollout_resume` -- inject the sampling reports, advance to the
+  debug suspension point, draw the first debug round's trials via the
+  program's ``debug_plan`` hook;
+- :func:`rollout_debug_step` -- feed one debug round's trial reports
+  back through ``debug_step`` and draw the next round -- so Step-5
+  debug rounds across concurrent runs coalesce into shared score waves
+  exactly like sampling does;
+- :func:`rollout_close` -- resume to completion and score against the
+  golden testbench.
+
+Three scheduler-level mechanisms ride on the phase split:
+
+- **Cost-aware wave sizing** (``batch="auto"``): a :class:`WavePlanner`
+  sizes each wave from measured open/score wall-clock (seeded from the
+  process-wide :class:`~repro.core.pipeline.StageClock` priors), so
+  wave width tracks the measured LLM/simulation cost ratio instead of
+  a fixed ``--rollout-batch N``.
+- **Speculative simulation**: while a round's LLM calls are in flight,
+  the scheduler speculatively golden-simulates the *likely* final
+  winner of each run (best-scoring candidate so far).  Simulations are
+  pure and cached, so mispredictions only cost discarded work --
+  speculation may only warm the simulation cache, never alter event
+  streams (:class:`SpeculationOutcome` tallies land on the batch-level
+  sink only).
+- **Work stealing**: a scheduler given a :class:`StealBoard` publishes
+  each score wave's unique pending tasks; an idle peer scheduler (see
+  ``repro.service.worker.steal_from_peer``) claims tasks over
+  ``WaveSteal`` frames, simulates them, and returns reports through
+  the cache fabric (``CachePut``), so the victim's own lookups hit.
+  Too-slow thieves cost nothing: the victim simulates locally and the
+  pure results are identical either way.
 
 Determinism contract (extends Eq. 7's): per-run LLM-call ordering stays
-pinned-serial *inside each state* -- generation happens in the exact
-position an inline Step 4 would issue it, scoring is pure and returned
-in source order, and the resumed stage consumes the injected reports
-through the same :func:`~repro.core.sampling.rank_candidates` an inline
-run uses.  Batched output is therefore bit-identical to
-``--jobs 1 --rollout-batch 0`` serial runs -- enforced by the parity
-test matrix (``tests/runtime/test_rollout_parity.py``), not by
+pinned-serial *inside each state* -- generation and trial drawing
+happen in the exact position an inline run would issue them, scoring is
+pure and returned in source order, and the resumed stages consume the
+injected reports through the same code paths an inline run uses.
+Batched output is therefore bit-identical to ``--jobs 1
+--rollout-batch 0`` serial runs -- across fixed widths, ``auto``
+widths, speculation on or off, and work stealing -- enforced by the
+parity test matrix (``tests/runtime/test_rollout_parity.py``), not by
 convention.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from typing import TYPE_CHECKING
 
-from repro.core.events import Event, ListSink, as_sink
-from repro.core.pipeline import resume_program, restore_state, stage_before
+from repro.core.events import (
+    Event,
+    ListSink,
+    SpeculationOutcome,
+    WaveScheduled,
+    as_sink,
+)
+from repro.core.pipeline import (
+    STAGE_CLOCK,
+    resume_program,
+    restore_state,
+    stage_before,
+)
 from repro.core.task import DesignTask
 
 if TYPE_CHECKING:  # the agents stack must not load at runtime-import time
@@ -64,7 +105,7 @@ from repro.runtime.cache import (
 from repro.runtime.context import RuntimeContext, runtime_session
 from repro.runtime.executor import Executor, SerialExecutor, _picklable
 from repro.runtime.workers import _accepts_sink, process_local_cache
-from repro.tb.stimulus import Testbench
+from repro.tb.stimulus import Testbench, render_testbench
 
 
 # ----------------------------------------------------------------------
@@ -79,6 +120,12 @@ class RolloutCell:
     ``gateway`` pins the LLM gateway settings on the cell's inner
     runtime context, so the system built inside a pool process resolves
     the same gateway the scheduler's caller configured.
+
+    ``inline`` (set by the scheduler for in-process executors) makes
+    the suspension handoff a live :class:`RunState` object instead of a
+    pickled snapshot: phases of one run execute strictly in sequence,
+    so same-process waves skip the serialise/restore round-trip that
+    only a process boundary actually needs.
     """
 
     index: int
@@ -90,11 +137,12 @@ class RolloutCell:
     cache_dir: str | None = None
     cache_peers: tuple[str, ...] = ()
     gateway: "GatewaySettings | None" = None
+    inline: bool = False
 
 
 @dataclass(frozen=True)
 class ScoreTask:
-    """One candidate simulation of the coalesced scoring wave."""
+    """One candidate simulation of a coalesced scoring wave."""
 
     source: str
     testbench: Testbench
@@ -105,8 +153,13 @@ class ScoreTask:
 
 
 @dataclass(frozen=True)
-class CloseTask:
-    """Resume payload: the suspended state plus its scored candidates."""
+class ResumeTask:
+    """Resume payload up to the debug suspension point.
+
+    Injects the sampling reports, advances through the sampling stage,
+    and -- for programs with debug hooks -- draws the first debug
+    round's trials.
+    """
 
     blob: bytes
     reports: tuple
@@ -117,6 +170,36 @@ class CloseTask:
     cache_dir: str | None = None
     cache_peers: tuple[str, ...] = ()
     gateway: "GatewaySettings | None" = None
+    inline: bool = False
+
+
+@dataclass(frozen=True)
+class DebugStepTask:
+    """One debug round's feedback: trial reports in, next round out."""
+
+    blob: bytes
+    reports: tuple
+    cache_enabled: bool = True
+    cache_dir: str | None = None
+    cache_peers: tuple[str, ...] = ()
+    gateway: "GatewaySettings | None" = None
+    inline: bool = False
+
+
+@dataclass(frozen=True)
+class CloseTask:
+    """Final resume payload: drive the suspended state to completion."""
+
+    blob: bytes
+    reports: tuple
+    has_sample: bool
+    golden_tb: Testbench
+    top: str
+    cache_enabled: bool = True
+    cache_dir: str | None = None
+    cache_peers: tuple[str, ...] = ()
+    gateway: "GatewaySettings | None" = None
+    inline: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -135,6 +218,11 @@ class PhaseCounters:
     cache_misses: int = 0
     simulations: int = 0
 
+    def absorb(self, other: "PhaseCounters") -> None:
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.simulations += other.simulations
+
 
 @dataclass
 class OpenOutcome:
@@ -152,12 +240,35 @@ class OpenOutcome:
     # ... suspended runs carry the resume payload instead.
     blob: bytes | None = None
     sample: SampleWork | None = None
+    # True when the program exposes the debug suspension protocol
+    # (``debug_stage``/``debug_plan``/``debug_step``), i.e. its Step-5
+    # rounds can be gang-scheduled instead of running inline at close.
+    has_debug: bool = False
 
 
 @dataclass
 class ScoreOutcome:
     report: object
     counters: PhaseCounters
+
+
+@dataclass
+class ResumeOutcome:
+    """What ``rollout_resume`` / ``rollout_debug_step`` hand back.
+
+    ``work`` is the next round's simulation work (DebugWork-shaped:
+    ``sources``/``testbench``/``top``), or None when the debug loop has
+    terminated and the state is ready to close.
+    """
+
+    events: list[Event]
+    counters: PhaseCounters
+    finished: bool
+    source: str = ""
+    passed: bool = False
+    score: float = 0.0
+    blob: bytes | None = None
+    work: object | None = None
 
 
 @dataclass
@@ -278,8 +389,13 @@ def rollout_open(cell: RolloutCell, cache: SimulationCache | None = None) -> Ope
             events=sink.events,
             counters=counters,
             finished=False,
-            blob=program.state.snapshot(),
+            blob=program.state if cell.inline else program.state.snapshot(),
             sample=sample,
+            has_debug=(
+                spec.debug_stage is not None
+                and spec.debug_plan is not None
+                and spec.debug_step is not None
+            ),
         )
 
 
@@ -296,14 +412,15 @@ def rollout_score(task: ScoreTask, cache: SimulationCache | None = None) -> Scor
     return ScoreOutcome(report=report, counters=counters)
 
 
-def rollout_close(item: CloseTask, cache: SimulationCache | None = None) -> CloseOutcome:
-    """Resume one suspended run with its scored candidates and finish it.
+def rollout_resume(item: ResumeTask, cache: SimulationCache | None = None) -> ResumeOutcome:
+    """Advance one run from the sampling point to the debug point.
 
-    The injected reports are consumed by the sampling stage itself
-    (which ranks and emits exactly as an inline run would), the
-    remaining stages run pinned-serial, and the final source is scored
-    against the hidden golden testbench -- the same computation a grid
-    cell performs.
+    Injects the wave-scored sampling reports (consumed by the sampling
+    stage itself, which ranks and emits exactly as an inline run
+    would), advances through the stages before ``debug_stage``, and --
+    unless the run finished on the way (sampled-pass early finish) --
+    draws the first debug round's trials via ``debug_plan``, parking
+    their events on the state for the eventual replay.
     """
     if cache is None:
         cache = process_local_cache(
@@ -314,7 +431,86 @@ def rollout_close(item: CloseTask, cache: SimulationCache | None = None) -> Clos
         executor=SerialExecutor(), cache=cache, gateway=item.gateway
     )
     with _Measured(cache) as counters, runtime_session(context=inner):
-        state = restore_state(item.blob)
+        state = item.blob if item.inline else restore_state(item.blob)
+        if item.has_sample:
+            state.data["rollout_reports"] = list(item.reports)
+        program = resume_program(state)
+        spec = program.spec
+        stop = stage_before(program.pipeline(), spec.debug_stage)
+        if stop is not None:
+            program.advance(sink=sink, stop_after=stop)
+        if program.finished:
+            source = program.source()
+            report = cached_run_testbench(
+                source, item.golden_tb, item.top, cache=cache
+            )
+            return ResumeOutcome(
+                events=sink.events,
+                counters=counters,
+                finished=True,
+                source=source,
+                passed=report.passed,
+                score=report.score,
+            )
+        work = spec.debug_plan(program.state)
+        return ResumeOutcome(
+            events=sink.events,
+            counters=counters,
+            finished=False,
+            blob=program.state if item.inline else program.state.snapshot(),
+            work=work,
+        )
+
+
+def rollout_debug_step(
+    item: DebugStepTask, cache: SimulationCache | None = None
+) -> ResumeOutcome:
+    """Apply one debug round's wave-scored reports; draw the next round.
+
+    Pure state evolution plus the next round's trial drawing (LLM
+    calls, in-state order, events parked by the program's hook) -- no
+    events are emitted here, so the outcome carries none.
+    """
+    if cache is None:
+        cache = process_local_cache(
+            item.cache_enabled, item.cache_dir, item.cache_peers
+        )
+    inner = RuntimeContext(
+        executor=SerialExecutor(), cache=cache, gateway=item.gateway
+    )
+    with _Measured(cache) as counters, runtime_session(context=inner):
+        state = item.blob if item.inline else restore_state(item.blob)
+        program = resume_program(state)
+        work = program.spec.debug_step(program.state, list(item.reports))
+        return ResumeOutcome(
+            events=[],
+            counters=counters,
+            finished=False,
+            blob=program.state if item.inline else program.state.snapshot(),
+            work=work,
+        )
+
+
+def rollout_close(item: CloseTask, cache: SimulationCache | None = None) -> CloseOutcome:
+    """Resume one suspended run to completion and golden-score it.
+
+    For sampling-only programs the injected reports are consumed by the
+    sampling stage; for debug-staged programs the state already carries
+    its completed round record and the debug stage replays it.  Either
+    way the remaining stages run pinned-serial and the final source is
+    scored against the hidden golden testbench -- the same computation
+    a grid cell performs.
+    """
+    if cache is None:
+        cache = process_local_cache(
+            item.cache_enabled, item.cache_dir, item.cache_peers
+        )
+    sink = ListSink()
+    inner = RuntimeContext(
+        executor=SerialExecutor(), cache=cache, gateway=item.gateway
+    )
+    with _Measured(cache) as counters, runtime_session(context=inner):
+        state = item.blob if item.inline else restore_state(item.blob)
         if item.has_sample:
             state.data["rollout_reports"] = list(item.reports)
         program = resume_program(state)
@@ -330,6 +526,177 @@ def rollout_close(item: CloseTask, cache: SimulationCache | None = None) -> Clos
         events=sink.events,
         counters=counters,
     )
+
+
+# ----------------------------------------------------------------------
+# Work stealing: the published-wave board.
+# ----------------------------------------------------------------------
+
+
+class StealBoard:
+    """Score tasks a busy scheduler has published for idle peers.
+
+    Thread-safe and deliberately racy in the benign direction: the
+    victim publishes a wave's unique tasks just before dispatching them
+    locally, a thief claims some subset over ``WaveSteal`` frames,
+    simulates them, and returns the reports via ``CachePut`` into the
+    victim's cache fabric.  If the thief is fast, the victim's own
+    lookup hits; if it is slow, the victim simulates locally -- the
+    simulations are pure, so the results are identical either way and
+    the event streams never change.  ``retract`` clears a wave's
+    leftovers once the victim has its results, bounding staleness.
+    """
+
+    def __init__(self, limit: int = 512):
+        self._lock = threading.Lock()
+        self._tasks: dict[str, ScoreTask] = {}
+        self.limit = limit
+        self.published = 0
+        self.claimed = 0
+        self.retracted = 0
+
+    def publish(self, pairs: list[tuple[str, ScoreTask]]) -> int:
+        """Offer (simulation key, task) pairs; returns how many stuck."""
+        added = 0
+        with self._lock:
+            for key, task in pairs:
+                if len(self._tasks) >= self.limit or key in self._tasks:
+                    continue
+                self._tasks[key] = task
+                added += 1
+            self.published += added
+        return added
+
+    def claim(self, max_items: int) -> list[tuple[str, ScoreTask]]:
+        """Pop up to ``max_items`` published tasks for a thief."""
+        taken: list[tuple[str, ScoreTask]] = []
+        with self._lock:
+            for key in list(self._tasks):
+                if len(taken) >= max(0, max_items):
+                    break
+                taken.append((key, self._tasks.pop(key)))
+            self.claimed += len(taken)
+        return taken
+
+    def retract(self, keys: list[str]) -> None:
+        with self._lock:
+            for key in keys:
+                if self._tasks.pop(key, None) is not None:
+                    self.retracted += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tasks)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "pending": len(self._tasks),
+                "published": self.published,
+                "claimed": self.claimed,
+                "retracted": self.retracted,
+            }
+
+
+# ----------------------------------------------------------------------
+# Adaptive wave sizing.
+# ----------------------------------------------------------------------
+
+
+class WavePlanner:
+    """Sizes waves from measured phase costs (``--rollout-batch auto``).
+
+    The scheduler alternates LLM-bound phases (open, resume, debug
+    steps -- parallel across *runs*) with simulation-bound score waves
+    (parallel across *candidates*).  Wider waves amortise per-wave
+    overhead and widen the dedup window, but delay result streaming;
+    the sweet spot depends on the measured cost ratio.  The first wave
+    is sized from the process-wide :class:`StageClock` prior (stages
+    recorded by earlier runs of the same pipelines); later waves refine
+    from what this scheduler actually measured.
+
+    Any width is *correct* -- batched output is width-invariant by the
+    determinism contract -- so the planner is free to be a heuristic.
+    """
+
+    def __init__(self, workers: int, floor: int = 2, ceiling: int = 64):
+        self.workers = max(1, workers)
+        self.floor = floor
+        self.ceiling = ceiling
+        self.open_seconds = 0.0
+        self.open_runs = 0
+        self.score_seconds = 0.0
+        self.score_items = 0
+        self.score_runs = 0
+        self.widths: list[int] = []
+        self.prior_run_seconds = self.stage_prior()
+
+    @staticmethod
+    def stage_prior() -> float:
+        """Estimated per-run stage cost from the StageClock (0 = none)."""
+        total = 0.0
+        for row in STAGE_CLOCK.snapshot().values():
+            runs = row.get("runs") or 0
+            if runs:
+                total += row["seconds"] / runs
+        return total
+
+    def observe_open(self, runs: int, seconds: float) -> None:
+        self.open_runs += runs
+        self.open_seconds += seconds
+
+    def observe_score(self, runs: int, items: int, seconds: float) -> None:
+        self.score_runs += runs
+        self.score_items += items
+        self.score_seconds += seconds
+
+    def next_width(self, pending: int) -> int:
+        if self.open_runs:
+            open_cost = self.open_seconds / self.open_runs
+            score_cost = (
+                self.score_seconds / self.score_items if self.score_items else 0.0
+            )
+            items_per_run = (
+                self.score_items / self.score_runs if self.score_runs else 1.0
+            )
+            per_run_sim = score_cost * max(1.0, items_per_run)
+            # The more a run's cost is LLM-bound relative to its
+            # simulations, the more runs we advance together: their LLM
+            # halves overlap across workers while the (cheap) score
+            # wave stays short.
+            ratio = open_cost / per_run_sim if per_run_sim > 0 else 4.0
+            scale = min(6.0, max(1.0, 1.0 + ratio))
+            base = int(round(self.workers * scale))
+        elif 0.0 < self.prior_run_seconds < 0.05:
+            # Prior says runs are cheap: amortise wave overhead harder.
+            base = 4 * self.workers
+        else:
+            base = 2 * self.workers
+        width = max(self.floor, base)
+        width = min(width, self.ceiling, pending) if pending else 0
+        self.widths.append(width)
+        return width
+
+
+@dataclass
+class SpeculationStats:
+    """Speculative-simulation accounting for one scheduler."""
+
+    launched: int = 0
+    used: int = 0
+    already_cached: int = 0
+
+    @property
+    def mispredicted(self) -> int:
+        return max(0, self.launched - self.used)
+
+    def snapshot(self) -> dict:
+        return {
+            "launched": self.launched,
+            "used": self.used,
+            "mispredicted": self.mispredicted,
+            "already_cached": self.already_cached,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -359,6 +726,7 @@ class RolloutRequest:
 class RolloutDedupStats:
     """Score-phase dedup accounting, attributed by mechanism.
 
+    ``submitted`` is every task entering a score wave.  Of those,
     ``wave_duplicates`` counts content-identical candidates collapsed
     *within* one coalesced wave; ``fabric_hits`` counts candidates
     served from the fabric's local tiers before dispatch (the memory
@@ -369,8 +737,10 @@ class RolloutDedupStats:
     pool waves, whose peer probes happen inside the children, report
     0 here).  ``executed`` is what was dispatched to the executor; a
     dispatched candidate served by a peer still runs no simulation.
+    Invariant: ``submitted == executed + wave_duplicates + fabric_hits``.
     """
 
+    submitted: int = 0
     wave_duplicates: int = 0
     fabric_hits: int = 0
     remote_hits: int = 0
@@ -379,6 +749,15 @@ class RolloutDedupStats:
     @property
     def deduped(self) -> int:
         return self.wave_duplicates + self.fabric_hits
+
+    def snapshot(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "wave_duplicates": self.wave_duplicates,
+            "fabric_hits": self.fabric_hits,
+            "remote_hits": self.remote_hits,
+            "executed": self.executed,
+        }
 
 
 @dataclass
@@ -408,35 +787,82 @@ class RolloutResult:
     simulations: int = 0
 
 
+class _StagedRun:
+    """Book-keeping for one run riding the debug suspension protocol."""
+
+    __slots__ = (
+        "request", "opened", "blob", "work", "seconds", "events", "reports"
+    )
+
+    def __init__(self, request: RolloutRequest, opened: OpenOutcome):
+        self.request = request
+        self.opened = opened
+        self.blob: bytes | None = None
+        self.work: object | None = None
+        self.seconds = 0.0
+        self.events: list[Event] = []
+        self.reports: tuple = ()
+
+
 class RolloutScheduler:
-    """Gang-schedules sampling across a batch of concurrent runs.
+    """Gang-schedules sampling and debugging across concurrent runs.
 
     ``executor`` carries every wave (a
     :class:`~repro.runtime.executor.ProcessExecutor` gives the scoring
     wave true multi-core parallelism; phase payloads are picklable by
     construction, and executors transparently downgrade anything that
     is not).  ``batch`` is the wave width: how many runs advance
-    together between suspension points.  ``cache`` fronts every
-    simulation of every wave; ``solve_cache`` serves whole repeated
-    cells without touching a wave at all.
+    together between suspension points -- an int pins it, ``"auto"``
+    hands sizing to a cost-aware :class:`WavePlanner` and enables
+    speculation.  ``cache`` fronts every simulation of every wave;
+    ``solve_cache`` serves whole repeated cells without touching a wave
+    at all.  ``speculate`` forces speculative golden simulation on/off
+    (None = on exactly for ``batch="auto"``); ``events`` is the
+    batch-level telemetry sink (:class:`WaveScheduled` /
+    :class:`SpeculationOutcome` -- never per-run events);
+    ``steal_board`` publishes score waves for idle peers.
     """
 
     def __init__(
         self,
         executor: Executor | None = None,
-        batch: int = 8,
+        batch: int | str = 8,
         cache: SimulationCache | None = None,
         solve_cache: SolveCellCache | None = None,
         gateway: "GatewaySettings | None" = None,
+        speculate: bool | None = None,
+        events: object = None,
+        steal_board: StealBoard | None = None,
     ):
-        if batch < 1:
-            raise ValueError("batch must be >= 1")
+        if isinstance(batch, str):
+            if batch != "auto":
+                raise ValueError(
+                    f"batch must be a positive int or 'auto', not {batch!r}"
+                )
+            self.adaptive = True
+        else:
+            if batch < 1:
+                raise ValueError("batch must be >= 1")
+            self.adaptive = False
         self.executor = executor if executor is not None else SerialExecutor()
         self.batch = batch
         self.cache = cache
         self.solve_cache = solve_cache
         self.gateway = gateway
         self.dedup = RolloutDedupStats()
+        self.speculate = self.adaptive if speculate is None else bool(speculate)
+        self.events = as_sink(events)
+        self.steal_board = steal_board
+        self.planner = (
+            WavePlanner(self.executor.workers) if self.adaptive else None
+        )
+        self.speculation = SpeculationStats()
+        self._spec_seen: set[str] = set()
+        self._spec_launched: set[str] = set()
+        self._spec_futures: list[tuple[str, object, bool]] = []
+        # In-process executors hand live RunState objects between
+        # phases; only a process pool needs pickled snapshots.
+        self._inline = self.executor.kind != "process"
 
     # ------------------------------------------------------------------
 
@@ -453,12 +879,29 @@ class RolloutScheduler:
         """
         results: dict[int, RolloutResult] = {}
         items = list(requests)
-        for start in range(0, len(items), self.batch):
-            chunk = items[start : start + self.batch]
+        start = 0
+        while start < len(items):
+            width = (
+                self.planner.next_width(len(items) - start)
+                if self.planner is not None
+                else self.batch
+            )
+            chunk = items[start : start + max(1, width)]
+            start += len(chunk)
             self._run_wave(chunk, results)
             if on_result is not None:
                 for request in chunk:
                     on_result(results[request.index])
+        if self.speculate:
+            self._harvest_speculation()
+            self.events.emit(
+                SpeculationOutcome(
+                    launched=self.speculation.launched,
+                    used=self.speculation.used,
+                    mispredicted=self.speculation.mispredicted,
+                    already_cached=self.speculation.already_cached,
+                )
+            )
         return [results[request.index] for request in requests]
 
     # ------------------------------------------------------------------
@@ -492,6 +935,105 @@ class RolloutScheduler:
                 system=result.system,
                 events=tuple(result.events),
             ),
+        )
+
+    # -- speculation ---------------------------------------------------
+
+    def _launch_speculation(
+        self, predictions: list[tuple[str, Testbench, str]]
+    ) -> None:
+        """Fire-and-forget golden simulations of predicted winners.
+
+        Runs on the same executor as the waves, so launched work fills
+        idle workers while the next LLM-bound phase is in flight.  Only
+        the simulation cache is touched; nothing here can reach an
+        event stream.  Serial executors would run the work inline (no
+        overlap to win), so speculation needs >= 2 workers.
+        """
+        if not self.speculate or self.executor.workers < 2:
+            return
+        for source, testbench, top in predictions:
+            try:
+                key = simulation_key(source, testbench, top)
+            except Exception:
+                continue
+            if key in self._spec_seen:
+                continue
+            self._spec_seen.add(key)
+            if self.cache is not None and self.cache.peek_local(key) is not None:
+                self.speculation.already_cached += 1
+                continue
+            task = ScoreTask(
+                source=source,
+                testbench=testbench,
+                top=top,
+                cache_enabled=self.cache is not None,
+                cache_dir=(
+                    self.cache.directory if self.cache is not None else None
+                ),
+                cache_peers=(
+                    self.cache.peers if self.cache is not None else ()
+                ),
+            )
+            crossing = self.executor.kind == "process" and _picklable(task)
+            if crossing:
+                future = self.executor.submit_unchecked(rollout_score, task)
+            else:
+                future = self.executor.submit(rollout_score, task, self.cache)
+            self._spec_futures.append((key, future, crossing))
+            self._spec_launched.add(key)
+            self.speculation.launched += 1
+
+    def _harvest_speculation(self) -> None:
+        """Wait out in-flight speculation; absorb crossing results.
+
+        Called just before a close wave: the futures overlapped the
+        LLM-bound phases, so the residual wait is at most one
+        simulation.  Process-pool results are absorbed into the local
+        fabric so the close phase's lookups hit without re-simulating.
+        """
+        for key, future, crossing in self._spec_futures:
+            try:
+                outcome = future.result()
+            except Exception:
+                continue  # a misprediction that also failed: discard
+            if crossing and self.cache is not None:
+                self.cache.put_local(key, outcome.report)
+        self._spec_futures.clear()
+
+    def _note_golden(self, source: str, request: RolloutRequest) -> None:
+        """Credit a speculation whose predicted winner actually won."""
+        if not self.speculate:
+            return
+        try:
+            key = simulation_key(
+                source, request.golden_tb, request.problem.top
+            )
+        except Exception:
+            return
+        if key in self._spec_launched:
+            self._spec_launched.discard(key)
+            self.speculation.used += 1
+
+    @staticmethod
+    def _best_source(sources, outcomes) -> str | None:
+        """The highest-scoring source of a scored slice (ties: first)."""
+        best, best_score = None, -1.0
+        for source, outcome in zip(sources, outcomes):
+            if isinstance(outcome, Exception):
+                continue
+            score = getattr(outcome.report, "score", 0.0)
+            if score > best_score:
+                best, best_score = source, score
+        return best
+
+    # -- waves ---------------------------------------------------------
+
+    def _emit_wave(self, phase: str, width: int, items: int) -> None:
+        self.events.emit(
+            WaveScheduled(
+                phase=phase, width=width, items=items, adaptive=self.adaptive
+            )
         )
 
     def _submit_wave(self, fn, payloads: list) -> list:
@@ -543,16 +1085,33 @@ class RolloutScheduler:
         On process pools the parent fabric absorbs the wave's results
         locally (the children already gossiped them to peers), staying
         the shared medium between waves and phases.
+
+        With a :class:`StealBoard` attached, the unique to-run tasks are
+        published just before local dispatch and retracted right after:
+        an idle peer that claims some returns their reports through the
+        fabric, turning this scheduler's own simulations into lookups.
         """
         if not tasks:
             return []
+        self.dedup.submitted += len(tasks)
         crossing = self.executor.kind == "process" and _picklable(tasks[0])
         keyed: list[str | None] = []
+        rendered: dict[int, str] = {}  # id(testbench) -> rendered text
         for task in tasks:
             try:
-                keyed.append(
-                    simulation_key(task.source, task.testbench, task.top)
-                )
+                tb = task.testbench
+                if isinstance(tb, str):
+                    text = tb
+                else:
+                    # A wave's tasks overwhelmingly share testbench
+                    # objects (all candidates of one run score against
+                    # one bench); render each object once per wave, not
+                    # once per candidate.
+                    text = rendered.get(id(tb))
+                    if text is None:
+                        text = render_testbench(tb)
+                        rendered[id(tb)] = text
+                keyed.append(simulation_key(task.source, text, task.top))
             except Exception:
                 keyed.append(None)  # unrenderable testbench: never dedup
         ready: dict[int, ScoreOutcome] = {}
@@ -588,7 +1147,23 @@ class RolloutScheduler:
             primary[key] = index
             to_run.append(index)
         self.dedup.executed += len(to_run)
+        published: list[str] = []
+        if (
+            self.steal_board is not None
+            and not crossing
+            and self.cache is not None
+        ):
+            # In-process waves simulate through the live fabric, so a
+            # thief's CachePut lands where these lookups will find it.
+            pairs = [
+                (keyed[i], tasks[i]) for i in to_run if keyed[i] is not None
+            ]
+            if pairs:
+                self.steal_board.publish(pairs)
+                published = [key for key, _ in pairs]
         outcomes = self._submit_wave(rollout_score, [tasks[i] for i in to_run])
+        if published:
+            self.steal_board.retract(published)
         self.dedup.remote_hits += remote_tier_hits() - remote_before
         for index, outcome in zip(to_run, outcomes):
             ready[index] = outcome
@@ -618,6 +1193,28 @@ class RolloutScheduler:
                     )
                 )
         return results
+
+    def _error_result(
+        self, request: RolloutRequest, exc: Exception
+    ) -> RolloutResult:
+        return RolloutResult(
+            index=request.index,
+            problem_id=request.problem.id,
+            seed=request.seed,
+            error=f"{type(exc).__name__}: {exc}",
+            exception=exc,
+        )
+
+    def _cache_fields(self) -> dict:
+        return {
+            "cache_enabled": self.cache is not None,
+            "cache_dir": (
+                self.cache.directory if self.cache is not None else None
+            ),
+            "cache_peers": (
+                self.cache.peers if self.cache is not None else ()
+            ),
+        }
 
     def _run_wave(
         self,
@@ -660,6 +1257,8 @@ class RolloutScheduler:
 
         # 2. Open wave: advance every run to its suspension point (or
         #    completion), generation included.
+        cache_fields = self._cache_fields()
+        state_fields = {**cache_fields, "inline": self._inline}
         cells = [
             RolloutCell(
                 index=request.index,
@@ -667,29 +1266,23 @@ class RolloutScheduler:
                 problem=request.problem,
                 golden_tb=request.golden_tb,
                 seed=request.seed,
-                cache_enabled=self.cache is not None,
-                cache_dir=(
-                    self.cache.directory if self.cache is not None else None
-                ),
-                cache_peers=(
-                    self.cache.peers if self.cache is not None else ()
-                ),
                 gateway=self.gateway,
+                **state_fields,
             )
             for request in pending
         ]
+        self._emit_wave("open", width=len(pending), items=len(cells))
+        open_started = time.perf_counter()
         opens = self._submit_wave(rollout_open, cells)
+        if self.planner is not None:
+            self.planner.observe_open(
+                len(cells), time.perf_counter() - open_started
+            )
 
         alive: list[tuple[RolloutRequest, OpenOutcome]] = []
         for request, opened in zip(pending, opens):
             if isinstance(opened, Exception):
-                results[request.index] = RolloutResult(
-                    index=request.index,
-                    problem_id=request.problem.id,
-                    seed=request.seed,
-                    error=f"{type(opened).__name__}: {opened}",
-                    exception=opened,
-                )
+                results[request.index] = self._error_result(request, opened)
                 continue
             if request.sink is not None:
                 live = as_sink(request.sink)
@@ -730,72 +1323,246 @@ class RolloutScheduler:
                         source=source,
                         testbench=opened.sample.testbench,
                         top=opened.sample.top,
-                        cache_enabled=self.cache is not None,
-                        cache_dir=(
-                            self.cache.directory
-                            if self.cache is not None
-                            else None
-                        ),
-                        cache_peers=(
-                            self.cache.peers if self.cache is not None else ()
-                        ),
+                        **cache_fields,
                     )
                 )
             spans.append((begin, len(tasks)))
+        self._emit_wave("score", width=len(alive), items=len(tasks))
+        score_started = time.perf_counter()
         scored = self._score_wave(tasks)
+        if self.planner is not None:
+            self.planner.observe_score(
+                len(alive), len(tasks), time.perf_counter() - score_started
+            )
 
-        # 4. Close wave: inject the reports, resume to completion,
-        #    golden-score.
-        closers: list[tuple[RolloutRequest, OpenOutcome, float]] = []
-        close_tasks: list[CloseTask] = []
+        # 4. Partition the survivors.  Programs exposing the debug
+        #    suspension protocol take the staged road (resume to the
+        #    debug point, gang-scheduled rounds); the rest close
+        #    directly with their sampling reports injected.
+        #    ``closers`` collects (request, opened, pre-close seconds,
+        #    pre-close events, close task) for the single final wave.
+        closers: list = []
+        staged: list[_StagedRun] = []
         for (request, opened), (begin, end) in zip(alive, spans):
             slice_outcomes = scored[begin:end]
             failed = next(
                 (o for o in slice_outcomes if isinstance(o, Exception)), None
             )
             if failed is not None:
-                results[request.index] = RolloutResult(
-                    index=request.index,
-                    problem_id=request.problem.id,
-                    seed=request.seed,
-                    error=f"{type(failed).__name__}: {failed}",
-                    exception=failed,
-                )
+                results[request.index] = self._error_result(request, failed)
                 continue
             score_seconds = sum(o.counters.seconds for o in slice_outcomes)
-            closers.append((request, opened, score_seconds))
-            close_tasks.append(
-                CloseTask(
-                    blob=opened.blob,
-                    reports=tuple(o.report for o in slice_outcomes),
-                    has_sample=opened.sample is not None,
-                    golden_tb=request.golden_tb,
-                    top=request.problem.top,
-                    cache_enabled=self.cache is not None,
-                    cache_dir=(
-                        self.cache.directory if self.cache is not None else None
-                    ),
-                    cache_peers=(
-                        self.cache.peers if self.cache is not None else ()
-                    ),
-                    gateway=self.gateway,
-                )
-            )
             for outcome in slice_outcomes:
-                opened.counters.cache_hits += outcome.counters.cache_hits
-                opened.counters.cache_misses += outcome.counters.cache_misses
-                opened.counters.simulations += outcome.counters.simulations
+                opened.counters.absorb(outcome.counters)
+            # Speculation point one: the sampled candidates are scored
+            # but ranking/debugging (LLM-bound) has not run yet -- warm
+            # the golden sim of the best-scoring candidate, the likely
+            # final winner (certain on a sampled-pass early finish).
+            sources = opened.sample.sources if opened.sample is not None else ()
+            best = self._best_source(sources, slice_outcomes)
+            if best is not None:
+                self._launch_speculation(
+                    [(best, request.golden_tb, request.problem.top)]
+                )
+            if opened.has_debug:
+                run = _StagedRun(request, opened)
+                run.seconds = score_seconds
+                run.reports = tuple(o.report for o in slice_outcomes)
+                staged.append(run)
+            else:
+                closers.append(
+                    (
+                        request,
+                        opened,
+                        score_seconds,
+                        [],
+                        CloseTask(
+                            blob=opened.blob,
+                            reports=tuple(o.report for o in slice_outcomes),
+                            has_sample=opened.sample is not None,
+                            golden_tb=request.golden_tb,
+                            top=request.problem.top,
+                            gateway=self.gateway,
+                            **state_fields,
+                        ),
+                    )
+                )
+
+        # 5. Resume wave: staged runs advance to the debug suspension
+        #    point (sampling stage consumes its reports; first debug
+        #    round's trials drawn in-state).
+        if staged:
+            resume_tasks = [
+                ResumeTask(
+                    blob=run.opened.blob,
+                    reports=run.reports,
+                    has_sample=run.opened.sample is not None,
+                    golden_tb=run.request.golden_tb,
+                    top=run.request.problem.top,
+                    gateway=self.gateway,
+                    **state_fields,
+                )
+                for run in staged
+            ]
+            self._emit_wave("resume", width=len(staged), items=len(resume_tasks))
+            resumes = self._submit_wave(rollout_resume, resume_tasks)
+            active: list[_StagedRun] = []
+            for run, outcome in zip(staged, resumes):
+                if isinstance(outcome, Exception):
+                    results[run.request.index] = self._error_result(
+                        run.request, outcome
+                    )
+                    continue
+                if run.request.sink is not None:
+                    live = as_sink(run.request.sink)
+                    for event in outcome.events:
+                        live.emit(event)
+                run.events.extend(outcome.events)
+                run.seconds += outcome.counters.seconds
+                run.opened.counters.absorb(outcome.counters)
+                if outcome.finished:
+                    result = RolloutResult(
+                        index=run.request.index,
+                        problem_id=run.request.problem.id,
+                        seed=run.request.seed,
+                        source=outcome.source,
+                        passed=outcome.passed,
+                        score=outcome.score,
+                        seconds=run.opened.counters.seconds + run.seconds,
+                        system=run.opened.system,
+                        events=list(run.opened.events) + run.events,
+                        cache_hits=run.opened.counters.cache_hits,
+                        cache_misses=run.opened.counters.cache_misses,
+                        simulations=run.opened.counters.simulations,
+                    )
+                    results[run.request.index] = result
+                    self._store_record(run.request, result)
+                    self._note_golden(outcome.source, run.request)
+                    continue
+                run.blob = outcome.blob
+                run.work = outcome.work
+                active.append(run)
+
+            # 6. Gang-scheduled debug rounds: every active run's pending
+            #    trials coalesce into one shared deduplicated score wave
+            #    per round, then one step wave draws the next round.
+            while True:
+                working = [run for run in active if run.work is not None]
+                if not working:
+                    break
+                dtasks: list[ScoreTask] = []
+                dspans: list[tuple[int, int]] = []
+                for run in working:
+                    begin = len(dtasks)
+                    for source in run.work.sources:
+                        dtasks.append(
+                            ScoreTask(
+                                source=source,
+                                testbench=run.work.testbench,
+                                top=run.work.top,
+                                **cache_fields,
+                            )
+                        )
+                    dspans.append((begin, len(dtasks)))
+                self._emit_wave(
+                    "debug-score", width=len(working), items=len(dtasks)
+                )
+                dscored = self._score_wave(dtasks)
+                step_runs: list[_StagedRun] = []
+                step_tasks: list[DebugStepTask] = []
+                for run, (begin, end) in zip(working, dspans):
+                    slice_outcomes = dscored[begin:end]
+                    failed = next(
+                        (o for o in slice_outcomes if isinstance(o, Exception)),
+                        None,
+                    )
+                    if failed is not None:
+                        results[run.request.index] = self._error_result(
+                            run.request, failed
+                        )
+                        active.remove(run)
+                        continue
+                    run.seconds += sum(
+                        o.counters.seconds for o in slice_outcomes
+                    )
+                    for outcome in slice_outcomes:
+                        run.opened.counters.absorb(outcome.counters)
+                    # Speculation point two: while the next round's
+                    # trial drawing (LLM) runs, warm the golden sim of
+                    # this round's best trial -- the winner if the loop
+                    # terminates here.
+                    best = self._best_source(
+                        run.work.sources, slice_outcomes
+                    )
+                    if best is not None:
+                        self._launch_speculation(
+                            [
+                                (
+                                    best,
+                                    run.request.golden_tb,
+                                    run.request.problem.top,
+                                )
+                            ]
+                        )
+                    step_runs.append(run)
+                    step_tasks.append(
+                        DebugStepTask(
+                            blob=run.blob,
+                            reports=tuple(o.report for o in slice_outcomes),
+                            gateway=self.gateway,
+                            **state_fields,
+                        )
+                    )
+                self._emit_wave(
+                    "debug-step", width=len(step_runs), items=len(step_tasks)
+                )
+                steps = self._submit_wave(rollout_debug_step, step_tasks)
+                for run, outcome in zip(step_runs, steps):
+                    if isinstance(outcome, Exception):
+                        results[run.request.index] = self._error_result(
+                            run.request, outcome
+                        )
+                        active.remove(run)
+                        continue
+                    run.seconds += outcome.counters.seconds
+                    run.opened.counters.absorb(outcome.counters)
+                    run.blob = outcome.blob
+                    run.work = outcome.work
+
+            for run in active:
+                closers.append(
+                    (
+                        run.request,
+                        run.opened,
+                        run.seconds,
+                        run.events,
+                        CloseTask(
+                            blob=run.blob,
+                            reports=(),
+                            has_sample=False,
+                            golden_tb=run.request.golden_tb,
+                            top=run.request.problem.top,
+                            gateway=self.gateway,
+                            **state_fields,
+                        ),
+                    )
+                )
+
+        # 7. Close wave: resume to completion, golden-score.  In-flight
+        #    speculation is harvested first, so predicted winners close
+        #    as cache hits.
+        if not closers:
+            return
+        self._harvest_speculation()
+        close_tasks = [entry[4] for entry in closers]
+        self._emit_wave("close", width=len(closers), items=len(close_tasks))
         closes = self._submit_wave(rollout_close, close_tasks)
 
-        for (request, opened, score_seconds), closed in zip(closers, closes):
+        for (request, opened, pre_seconds, pre_events, _), closed in zip(
+            closers, closes
+        ):
             if isinstance(closed, Exception):
-                results[request.index] = RolloutResult(
-                    index=request.index,
-                    problem_id=request.problem.id,
-                    seed=request.seed,
-                    error=f"{type(closed).__name__}: {closed}",
-                    exception=closed,
-                )
+                results[request.index] = self._error_result(request, closed)
                 continue
             if request.sink is not None:
                 live = as_sink(request.sink)
@@ -810,11 +1577,13 @@ class RolloutScheduler:
                 score=closed.score,
                 seconds=(
                     opened.counters.seconds
-                    + score_seconds
+                    + pre_seconds
                     + closed.counters.seconds
                 ),
                 system=opened.system,
-                events=list(opened.events) + list(closed.events),
+                events=(
+                    list(opened.events) + list(pre_events) + list(closed.events)
+                ),
                 cache_hits=(
                     opened.counters.cache_hits + closed.counters.cache_hits
                 ),
@@ -827,3 +1596,4 @@ class RolloutScheduler:
             )
             results[request.index] = result
             self._store_record(request, result)
+            self._note_golden(closed.source, request)

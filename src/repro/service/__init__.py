@@ -38,6 +38,7 @@ from repro.service.client import (
     solve_grid,
     stop_server,
 )
+from repro.service.metrics import render_prometheus
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Ack,
@@ -52,6 +53,8 @@ from repro.service.protocol import (
     ProtocolError,
     SolveRequest,
     StatsReply,
+    WaveSteal,
+    WaveTasks,
     encode_frame,
     read_frame,
     write_frame,
@@ -66,6 +69,7 @@ from repro.service.worker import (
     registered_system_name,
     serve_cached_record,
     solve_service_request,
+    steal_from_peer,
 )
 
 __all__ = [
@@ -96,6 +100,8 @@ __all__ = [
     "SolveServer",
     "StatsReply",
     "Subscription",
+    "WaveSteal",
+    "WaveTasks",
     "Worker",
     "encode_frame",
     "fetch_stats",
@@ -104,9 +110,11 @@ __all__ = [
     "read_frame",
     "registered_fingerprint",
     "registered_system_name",
+    "render_prometheus",
     "serve_cached_record",
     "solve_grid",
     "solve_service_request",
+    "steal_from_peer",
     "stop_server",
     "write_frame",
 ]

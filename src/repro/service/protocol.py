@@ -19,6 +19,11 @@ client-driven: the client writes one :class:`SolveRequest` or
   server's cache layers (``layer`` routes to the simulation,
   solve-cell, or LLM-cassette cache; values travel as base64-pickled
   blobs, type-guarded on receipt exactly like the disk tier's files);
+- ``WaveSteal`` -> one :class:`WaveTasks` -- work stealing: an idle
+  scheduler claims published score-wave tasks from a busy peer's steal
+  board, simulates them, and returns the reports via ``CachePut`` into
+  the victim's ``sim`` layer (the cache fabric is the result
+  transport, so no new reply path exists to get ordering wrong);
 
 after which the client may send the next request on the same
 connection.  Events cross the wire via
@@ -208,6 +213,35 @@ class CacheReply(Frame):
     found: bool = False
     stored: bool = False
     blob: str = ""
+
+
+@dataclass(frozen=True)
+class WaveSteal(Frame):
+    """Ask a peer for up to ``max_items`` of its published wave tasks.
+
+    Claimed tasks leave the peer's steal board, so two thieves never
+    simulate the same published task.  The peer still simulates a
+    claimed task itself if the thief's result has not landed by the
+    time its wave runs -- simulations are pure, so the race is benign.
+    """
+
+    type: ClassVar[str] = "wave_steal"
+    id: int
+    max_items: int = 4
+
+
+@dataclass(frozen=True)
+class WaveTasks(Frame):
+    """Answer to ``WaveSteal``: ``(simulation key, pickled task)`` pairs.
+
+    Each entry is a two-item ``[key, blob]`` list; the blob decodes to
+    a :class:`~repro.runtime.rollout.ScoreTask`, type-guarded by the
+    thief exactly like any other fabric blob.
+    """
+
+    type: ClassVar[str] = "wave_tasks"
+    id: int
+    tasks: tuple = ()
 
 
 @dataclass(frozen=True)

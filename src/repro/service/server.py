@@ -41,6 +41,7 @@ from repro.runtime.cache import (
     solve_cell_key,
 )
 from repro.service.broker import Broker, BrokerClosed, BrokerFull
+from repro.runtime.rollout import StealBoard
 from repro.service.protocol import (
     Ack,
     CacheGet,
@@ -53,6 +54,8 @@ from repro.service.protocol import (
     ProtocolError,
     SolveRequest,
     StatsReply,
+    WaveSteal,
+    WaveTasks,
     read_frame,
     write_frame,
 )
@@ -97,6 +100,8 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                     self._handle_cache_get(service, frame)
                 elif isinstance(frame, CachePut):
                     self._handle_cache_put(service, frame)
+                elif isinstance(frame, WaveSteal):
+                    self._handle_wave_steal(service, frame)
                 elif isinstance(frame, ControlRequest):
                     if not self._handle_control(service, frame):
                         return
@@ -257,6 +262,23 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         service.stats.count("peer_puts")
         self._safe_write(CacheReply(id=req.id, stored=True))
 
+    def _handle_wave_steal(self, service: "SolveServer", req: WaveSteal) -> None:
+        """Hand published wave tasks to an idle peer.
+
+        Claimed tasks leave the board atomically, so concurrent thieves
+        never duplicate work; an unpicklable task simply stays home
+        (the victim simulates it like any unclaimed one).
+        """
+        claimed = service.steal_board.claim(req.max_items)
+        wire = []
+        for key, task in claimed:
+            try:
+                wire.append([key, encode_value(task)])
+            except Exception:  # noqa: BLE001 -- keep the task local
+                continue
+            service.stats.count("steal_served")
+        self._safe_write(WaveTasks(id=req.id, tasks=wire))
+
     def _handle_control(
         self, service: "SolveServer", req: ControlRequest
     ) -> bool:
@@ -300,6 +322,14 @@ class SolveServer:
     directory is configured the server also exposes the cassette store
     as the ``llm`` cache layer, so peers can share recorded completions
     over the same wire protocol as the other tiers.
+
+    ``steal_peers`` (rollout mode only) names peer servers whose
+    published score waves this server's *idle* workers drain over
+    ``WaveSteal`` frames; the server's own waves are published on
+    ``steal_board`` for its peers in turn.  Stealing moves pure
+    simulations only, with results returned through the cache fabric,
+    so the topology -- typically a ring of mutually-peered servers --
+    never affects any run's output.
     """
 
     def __init__(
@@ -313,6 +343,7 @@ class SolveServer:
         rollout_batch: int = 0,
         cache_peers: tuple[str, ...] | list[str] | None = None,
         gateway=None,
+        steal_peers: tuple[str, ...] | list[str] | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -328,6 +359,10 @@ class SolveServer:
         self.broker = Broker(max_pending=max_pending)
         self.stats = ServiceStats()
         self.rollout_batch = max(0, int(rollout_batch))
+        self.steal_peers = tuple(steal_peers or ())
+        # The published-wave board every local scheduler shares: any
+        # worker's score wave can be drained by any thief.
+        self.steal_board = StealBoard()
         self._tcp = _ServiceTCPServer((host, port), _ConnectionHandler)
         self._tcp.service = self
         if self.rollout_batch:
@@ -343,6 +378,8 @@ class SolveServer:
                     batch=self.rollout_batch,
                     name=f"repro-service-rollout-{index}",
                     gateway=self.gateway,
+                    steal_peers=self.steal_peers,
+                    steal_board=self.steal_board,
                 )
                 for index in range(workers)
             ]
@@ -502,6 +539,22 @@ class SolveServer:
         from repro.core.pipeline import STAGE_CLOCK
         from repro.llm.gateway.client import GATEWAY_STATS
 
+        # Aggregate scheduler counters across the rollout workers (the
+        # section is absent in plain-worker mode).
+        scheduler = None
+        pool = [w for w in self._workers if isinstance(w, RolloutWorker)]
+        if pool:
+            dedup: dict[str, int] = {}
+            speculation: dict[str, int] = {}
+            for worker in pool:
+                for key, value in worker.scheduler.dedup.snapshot().items():
+                    dedup[key] = dedup.get(key, 0) + value
+                for key, value in (
+                    worker.scheduler.speculation.snapshot().items()
+                ):
+                    speculation[key] = speculation.get(key, 0) + value
+            scheduler = {"dedup": dedup, "speculation": speculation}
+
         return {
             "address": self.address,
             "workers": len(self._workers),
@@ -514,6 +567,11 @@ class SolveServer:
                 self.gateway.mode if self.gateway is not None else None
             ),
             "stages": STAGE_CLOCK.snapshot(),
+            "scheduler": scheduler,
+            "steal": {
+                **self.steal_board.snapshot(),
+                "peers": list(self.steal_peers),
+            },
             "caches": {
                 "simulation": cache_stats(self.sim_cache),
                 "solve_cell": cache_stats(self.solve_cache),

@@ -31,11 +31,20 @@ from repro.runtime.cache import (
     SimulationCache,
     SolveCellCache,
     cached_run_testbench,
+    decode_value,
+    encode_value,
     system_fingerprint,
 )
+from repro.runtime.config import default_jobs
 from repro.runtime.context import RuntimeContext, runtime_session
 from repro.runtime.executor import Executor, SerialExecutor, ThreadExecutor
-from repro.runtime.rollout import RolloutRequest, RolloutScheduler
+from repro.runtime.rollout import (
+    RolloutRequest,
+    RolloutScheduler,
+    ScoreTask,
+    StealBoard,
+    rollout_score,
+)
 from repro.runtime.workers import solve_streaming
 
 
@@ -63,6 +72,9 @@ class ServiceStats:
         self.peer_gets = 0  # CacheGet frames answered
         self.peer_hits = 0  # ... of which found a local entry
         self.peer_puts = 0  # CachePut frames stored
+        self.steal_served = 0  # wave tasks handed to thieves (victim side)
+        self.steal_attempts = 0  # WaveSteal frames sent (thief side)
+        self.steal_executed = 0  # stolen tasks simulated and returned
 
     def count(self, field: str) -> None:
         with self._lock:
@@ -77,6 +89,9 @@ class ServiceStats:
                 "peer_gets": self.peer_gets,
                 "peer_hits": self.peer_hits,
                 "peer_puts": self.peer_puts,
+                "steal_served": self.steal_served,
+                "steal_attempts": self.steal_attempts,
+                "steal_executed": self.steal_executed,
             }
 
 
@@ -226,6 +241,49 @@ def solve_service_request(
     )
 
 
+def steal_from_peer(
+    address: str,
+    cache: SimulationCache | None = None,
+    max_items: int = 4,
+    stats: ServiceStats | None = None,
+    timeout: float | None = 30.0,
+) -> int:
+    """Claim, simulate, and return up to ``max_items`` of a busy peer's
+    published score-wave tasks.  Returns how many were executed.
+
+    The claimed :class:`~repro.runtime.rollout.ScoreTask` blobs are
+    type-guarded on receipt, simulated through *this* process's cache
+    (warming it too), and the reports pushed back over ``CachePut``
+    into the victim's ``sim`` layer -- where the victim's own wave
+    lookups find them.  Every failure mode (peer gone, corrupt blob,
+    simulation error, lost put) degrades to the victim simulating
+    locally, never to a wrong or missing result.
+    """
+    from repro.service.client import ServiceClient
+
+    if stats is not None:
+        stats.count("steal_attempts")
+    executed = 0
+    with ServiceClient(address, timeout=timeout) as client:
+        pairs = client.wave_steal(max_items=max_items)
+        for key, blob in pairs:
+            task = decode_value(blob, ScoreTask)
+            if task is None:
+                continue  # corrupt or wrong-typed blob: skip
+            try:
+                outcome = rollout_score(task, cache)
+            except Exception:  # noqa: BLE001 -- victim retains the task
+                continue
+            try:
+                client.cache_put("sim", key, encode_value(outcome.report))
+            except Exception:  # noqa: BLE001 -- lost put = local re-sim
+                continue
+            executed += 1
+            if stats is not None:
+                stats.count("steal_executed")
+    return executed
+
+
 class RolloutWorker(threading.Thread):
     """A worker that gang-schedules sampling across in-flight cells.
 
@@ -242,6 +300,13 @@ class RolloutWorker(threading.Thread):
     queued when), but per-job output is not: the rollout determinism
     contract makes every job's events and result identical to a plain
     :class:`Worker`'s, whichever batch it happened to ride in.
+
+    With ``steal_peers``, an *idle* worker (empty broker) turns thief:
+    it polls the queue with a short timeout and, between polls, drains
+    published score waves from each peer in turn via
+    :func:`steal_from_peer`.  ``steal_board`` is this server's own
+    published-wave board, shared across its workers so any of them can
+    be the victim.
     """
 
     def __init__(
@@ -255,6 +320,9 @@ class RolloutWorker(threading.Thread):
         executor: Executor | None = None,
         name: str | None = None,
         gateway: "GatewaySettings | None" = None,
+        steal_peers: tuple[str, ...] | list[str] | None = None,
+        steal_board: StealBoard | None = None,
+        steal_poll: float = 0.25,
     ):
         super().__init__(name=name or "repro-service-rollout", daemon=True)
         if batch < 1:
@@ -266,17 +334,22 @@ class RolloutWorker(threading.Thread):
         self.batch = batch
         self.linger = linger
         self.gateway = gateway
+        self.steal_peers = tuple(steal_peers or ())
+        self.steal_poll = steal_poll
         self._owns_executor = executor is None
         self.scheduler = RolloutScheduler(
             executor=(
                 executor
                 if executor is not None
-                else ThreadExecutor(max(2, batch))
+                # Wave fan-out sized to the machine, not the batch knob:
+                # score waves carry batch x pool_size simulations.
+                else ThreadExecutor(max(2, default_jobs()))
             ),
             batch=batch,
             cache=sim_cache,
             solve_cache=solve_cache,
             gateway=gateway,
+            steal_board=steal_board,
         )
 
     def _fingerprint(self, system: str) -> str | None:
@@ -295,9 +368,19 @@ class RolloutWorker(threading.Thread):
     def run(self) -> None:
         try:
             while True:
-                job = self.broker.next_job()
-                if job is None:
-                    return  # broker closed and drained
+                if self.steal_peers:
+                    # Idle loop with theft: poll the queue briefly, and
+                    # between polls drain score waves from busy peers.
+                    job = self.broker.next_job(timeout=self.steal_poll)
+                    if job is None:
+                        if self.broker.closed:
+                            return
+                        self._steal_round()
+                        continue
+                else:
+                    job = self.broker.next_job()
+                    if job is None:
+                        return  # broker closed and drained
                 jobs = [job]
                 while len(jobs) < self.batch:
                     extra = self.broker.next_job(timeout=self.linger)
@@ -308,6 +391,19 @@ class RolloutWorker(threading.Thread):
         finally:
             if self._owns_executor:
                 self.scheduler.executor.shutdown()
+
+    def _steal_round(self) -> None:
+        """One pass over the peer ring; unreachable peers are skipped."""
+        for address in self.steal_peers:
+            try:
+                steal_from_peer(
+                    address,
+                    cache=self.sim_cache,
+                    max_items=self.batch,
+                    stats=self.stats,
+                )
+            except Exception:  # noqa: BLE001 -- peer down or draining
+                continue
 
     def _solve_batch(self, jobs: list) -> None:
         from repro.baselines.registry import SYSTEMS, system_names

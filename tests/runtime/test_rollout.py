@@ -3,7 +3,12 @@
 import pytest
 
 from repro.baselines.registry import SYSTEMS
-from repro.core.events import CellFinished, ListSink
+from repro.core.events import (
+    CellFinished,
+    ListSink,
+    SpeculationOutcome,
+    WaveScheduled,
+)
 from repro.core.task import DesignTask
 from repro.evalsets import get_problem, golden_testbench
 from repro.runtime.batch import evaluate_many
@@ -123,6 +128,138 @@ class TestScheduler:
         results = scheduler.run(requests)
         assert [r.index for r in results] == [0, 1, 2, 3]
         assert [r.problem_id for r in results] == ids
+
+
+class TestAdaptiveScheduling:
+    IDS = ["cb_mux2", "cb_kmap_mux", "fs_vending", "ar_addsub8"]
+
+    def _run(self, batch, speculate=None, sink=None):
+        requests = [
+            _request(i, pid, seed=1) for i, pid in enumerate(self.IDS)
+        ]
+        scheduler = RolloutScheduler(
+            executor=SerialExecutor(),
+            batch=batch,
+            cache=SimulationCache(),
+            speculate=speculate,
+            events=sink,
+        )
+        results = scheduler.run(requests)
+        return [(r.source, r.passed, r.score) for r in results], scheduler
+
+    def test_auto_width_matches_fixed_width_results(self):
+        fixed, _ = self._run(batch=2)
+        auto, scheduler = self._run(batch="auto")
+        assert auto == fixed
+        assert scheduler.adaptive
+        # The planner actually sized the waves that ran.
+        assert scheduler.planner is not None
+        assert scheduler.planner.widths
+
+    def test_dedup_invariant_holds_under_dynamic_widths(self):
+        """submitted == executed + wave_duplicates + fabric_hits, for
+        any wave sizing the planner picks."""
+        for batch in (1, 3, "auto"):
+            _, scheduler = self._run(batch=batch)
+            dedup = scheduler.dedup
+            assert dedup.submitted > 0
+            assert dedup.submitted == (
+                dedup.executed + dedup.wave_duplicates + dedup.fabric_hits
+            )
+            assert dedup.deduped == (
+                dedup.wave_duplicates + dedup.fabric_hits
+            )
+
+    def test_wave_scheduled_emitted_to_batch_sink_only(self):
+        sink = ListSink()
+        run_sinks = [ListSink() for _ in self.IDS]
+        requests = [
+            _request(i, pid, seed=1, sink=run_sink)
+            for i, (pid, run_sink) in enumerate(zip(self.IDS, run_sinks))
+        ]
+        scheduler = RolloutScheduler(
+            executor=SerialExecutor(),
+            batch="auto",
+            cache=SimulationCache(),
+            events=sink,
+        )
+        scheduler.run(requests)
+        waves = [e for e in sink.events if isinstance(e, WaveScheduled)]
+        assert waves and all(w.adaptive for w in waves)
+        phases = {w.phase for w in waves}
+        assert "open" in phases and "score" in phases
+        assert all(w.width >= 1 and w.items >= 1 for w in waves)
+        # Batch-level telemetry never leaks into per-run streams.
+        for run_sink in run_sinks:
+            assert not any(
+                isinstance(e, (WaveScheduled, SpeculationOutcome))
+                for e in run_sink.events
+            )
+
+
+class TestSpeculation:
+    IDS = ["cb_mux2", "ar_addsub8", "fs_vending"]
+
+    def _run(self, speculate):
+        requests = []
+        sinks = []
+        for index, pid in enumerate(self.IDS):
+            sink = ListSink()
+            sinks.append(sink)
+            requests.append(_request(index, pid, seed=0, sink=sink))
+        batch_sink = ListSink()
+        scheduler = RolloutScheduler(
+            executor=ThreadExecutor(2),
+            batch=4,
+            cache=SimulationCache(),
+            speculate=speculate,
+            events=batch_sink,
+        )
+        results = scheduler.run(requests)
+        rows = [(r.source, r.passed, r.score) for r in results]
+        streams = [[e.to_json() for e in s.events] for s in sinks]
+        for stream in streams:
+            for payload in stream:
+                if "seconds" in payload:
+                    payload["seconds"] = 0.0
+        return rows, streams, scheduler, batch_sink
+
+    def test_speculation_only_warms_caches(self):
+        """Event streams and results are identical with speculation on
+        or off: speculative simulations may warm the sim cache, never
+        alter what a run observes."""
+        rows_off, streams_off, off, _ = self._run(speculate=False)
+        rows_on, streams_on, on, _ = self._run(speculate=True)
+        assert rows_on == rows_off
+        assert streams_on == streams_off
+        assert off.speculation.launched == 0
+        assert on.speculation.launched > 0
+
+    def test_speculation_accounting(self):
+        _, _, scheduler, batch_sink = self._run(speculate=True)
+        spec = scheduler.speculation
+        assert spec.launched == spec.used + spec.mispredicted
+        assert spec.used > 0  # golden predictions do win on these ids
+        outcomes = [
+            e for e in batch_sink.events if isinstance(e, SpeculationOutcome)
+        ]
+        assert len(outcomes) == 1
+        assert outcomes[0].launched == spec.launched
+        assert outcomes[0].used == spec.used
+        assert outcomes[0].mispredicted == spec.mispredicted
+
+    def test_serial_executor_disables_speculation(self):
+        """With no second worker there is nothing to overlap with, so
+        no speculative work is launched even when asked for."""
+        requests = [_request(0, "cb_mux2", seed=0)]
+        scheduler = RolloutScheduler(
+            executor=SerialExecutor(),
+            batch="auto",
+            cache=SimulationCache(),
+            speculate=True,
+        )
+        scheduler.run(requests)
+        assert scheduler.speculation.launched == 0
 
 
 class TestScoreWaveDedup:

@@ -1,5 +1,6 @@
 """Cross-path determinism matrix: {mage, vanilla, single-agent,
-two-agent} x {serial, rollout-batched, service}.
+two-agent} x {serial, rollout-batched, rollout+speculation, service,
+service+steal}.
 
 The rollout determinism contract says batched output is *bit-identical*
 to a ``--jobs 1 --rollout-batch 0`` serial run: same final sources,
@@ -7,8 +8,13 @@ same result rows, and the same typed event stream event-by-event.  The
 only fields allowed to differ are wall-clock measurements
 (``seconds``), which are zeroed by :func:`canonical` before comparison;
 every other field -- scores, pool shapes, LLM-call counts, stage order
--- must match exactly.
+-- must match exactly.  The contract holds with fixed or adaptive wave
+widths, with speculation on or off (speculation may only warm the
+simulation cache), and whether score waves ran locally or were stolen
+by a peer server.
 """
+
+import time
 
 import pytest
 
@@ -24,9 +30,11 @@ from repro.service import ServiceClient, SolveServer
 
 # One representative per row of the matrix: the full engine, the
 # single-stage baseline, the Table III single-agent ablation, and the
-# AIVRIL-style coder+reviewer pair.
+# AIVRIL-style coder+reviewer pair.  ``ar_addsub8`` reaches Step-5
+# debug rounds on every seed, so the gang-scheduled debug path
+# (suspend, coalesce, inject) is exercised by every matrix row.
 SYSTEM_KEYS = ["mage", "vanilla-claude", "single-agent", "aivril"]
-PROBLEM_IDS = ["cb_kmap_mux", "fs_vending"]
+PROBLEM_IDS = ["cb_kmap_mux", "fs_vending", "ar_addsub8"]
 SEED = 2
 
 
@@ -58,7 +66,7 @@ def serial_reference():
     return reference
 
 
-def _rollout_run(key, executor, batch=8):
+def _rollout_run(key, executor, batch=8, speculate=None):
     sinks = {}
     requests = []
     for index, problem_id in enumerate(PROBLEM_IDS):
@@ -75,10 +83,13 @@ def _rollout_run(key, executor, batch=8):
             )
         )
     scheduler = RolloutScheduler(
-        executor=executor, batch=batch, cache=SimulationCache()
+        executor=executor,
+        batch=batch,
+        cache=SimulationCache(),
+        speculate=speculate,
     )
     results = scheduler.run(requests)
-    return results, sinks
+    return results, sinks, scheduler
 
 
 class TestRolloutPathParity:
@@ -87,7 +98,7 @@ class TestRolloutPathParity:
         self, key, serial_reference
     ):
         with ThreadExecutor(2) as executor:
-            results, sinks = _rollout_run(key, executor)
+            results, sinks, _ = _rollout_run(key, executor)
         for result, problem_id in zip(results, PROBLEM_IDS):
             assert result.error is None
             source, events = serial_reference[(key, problem_id)]
@@ -102,12 +113,37 @@ class TestRolloutPathParity:
         """States snapshot into worker processes and back bit-identically
         (the mage row exercises suspension, injection, and resume)."""
         with ProcessExecutor(2) as executor:
-            results, sinks = _rollout_run("mage", executor)
+            results, sinks, _ = _rollout_run("mage", executor)
         for result, problem_id in zip(results, PROBLEM_IDS):
             assert result.error is None
             source, events = serial_reference[("mage", problem_id)]
             assert result.source == source
             assert canonical(sinks[problem_id].events) == events
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_adaptive_speculative_streams_are_bit_identical(
+        self, key, serial_reference
+    ):
+        """``batch="auto"`` + speculation changes nothing observable:
+        speculative simulations only warm the cache, never touch a
+        per-run event stream."""
+        with ThreadExecutor(2) as executor:
+            results, sinks, scheduler = _rollout_run(
+                key, executor, batch="auto", speculate=True
+            )
+        assert scheduler.adaptive and scheduler.speculate
+        for result, problem_id in zip(results, PROBLEM_IDS):
+            assert result.error is None
+            source, events = serial_reference[(key, problem_id)]
+            assert result.source == source
+            assert canonical(sinks[problem_id].events) == events
+        # Accounting stays consistent whatever speculation predicted.
+        spec = scheduler.speculation
+        assert spec.launched == spec.used + spec.mispredicted
+        dedup = scheduler.dedup
+        assert dedup.submitted == (
+            dedup.executed + dedup.wave_duplicates + dedup.fabric_hits
+        )
 
     @pytest.mark.parametrize("key", SYSTEM_KEYS)
     def test_rollout_grid_rows_match_serial(self, key):
@@ -170,3 +206,48 @@ class TestServicePathParity:
         assert outcome.cached  # second submit of the matrix cell
         _, events = serial_reference[("mage", PROBLEM_IDS[0])]
         assert canonical(sink.events) == events
+
+
+class TestStealRingParity:
+    """The service+steal matrix row: a two-server ring where the idle
+    server drains the busy one's published score waves over
+    ``WaveSteal`` frames.  Stealing moves pure simulations between
+    machines, so whether a wave ran locally or was stolen, every
+    solve's source and event stream must equal the serial reference."""
+
+    @pytest.fixture(scope="class")
+    def steal_ring(self):
+        with SolveServer(workers=1, rollout_batch=4) as victim:
+            with SolveServer(
+                workers=1,
+                rollout_batch=4,
+                steal_peers=[victim.address],
+            ) as thief:
+                yield victim, thief
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_ring_streams_are_bit_identical(
+        self, key, serial_reference, steal_ring
+    ):
+        victim, _ = steal_ring
+        for problem_id in PROBLEM_IDS:
+            sink = ListSink()
+            with ServiceClient(victim.address) as client:
+                outcome = client.solve(
+                    key, problem_id, seed=SEED, events=sink
+                )
+            source, events = serial_reference[(key, problem_id)]
+            assert outcome.source == source
+            assert canonical(sink.events) == events
+
+    def test_thief_polled_the_victim(self, steal_ring):
+        """The idle server's worker actually ran steal rounds against
+        the peer ring while the victim was solving."""
+        _, thief = steal_ring
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            service = thief.stats_snapshot()["service"]
+            if service["steal_attempts"] > 0:
+                break
+            time.sleep(0.05)
+        assert service["steal_attempts"] > 0

@@ -280,7 +280,14 @@ class TestCliRollout:
         payload = json.loads(out_path.read_text())
         assert payload["rollout_batch"] == 4
         assert payload["deterministic"] is True
-        assert payload["speedup"] > 0
+        # The misleading single "speedup" key is gone: cold- and
+        # warm-relative speedups are recorded explicitly.
+        assert "speedup" not in payload and "batching_speedup" not in payload
+        assert payload["speedup_vs_cold"] > 0
+        assert payload["speedup_vs_warm"] > 0
+        assert payload["jobs"] >= 1  # resolved fan-out is reported
+        # Fixed widths leave speculation off; the key is still present.
+        assert payload["speculation"].get("launched", 0) == 0
         assert payload["cache_hit_rate"] == 1.0  # warm pass fully served
 
     def test_bench_rollout_rejected_with_service(self, capsys):
