@@ -78,6 +78,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 
 
 def _batch_width(value: str):
@@ -701,6 +702,9 @@ def _cmd_eval(args) -> int:
             )
             return 2
         return _eval_via_service(args, runs, events)
+    if args.ring:
+        print("error: --ring requires --service (ring members are servers)")
+        return 2
     if gateway_settings is not None:
         os.environ.update(gateway_settings.to_env())
     cache_arg = args.cache
@@ -788,6 +792,7 @@ def _eval_via_service(args, runs: int, events) -> int:
             shards=shards,
             progress=(lambda line: print("  " + line)) if args.verbose else None,
             events=events,
+            ring=args.ring,
         )
     except (KeyError, ValueError, OSError, ServiceError, ProtocolError) as exc:
         print(f"error: {exc}")
@@ -846,6 +851,8 @@ def _cmd_bench(args) -> int:
             conflicting.append("--peer-cache")
         if args.cache_peer is not None:
             conflicting.append("--cache-peer")
+        if args.ring:
+            conflicting.append("--ring")
         if conflicting:
             print(
                 "error: "
@@ -854,6 +861,33 @@ def _cmd_bench(args) -> int:
             )
             return 2
         return _bench_service(args, spec, problems)
+    if args.ring:
+        # The ring chaos gate spawns its own server subprocesses; local
+        # pass flags don't apply.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--repeat", args.repeat),
+                ("--cache/--no-cache", args.cache),
+                ("--cache-dir", args.cache_dir),
+                ("--solve-cache/--no-solve-cache", args.solve_cache),
+                ("--solve-cache-dir", args.solve_cache_dir),
+                ("--cache-peer", args.cache_peer),
+            )
+            if value is not None
+        ]
+        if args.rollout:
+            conflicting.append("--rollout")
+        if args.peer_cache:
+            conflicting.append("--peer-cache")
+        if conflicting:
+            print(
+                "error: "
+                + ", ".join(conflicting)
+                + " cannot be combined with --ring"
+            )
+            return 2
+        return _bench_ring(args, spec, problems)
     if args.peer_cache:
         # Self-contained peer-cache gate: spawns its own in-process
         # server, so per-pass cache flags don't apply.
@@ -1305,6 +1339,223 @@ def _bench_service(args, spec, problems) -> int:
     return 0
 
 
+def _spawn_ring_server(join: str | None = None):
+    """Spawn one ``repro serve`` subprocess; returns (proc, address)."""
+    import subprocess
+    import sys as _sys
+
+    import repro as _repro
+
+    src_dir = str(Path(_repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    argv = [
+        _sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--port",
+        "0",
+        "--workers",
+        "2",
+    ]
+    if join:
+        argv += ["--join", join]
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    address = None
+    for _ in range(20):  # skip banner lines (gateway, join notices)
+        line = (proc.stdout.readline() or "").strip()
+        if line.startswith("listening on "):
+            address = line.removeprefix("listening on ")
+            break
+        if not line and proc.poll() is not None:
+            break
+    if address is None:
+        proc.kill()
+        raise RuntimeError("ring server failed to start")
+    return proc, address
+
+
+def _bench_ring(args, spec, problems) -> int:
+    """Chaos-gate the elastic ring: 3 servers, one SIGKILLed mid-grid.
+
+    Spawns a 3-member ring (two servers ``--join`` the first), runs the
+    grid with ``ring=True`` placement, and SIGKILLs the member owning
+    the most cells as soon as the first cell completes.  The gate is
+    the determinism contract under failure: every merged row must be
+    bit-identical to the local ``--jobs 1`` baseline, with the dead
+    member's cells migrated to the survivors.  Results merge into
+    ``BENCH_service.json`` under a ``ring`` key.
+    """
+    import json
+    import threading
+    import time as _time
+
+    from repro.runtime import SerialExecutor, SimulationCache
+    from repro.runtime.batch import evaluate_many
+    from repro.service import (
+        HashRing,
+        ProtocolError,
+        ServiceError,
+        fetch_peers,
+        registered_system_name,
+        ring_key,
+        solve_grid,
+        stop_server,
+    )
+
+    try:
+        with SerialExecutor() as executor:
+            local_result, local_report = evaluate_many(
+                spec.factory,
+                args.suite,
+                runs=args.runs,
+                seed0=args.seed0,
+                problems=problems,
+                executor=executor,
+                cache=SimulationCache(),
+                solve_cache=False,
+            )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(
+        f"baseline (in-process --jobs 1): {local_report.wall_seconds:7.2f} s"
+    )
+
+    servers: list = []
+    try:
+        try:
+            proc, seed_address = _spawn_ring_server()
+            servers.append((proc, seed_address))
+            for _ in range(2):
+                servers.append(_spawn_ring_server(join=seed_address))
+        except (OSError, RuntimeError) as exc:
+            print(f"error: {exc}")
+            return 2
+        addresses = [address for _, address in servers]
+        # Wait for the membership views to converge before placing work.
+        deadline = _time.monotonic() + 30.0
+        members: tuple = ()
+        while _time.monotonic() < deadline:
+            try:
+                members = fetch_peers(seed_address)
+            except (OSError, ServiceError, ProtocolError, ValueError):
+                members = ()
+            if set(members) >= set(addresses):
+                break
+            _time.sleep(0.2)
+        if not set(members) >= set(addresses):
+            print(f"error: ring never converged (view: {members})")
+            return 1
+        print(f"ring formed: {', '.join(sorted(members))}")
+
+        # Pick the victim deterministically: the member that owns the
+        # most grid cells (so the kill provably orphans work).
+        ring = HashRing(sorted(members))
+        resolved_name = registered_system_name(args.system)
+        from repro.evalsets.suites import get_suite
+
+        chosen = problems if problems is not None else get_suite(args.suite)
+        owned: dict = {}
+        for problem in chosen:
+            for run in range(args.runs):
+                owner = ring.node_for(
+                    ring_key(resolved_name, problem.id, args.seed0 + run)
+                )
+                owned[owner] = owned.get(owner, 0) + 1
+        victim = max(addresses, key=lambda a: owned.get(a, 0))
+        victim_proc = next(p for p, a in servers if a == victim)
+
+        killed = threading.Event()
+
+        def chaos(event) -> None:
+            # SIGKILL the victim the moment the first cell lands: the
+            # grid is mid-flight by construction.
+            if event.kind == "cell-finished" and not killed.is_set():
+                killed.set()
+                victim_proc.kill()
+
+        started = _time.perf_counter()
+        try:
+            result, report = solve_grid(
+                args.system,
+                args.suite,
+                runs=args.runs,
+                seed0=args.seed0,
+                problems=problems,
+                shards=[seed_address],
+                ring=True,
+                events=chaos,
+            )
+        except (OSError, ServiceError, ValueError, KeyError) as exc:
+            print(f"error: ring grid failed: {exc}")
+            return 1
+        wall = _time.perf_counter() - started
+        deterministic = result.outcomes == local_result.outcomes
+        print(
+            f"ring grid ({len(members)} members, killed {victim} "
+            f"mid-grid): {wall:7.2f} s  "
+            f"{report.migrated_cells} migrated  "
+            f"{report.retried_cells} retried"
+        )
+        print(result.render_row())
+        print(
+            f"deterministic   "
+            f"{'yes' if deterministic else 'NO -- MISMATCH'}"
+        )
+
+        bench_out = args.bench_out or "BENCH_service.json"
+        payload: dict = {}
+        if os.path.exists(bench_out):
+            try:
+                with open(bench_out) as handle:
+                    existing = json.load(handle)
+                if isinstance(existing, dict):
+                    payload = existing
+            except (OSError, ValueError):
+                payload = {}
+        payload["ring"] = {
+            "system": args.system,
+            "suite": args.suite,
+            "runs": args.runs,
+            "seed0": args.seed0,
+            "members": len(members),
+            "cells": report.cells,
+            "wall_seconds": round(wall, 6),
+            "victim": victim,
+            "killed_mid_grid": killed.is_set(),
+            "migrated_cells": report.migrated_cells,
+            "retried_cells": report.retried_cells,
+            "dead_shards": list(report.dead_shards),
+            "deterministic": deterministic,
+        }
+        with open(bench_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"written         {bench_out}")
+        return 0 if deterministic else 1
+    finally:
+        for proc, address in servers:
+            try:
+                stop_server(address, timeout=5.0)
+            except (OSError, ServiceError, ProtocolError, ValueError):
+                pass
+        for proc, _ in servers:
+            try:
+                proc.wait(timeout=10)
+            except Exception:  # noqa: BLE001 -- force it down
+                proc.kill()
+
+
 def _cmd_serve(args) -> int:
     """Run (or stop) a long-lived solve service on localhost."""
     if args.stop:
@@ -1351,21 +1602,41 @@ def _cmd_serve(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}")
             return 2
+    join: tuple = ()
+    if args.join:
+        from repro.service import parse_shards
+
+        try:
+            join = tuple(parse_shards(args.join))
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
     try:
+        # Server-owned caches gossip write-behind: peer CachePuts ride a
+        # background queue instead of the solve path, and a partitioned
+        # peer's backlog drains when it comes back.
         server = SolveServer(
             host=args.host,
             port=args.port,
             workers=args.workers,
-            sim_cache=SimulationCache(sim_dir, peers=peers),
-            solve_cache=SolveCellCache(solve_dir, peers=peers),
+            sim_cache=SimulationCache(
+                sim_dir, peers=peers, write_behind=True
+            ),
+            solve_cache=SolveCellCache(
+                solve_dir, peers=peers, write_behind=True
+            ),
             max_pending=args.max_pending,
             rollout_batch=args.rollout_batch,
             steal_peers=steal_peers,
+            join=join,
+            advertise=args.advertise,
         )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}")
         return 2
     server.start()
+    if join:
+        print(f"joining ring via {', '.join(join)}")
     if server.gateway is not None:
         print(
             f"gateway: mode {server.gateway.mode}, "
@@ -1552,6 +1823,14 @@ def build_parser() -> argparse.ArgumentParser:
         "deterministic merge; bit-identical to local --jobs 1)",
     )
     evaluate.add_argument(
+        "--ring",
+        action="store_true",
+        help="with --service: treat the given address(es) as members of "
+        "an elastic peer ring -- discover the full membership, place "
+        "cells by consistent hash, and migrate cells off members that "
+        "die mid-grid (rows stay bit-identical)",
+    )
+    evaluate.add_argument(
         "--cache-peer",
         default=None,
         metavar="ADDR[,ADDR...]",
@@ -1625,6 +1904,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="benchmark service-mode serving (spawns an in-process server; "
         "measures submit-to-done latency and warm-cache speedup)",
+    )
+    bench.add_argument(
+        "--ring",
+        action="store_true",
+        help="chaos-gate the elastic peer ring: spawn a 3-server ring "
+        "(serve --join), SIGKILL one member mid-grid, and verify every "
+        "row is still bit-identical to local --jobs 1 (merges a 'ring' "
+        "section into BENCH_service.json)",
     )
     bench.add_argument(
         "--rollout",
@@ -1772,6 +2059,22 @@ def build_parser() -> argparse.ArgumentParser:
         "server's idle workers drain over WaveSteal frames; repeatable "
         "(requires --rollout-batch; results return through the cache "
         "fabric, so outputs never change)",
+    )
+    serve.add_argument(
+        "--join",
+        default=None,
+        metavar="ADDR[,ADDR...]",
+        help="join an elastic peer ring through any existing member: "
+        "membership is gossiped over PeerHello/PeerList frames, ring "
+        "members' caches become remote tiers automatically, and "
+        "solve_grid(ring=True) places cells by consistent hash",
+    )
+    serve.add_argument(
+        "--advertise",
+        default=None,
+        metavar="HOST:PORT",
+        help="the address other ring members should reach this server "
+        "on (default: the bound address)",
     )
     serve.add_argument(
         "--stop",

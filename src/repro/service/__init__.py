@@ -17,6 +17,17 @@ Servers are also cache peers: ``CacheGet``/``CachePut`` frames let a
 server's cache layers, so warm solve cells and simulation reports
 travel the peer ring instead of being recomputed (the serving ladder's
 peer-replay rung).
+
+The peer ring is *elastic*: servers discover each other over
+``PeerHello``/``PeerList`` frames (``serve --join ADDR`` bootstraps a
+new member from any existing one), agree on membership through a
+heartbeat gossip loop, and place work and cache entries on a
+consistent-hash :class:`~repro.service.ring.HashRing` -- so
+``solve_grid(ring=True)`` and the cache fabric's remote tiers send each
+cell to the same member, and a member dying mid-sweep only moves its
+own share of the keyspace.  :class:`MultiplexedClient` runs any number
+of concurrent requests over one connection (protocol v3), while legacy
+v1/v2 clients keep working one request at a time.
 """
 
 from repro.service.broker import (
@@ -29,10 +40,13 @@ from repro.service.broker import (
 )
 from repro.service.client import (
     GridReport,
+    MultiplexedClient,
     ServiceClient,
     ServiceError,
     SolveOutcome,
+    fetch_peers,
     fetch_stats,
+    hello_peer,
     parse_address,
     parse_shards,
     solve_grid,
@@ -41,6 +55,7 @@ from repro.service.client import (
 from repro.service.metrics import render_prometheus
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     Ack,
     CacheGet,
     CachePut,
@@ -50,6 +65,9 @@ from repro.service.protocol import (
     ErrorFrame,
     EventFrame,
     Frame,
+    PeerGone,
+    PeerHello,
+    PeerList,
     ProtocolError,
     SolveRequest,
     StatsReply,
@@ -59,6 +77,7 @@ from repro.service.protocol import (
     read_frame,
     write_frame,
 )
+from repro.service.ring import HashRing, PeerDirectory, ring_key
 from repro.service.server import SolveServer
 from repro.service.worker import (
     RolloutWorker,
@@ -88,7 +107,13 @@ __all__ = [
     "EventFrame",
     "Frame",
     "GridReport",
+    "HashRing",
     "Job",
+    "MultiplexedClient",
+    "PeerDirectory",
+    "PeerGone",
+    "PeerHello",
+    "PeerList",
     "ProtocolError",
     "RolloutWorker",
     "ServiceClient",
@@ -99,18 +124,22 @@ __all__ = [
     "SolveRequest",
     "SolveServer",
     "StatsReply",
+    "SUPPORTED_VERSIONS",
     "Subscription",
     "WaveSteal",
     "WaveTasks",
     "Worker",
     "encode_frame",
+    "fetch_peers",
     "fetch_stats",
+    "hello_peer",
     "parse_address",
     "parse_shards",
     "read_frame",
     "registered_fingerprint",
     "registered_system_name",
     "render_prometheus",
+    "ring_key",
     "serve_cached_record",
     "solve_grid",
     "solve_service_request",

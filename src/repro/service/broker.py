@@ -234,6 +234,33 @@ class Broker:
             self._closed = True
             self._ready.notify_all()
 
+    def abort(self, message: str = "server killed") -> int:
+        """Close *and* fail every undispatched job immediately.
+
+        The ungraceful twin of :meth:`close`, used by a server being
+        killed rather than drained: subscribers of queued jobs get a
+        terminal error frame (so remote clients can re-shard the cell
+        to a surviving peer) instead of waiting on workers that will
+        never run them.  Jobs already dispatched to a worker finish
+        normally.  Returns how many queued jobs were failed.
+        """
+        aborted: list[Job] = []
+        with self._ready:
+            self._closed = True
+            while self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                if job.dispatched:
+                    continue  # stale entry from a priority bump
+                job.dispatched = True
+                self._queued -= 1
+                self._inflight.pop(job.key, None)
+                self.stats.failed += 1
+                aborted.append(job)
+            self._ready.notify_all()
+        for job in aborted:
+            job._settle("error", message)
+        return len(aborted)
+
     @property
     def closed(self) -> bool:
         with self._lock:

@@ -1,29 +1,53 @@
-"""Clients for the solve service: blocking, streaming, and sharded grids.
+"""Clients for the solve service: blocking, multiplexed, and sharded grids.
 
-:class:`ServiceClient` speaks the length-framed protocol over one
-persistent TCP connection (requests are pipelined strictly one at a
-time per connection, so frames never interleave).  Three entry points:
+Two client classes speak the length-framed protocol:
 
-- :meth:`ServiceClient.solve` -- blocking; returns a
-  :class:`SolveOutcome`, optionally forwarding the event stream to a
-  sink as it arrives;
+- :class:`ServiceClient` -- the simple one: requests are pipelined
+  strictly one at a time per connection, so frames never interleave.
+  This is also the legacy (v1/v2) client shape; the server echoes
+  whatever protocol version a client speaks.
+- :class:`MultiplexedClient` -- the v3 shape: one socket, any number of
+  in-flight requests from any number of threads, with reply frames
+  demultiplexed by request id on a background reader thread.  A grid
+  shard's worth of concurrent solves runs over a single connection.
+
+Three solve entry points:
+
+- :meth:`ServiceClient.solve` / :meth:`MultiplexedClient.solve` --
+  blocking; return a :class:`SolveOutcome`, optionally forwarding the
+  event stream to a sink as it arrives;
 - :meth:`ServiceClient.iter_solve` -- a generator yielding each typed
   :class:`~repro.core.events.Event` live, then raising ``StopIteration``
   whose value is the outcome (also stored on ``last_outcome``);
 - :func:`solve_grid` -- the Eq. 7 ``problems x runs`` grid fanned over
-  one or more server shards with a deterministic merge: cells are
-  assigned round-robin by flat grid index, results are keyed by
-  ``(problem, run)``, and the reassembled
+  one or more server shards with a deterministic merge: results are
+  keyed by ``(problem, run)``, and the reassembled
   :class:`~repro.evaluation.harness.EvalResult` is bit-identical to a
   local ``evaluate_many`` at the same seeds no matter how many shards
   served it or in what order cells finished.
+
+**Elasticity.**  ``solve_grid`` survives shard death: a cell that hits
+a transport failure (connection severed, half-written frame, server
+killed) is retried once on a fresh connection, and if the shard is
+really gone its remaining cells migrate to the surviving shards -- by
+consistent-hash preference when ``ring=True``, round-robin otherwise.
+Re-running a cell is harmless by construction (the outcome is a pure
+function of ``(system, problem, seed)`` and the server dedups in-flight
+work), so the merged grid stays bit-identical through failures.  With
+``ring=True`` the shard list is first expanded to the full ring
+membership (fetched from any given member) and cells are placed by
+:func:`~repro.service.ring.ring_key`, which co-locates each cell with
+its cached record on every machine that agrees on the member list.
 """
 
 from __future__ import annotations
 
+import itertools
+import queue
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -43,6 +67,9 @@ from repro.service.protocol import (
     Done,
     ErrorFrame,
     EventFrame,
+    PeerGone,
+    PeerHello,
+    PeerList,
     ProtocolError,
     SolveRequest,
     StatsReply,
@@ -51,6 +78,7 @@ from repro.service.protocol import (
     read_frame,
     write_frame,
 )
+from repro.service.ring import HashRing, ring_key
 
 
 class ServiceError(Exception):
@@ -94,7 +122,7 @@ def parse_shards(spec: str) -> list[str]:
 
 
 class ServiceClient:
-    """One connection to one solve server.
+    """One connection to one solve server, one request at a time.
 
     ``timeout`` bounds every read; the default (None) blocks until the
     server answers -- a queued cold cell may legitimately wait behind a
@@ -320,16 +348,284 @@ class ServiceClient:
             raise ProtocolError(f"expected stats, got {frame.type!r}")
         return frame.stats
 
+    def peers(self) -> tuple[str, ...]:
+        """The server's current view of the ring membership."""
+        frame = self._control("peers")
+        if not isinstance(frame, PeerList):
+            raise ProtocolError(f"expected peer list, got {frame.type!r}")
+        return tuple(frame.peers)
+
+    def hello(
+        self, self_address: str, peers: tuple[str, ...] = ()
+    ) -> tuple[str, ...]:
+        """Introduce ``self_address`` to this server's ring.
+
+        Sends a ``PeerHello`` carrying our own membership view and
+        returns the server's merged view -- the gossip primitive behind
+        ``serve --join`` and the heartbeat loop.
+        """
+        request_id = self._request_id()
+        write_frame(
+            self._wfile,
+            PeerHello(id=request_id, address=self_address, peers=tuple(peers)),
+        )
+        frame = self._read()
+        if isinstance(frame, ErrorFrame):
+            raise ServiceError(frame.message)
+        if not isinstance(frame, PeerList):
+            raise ProtocolError(f"expected peer list, got {frame.type!r}")
+        return tuple(frame.peers)
+
     def shutdown_server(self) -> None:
         """Ask the server to drain and stop (connection closes after)."""
         self._control("shutdown")
         self.close()
 
 
+class MultiplexedClient:
+    """One socket, many in-flight requests, demuxed by request id.
+
+    Any number of threads may call :meth:`solve` (or the control
+    helpers) concurrently: writes are serialised frame-at-a-time under
+    a lock, and a background reader thread routes every reply frame to
+    its request's private queue by ``id``.  A transport failure fails
+    every in-flight request at once (each caller sees the same
+    :class:`ServiceError`), after which the client is dead -- callers
+    reconnect by constructing a new one.
+
+    Frames for requests nobody is waiting on (an abandoned or timed-out
+    solve's stragglers) are discarded by the reader, so one slow or
+    dropped request can never desynchronise the others.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float | None = None,
+        connect_timeout: float | None = 10.0,
+    ):
+        self.address = address
+        self.timeout = timeout
+        host, port = parse_address(address)
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        # The reader thread owns the socket timeout; per-request
+        # patience is enforced on each pending queue instead.
+        self._sock.settimeout(None)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._write_lock = threading.Lock()
+        self._pending: dict[int, "queue.SimpleQueue"] = {}
+        self._pending_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._dead: Exception | None = None
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-mux-reader-{address}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    @property
+    def closed(self) -> bool:
+        return self._dead is not None
+
+    def close(self) -> None:
+        self._fail(ServiceError("client closed"))
+
+    def __enter__(self) -> "MultiplexedClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- demux machinery ------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = read_frame(self._rfile)
+                if frame is None:
+                    raise ServiceError("server closed the connection")
+                with self._pending_lock:
+                    waiter = self._pending.get(getattr(frame, "id", 0))
+                if waiter is not None:
+                    waiter.put(frame)
+                # else: a stray frame for an abandoned request; drop it.
+        except PeerGone as exc:
+            self._fail(ServiceError(f"connection severed mid-frame: {exc}"))
+        except (ServiceError, ProtocolError) as exc:
+            self._fail(exc)
+        except (OSError, ValueError) as exc:
+            # Keep the transport flavour visible in the message: grid
+            # retry triage (_is_transient) only sees the ServiceError.
+            self._fail(
+                ServiceError(
+                    f"connection lost: {exc or type(exc).__name__}"
+                )
+            )
+        finally:
+            # The reader owns the final close: closing the buffered file
+            # objects from any other thread would block on the buffer
+            # lock this thread holds while parked in recv().
+            for closer in (
+                self._rfile.close,
+                self._wfile.close,
+                self._sock.close,
+            ):
+                try:
+                    closer()
+                except (OSError, ValueError):
+                    pass
+
+    def _fail(self, exc: Exception) -> None:
+        with self._pending_lock:
+            if self._dead is not None:
+                return
+            self._dead = exc
+            waiters = list(self._pending.values())
+        for waiter in waiters:
+            waiter.put(exc)
+        # shutdown() -- not close() -- so the fd dies out from under the
+        # reader's blocking recv and it can run its own cleanup.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+    def _register(self) -> tuple[int, "queue.SimpleQueue"]:
+        request_id = next(self._ids)
+        waiter: "queue.SimpleQueue" = queue.SimpleQueue()
+        with self._pending_lock:
+            if self._dead is not None:
+                raise self._dead
+            self._pending[request_id] = waiter
+        return request_id, waiter
+
+    def _unregister(self, request_id: int) -> None:
+        with self._pending_lock:
+            self._pending.pop(request_id, None)
+
+    def _send(self, frame) -> None:
+        try:
+            with self._write_lock:
+                write_frame(self._wfile, frame)
+        except (OSError, ValueError) as exc:
+            self._fail(ServiceError(f"send failed: {exc}"))
+            raise self._dead from exc
+
+    def _await(self, waiter: "queue.SimpleQueue"):
+        try:
+            item = waiter.get(timeout=self.timeout)
+        except queue.Empty:
+            raise ServiceError(
+                f"timed out after {self.timeout}s waiting for {self.address}"
+            ) from None
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    # -- requests -------------------------------------------------------
+
+    def solve(
+        self,
+        system: str,
+        problem: str,
+        seed: int = 0,
+        priority: int = 0,
+        events: EventSink | Callable[[Event], None] | None = None,
+    ) -> SolveOutcome:
+        """Blocking submit, safe to call from any number of threads."""
+        sink = as_sink(events)
+        stream = events is not None
+        request_id, waiter = self._register()
+        try:
+            self._send(
+                SolveRequest(
+                    id=request_id,
+                    system=system,
+                    problem=problem,
+                    seed=seed,
+                    priority=priority,
+                    stream=stream,
+                )
+            )
+            ack = self._await(waiter)
+            if isinstance(ack, ErrorFrame):
+                raise ServiceError(ack.message)
+            if not isinstance(ack, Ack):
+                raise ProtocolError(f"expected ack, got {ack.type!r}")
+            dedup = ack.dedup
+            while True:
+                frame = self._await(waiter)
+                if isinstance(frame, EventFrame):
+                    sink.emit(frame.event)
+                elif isinstance(frame, Done):
+                    return SolveOutcome(
+                        source=frame.source,
+                        passed=frame.passed,
+                        score=frame.score,
+                        seconds=frame.seconds,
+                        system=frame.system,
+                        cached=frame.cached,
+                        dedup=frame.dedup or dedup,
+                    )
+                elif isinstance(frame, ErrorFrame):
+                    raise ServiceError(frame.message)
+                else:
+                    raise ProtocolError(f"unexpected frame {frame.type!r}")
+        finally:
+            self._unregister(request_id)
+
+    def _control(self, op: str):
+        request_id, waiter = self._register()
+        try:
+            self._send(ControlRequest(id=request_id, op=op))
+            frame = self._await(waiter)
+            if isinstance(frame, ErrorFrame):
+                raise ServiceError(frame.message)
+            return frame
+        finally:
+            self._unregister(request_id)
+
+    def ping(self) -> bool:
+        return isinstance(self._control("ping"), Ack)
+
+    def stats(self) -> dict:
+        frame = self._control("stats")
+        if not isinstance(frame, StatsReply):
+            raise ProtocolError(f"expected stats, got {frame.type!r}")
+        return frame.stats
+
+    def peers(self) -> tuple[str, ...]:
+        frame = self._control("peers")
+        if not isinstance(frame, PeerList):
+            raise ProtocolError(f"expected peer list, got {frame.type!r}")
+        return tuple(frame.peers)
+
+
 def fetch_stats(address: str, timeout: float | None = 10.0) -> dict:
     """One-shot stats snapshot from a running server."""
     with ServiceClient(address, timeout=timeout) as client:
         return client.stats()
+
+
+def fetch_peers(address: str, timeout: float | None = 10.0) -> tuple[str, ...]:
+    """One-shot ring-membership fetch from a running server."""
+    with ServiceClient(address, timeout=timeout) as client:
+        return client.peers()
+
+
+def hello_peer(
+    address: str,
+    self_address: str,
+    peers: tuple[str, ...] = (),
+    timeout: float | None = 10.0,
+) -> tuple[str, ...]:
+    """One-shot ``PeerHello`` to ``address``; returns its merged view."""
+    with ServiceClient(address, timeout=timeout) as client:
+        return client.hello(self_address, peers)
 
 
 def stop_server(address: str, timeout: float | None = 10.0) -> None:
@@ -347,6 +643,9 @@ class GridReport:
     cells: int = 0
     cached_cells: int = 0
     dedup_cells: int = 0
+    retried_cells: int = 0
+    migrated_cells: int = 0
+    dead_shards: list[str] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
     shard_cells: dict[str, int] = field(default_factory=dict)
 
@@ -377,6 +676,12 @@ class GridReport:
             f"latency         mean {self.mean_latency * 1000.0:8.1f} ms  "
             f"max {self.max_latency * 1000.0:8.1f} ms",
         ]
+        if self.retried_cells or self.migrated_cells or self.dead_shards:
+            dead = ", ".join(self.dead_shards) or "none"
+            lines.append(
+                f"elasticity      {self.retried_cells} retried  "
+                f"{self.migrated_cells} migrated  dead shards: {dead}"
+            )
         for shard in self.shards:
             lines.append(
                 f"  {shard:20s} {self.shard_cells.get(shard, 0):6d} cells"
@@ -386,11 +691,85 @@ class GridReport:
 
 @dataclass(frozen=True)
 class _GridCell:
-    index: int  # flat grid index (drives the shard assignment)
+    index: int  # flat grid index (drives the static shard assignment)
     problem_index: int
     run_index: int
     problem_id: str
     seed: int
+
+
+class _ShardDead(Exception):
+    """A shard failed a cell twice on fresh connections; migrate."""
+
+
+def _is_transient(exc: Exception) -> bool:
+    """Transport-ish failures that justify a retry on a new connection.
+
+    Deterministic server errors ("unknown system ...", "unknown
+    problem ...") would fail identically everywhere; retrying those
+    only hides real bugs, so they abort the grid instead.
+    """
+    if isinstance(exc, (OSError, PeerGone)):
+        return True
+    if isinstance(exc, ProtocolError):
+        return True  # desynchronised stream: only a reconnect recovers
+    if isinstance(exc, ServiceError):
+        message = str(exc)
+        return any(
+            marker in message
+            for marker in (
+                "server closed the connection",
+                "connection severed",
+                "connection lost",
+                "server killed",
+                "broker is shut down",
+                "client closed",
+                "send failed",
+                "timed out",
+                "busy:",
+            )
+        )
+    return False
+
+
+class _ShardLink:
+    """Lazy, shared, regenerating connection to one shard.
+
+    All of a shard's grid workers multiplex over one
+    :class:`MultiplexedClient`; when the connection dies, the first
+    worker to notice invalidates it (by the generation it was using,
+    so racing workers don't tear down a fresh replacement) and the
+    next :meth:`get` dials anew.
+    """
+
+    def __init__(self, shard: str, timeout: float | None):
+        self.shard = shard
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._client: MultiplexedClient | None = None
+        self._generation = 0
+
+    def get(self) -> tuple[MultiplexedClient, int]:
+        with self._lock:
+            if self._client is None or self._client.closed:
+                self._client = MultiplexedClient(
+                    self.shard, timeout=self.timeout
+                )
+                self._generation += 1
+            return self._client, self._generation
+
+    def invalidate(self, generation: int) -> None:
+        with self._lock:
+            if self._generation != generation or self._client is None:
+                return
+            self._client.close()
+            self._client = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._client is not None:
+                self._client.close()
+                self._client = None
 
 
 def solve_grid(
@@ -404,16 +783,30 @@ def solve_grid(
     timeout: float | None = None,
     progress: Callable[[str], None] | None = None,
     events: EventSink | Callable[[Event], None] | None = None,
+    ring: bool = False,
 ):
     """Evaluate the ``problems x runs`` grid through service shards.
 
     Returns ``(EvalResult, GridReport)``.  The determinism contract
     matches :func:`~repro.runtime.batch.evaluate_many`: cell seeds are
     fixed as ``seed0 + run`` before dispatch, the shard assignment is a
-    pure function of the flat grid index (round-robin), and the merge
-    keys results by ``(problem, run)`` -- so the result grid is
-    bit-identical to local ``--jobs 1`` execution regardless of shard
-    count, per-shard connection count, or completion order.  ``events``
+    pure function of the cell's identity, and the merge keys results by
+    ``(problem, run)`` -- so the result grid is bit-identical to local
+    ``--jobs 1`` execution regardless of shard count, per-shard
+    connection count, completion order, or mid-grid shard failures.
+
+    Placement: by default cells round-robin over ``shards`` by flat
+    grid index.  With ``ring=True`` the shard list is expanded to the
+    full ring membership (any one given address suffices -- the rest
+    are discovered over a ``peers`` control request) and each cell is
+    placed on ``HashRing.node_for(ring_key(cell))``, the same member
+    its cached record gossips to.
+
+    Fault tolerance: each shard's workers share one multiplexed
+    connection; a cell that fails with a transport error is retried
+    once on a fresh connection, and a shard that fails twice in a row
+    is declared dead -- its unfinished cells migrate to the surviving
+    shards (ring preference order when ``ring=True``).  ``events``
     receives live :class:`~repro.core.events.CellFinished` frames in
     completion order plus a terminal ``BatchFinished``, like the local
     batch API.
@@ -434,6 +827,20 @@ def solve_grid(
     resolved_name = registered_system_name(system)
     sink = as_sink(events)
 
+    hash_ring: HashRing | None = None
+    if ring:
+        # Expand to the full membership: any one live member knows the
+        # rest.  Unreachable seed addresses are fine as long as one
+        # answers; placement then uses the discovered ring.
+        members: set[str] = set(shards)
+        for shard in shards:
+            try:
+                members.update(fetch_peers(shard, timeout=10.0))
+            except (ServiceError, ProtocolError, OSError, ValueError):
+                continue
+        shards = sorted(members)
+        hash_ring = HashRing(shards)
+
     cells: list[_GridCell] = []
     for problem_index, problem in enumerate(chosen):
         for run in range(runs):
@@ -447,17 +854,28 @@ def solve_grid(
                 )
             )
 
-    # Deterministic shard assignment: flat index round-robin.
-    per_shard: dict[str, list[_GridCell]] = {shard: [] for shard in shards}
+    # Deterministic placement: ring ownership of the cell's identity
+    # key, or flat-index round-robin in static mode.
+    work: dict[str, deque] = {shard: deque() for shard in shards}
     for cell in cells:
-        per_shard[shards[cell.index % len(shards)]].append(cell)
+        if hash_ring is not None:
+            owner = hash_ring.node_for(
+                ring_key(resolved_name, cell.problem_id, cell.seed)
+            )
+        else:
+            owner = shards[cell.index % len(shards)]
+        work[owner].append(cell)
 
     report = GridReport(shards=list(shards))
     outcomes: dict[tuple[int, int], SolveOutcome] = {}
-    errors: list[str] = []
-    lock = threading.Lock()
+    fatal: list[str] = []
     by_problem: dict[int, int] = {}
     next_to_report = 0
+    remaining = len(cells)
+    finished = threading.Event()
+    dead: set[str] = set()
+    cond = threading.Condition()
+    links = {shard: _ShardLink(shard, timeout) for shard in shards}
 
     def flush_progress() -> None:
         # Progress lines in suite order, like evaluate_many.
@@ -477,100 +895,153 @@ def solve_grid(
                 )
             next_to_report += 1
 
-    def drain(shard: str, work: list[_GridCell]) -> None:
-        queue = iter(work)
-        queue_lock = threading.Lock()
-
-        def next_cell() -> _GridCell | None:
-            with queue_lock:
-                return next(queue, None)
-
-        def connection_loop() -> None:
-            client: ServiceClient | None = None
-            try:
-                while True:
-                    cell = next_cell()
-                    if cell is None:
-                        return
-                    submitted = time.perf_counter()
-                    try:
-                        if client is None:
-                            client = ServiceClient(shard, timeout=timeout)
-                        outcome = client.solve(
-                            system, cell.problem_id, seed=cell.seed
-                        )
-                    except (ServiceError, ProtocolError, OSError, ValueError) as exc:
-                        with lock:
-                            errors.append(
-                                f"{shard} {cell.problem_id} "
-                                f"run {cell.run_index}: {exc}"
-                            )
-                        return
-                    latency = time.perf_counter() - submitted
-                    with lock:
-                        outcomes[(cell.problem_index, cell.run_index)] = outcome
-                        report.latencies.append(latency)
-                        report.shard_cells[shard] = (
-                            report.shard_cells.get(shard, 0) + 1
-                        )
-                        if outcome.cached:
-                            report.cached_cells += 1
-                        if outcome.dedup:
-                            report.dedup_cells += 1
-                        by_problem[cell.problem_index] = (
-                            by_problem.get(cell.problem_index, 0) + 1
-                        )
-                        sink.emit(
-                            CellFinished(
-                                problem_id=cell.problem_id,
-                                run_index=cell.run_index,
-                                passed=outcome.passed,
-                                score=outcome.score,
-                                # Server-side execution time, matching
-                                # what local evaluate_many reports (the
-                                # round-trip latency lives in the grid
-                                # report, not the event stream).
-                                seconds=outcome.seconds,
-                                solve_cached=outcome.cached,
-                            )
-                        )
-                        flush_progress()
-            finally:
-                if client is not None:
-                    client.close()
-
-        threads = [
-            threading.Thread(
-                target=connection_loop,
-                name=f"repro-grid-{shard}-{index}",
-                daemon=True,
+    def record(shard: str, cell: _GridCell, outcome: SolveOutcome,
+               latency: float) -> None:
+        nonlocal remaining
+        with cond:
+            if (cell.problem_index, cell.run_index) in outcomes:
+                return  # a migrated duplicate raced us; identical anyway
+            outcomes[(cell.problem_index, cell.run_index)] = outcome
+            remaining -= 1
+            report.latencies.append(latency)
+            report.shard_cells[shard] = report.shard_cells.get(shard, 0) + 1
+            if outcome.cached:
+                report.cached_cells += 1
+            if outcome.dedup:
+                report.dedup_cells += 1
+            by_problem[cell.problem_index] = (
+                by_problem.get(cell.problem_index, 0) + 1
             )
-            for index in range(max(1, min(connections, len(work))))
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+            sink.emit(
+                CellFinished(
+                    problem_id=cell.problem_id,
+                    run_index=cell.run_index,
+                    passed=outcome.passed,
+                    score=outcome.score,
+                    # Server-side execution time, matching what local
+                    # evaluate_many reports (the round-trip latency
+                    # lives in the grid report, not the event stream).
+                    seconds=outcome.seconds,
+                    solve_cached=outcome.cached,
+                )
+            )
+            flush_progress()
+            if remaining == 0:
+                finished.set()
+            cond.notify_all()
+
+    def abort(message: str) -> None:
+        with cond:
+            fatal.append(message)
+            finished.set()
+            cond.notify_all()
+
+    def declare_dead(shard: str, orphan: _GridCell | None) -> None:
+        """Migrate a dead shard's unfinished cells to the survivors.
+
+        Every orphan goes to its highest-preference *surviving* shard
+        (ring mode) or round-robins over the survivors -- the same
+        deterministic answer any client would compute, so concurrent
+        grids re-shard identically.
+        """
+        with cond:
+            orphans = list(work[shard])
+            work[shard].clear()
+            if orphan is not None:
+                orphans.append(orphan)
+            first_death = shard not in dead
+            dead.add(shard)
+            if first_death:
+                report.dead_shards.append(shard)
+            survivors = [s for s in shards if s not in dead]
+            if not survivors:
+                fatal.append(f"all shards dead (last: {shard})")
+                finished.set()
+                cond.notify_all()
+                return
+            for index, cell in enumerate(orphans):
+                if hash_ring is not None:
+                    order = hash_ring.preference(
+                        ring_key(resolved_name, cell.problem_id, cell.seed)
+                    )
+                    target = next(
+                        (s for s in order if s not in dead),
+                        survivors[index % len(survivors)],
+                    )
+                else:
+                    target = survivors[cell.index % len(survivors)]
+                work[target].append(cell)
+                report.migrated_cells += 1
+            cond.notify_all()
+        links[shard].close()
+
+    def solve_cell(shard: str, cell: _GridCell) -> SolveOutcome:
+        """Up to two attempts, the second on a fresh connection."""
+        last: Exception | None = None
+        for attempt in range(2):
+            generation = None
+            try:
+                client, generation = links[shard].get()
+                return client.solve(system, cell.problem_id, seed=cell.seed)
+            except Exception as exc:  # noqa: BLE001 -- triaged below
+                if not _is_transient(exc):
+                    raise
+                last = exc
+                if generation is not None:
+                    links[shard].invalidate(generation)
+                if attempt == 0:
+                    with cond:
+                        report.retried_cells += 1
+        raise _ShardDead(f"{shard}: {last}")
+
+    def worker(shard: str) -> None:
+        while True:
+            with cond:
+                while (
+                    not work[shard]
+                    and not finished.is_set()
+                    and shard not in dead
+                ):
+                    cond.wait(timeout=0.5)
+                if finished.is_set() or shard in dead:
+                    return
+                cell = work[shard].popleft()
+            submitted = time.perf_counter()
+            try:
+                outcome = solve_cell(shard, cell)
+            except _ShardDead:
+                declare_dead(shard, cell)
+                continue
+            except Exception as exc:  # noqa: BLE001 -- deterministic error
+                abort(
+                    f"{shard} {cell.problem_id} run {cell.run_index}: {exc}"
+                )
+                return
+            record(shard, cell, outcome, time.perf_counter() - submitted)
 
     started = time.perf_counter()
-    shard_threads = [
+    threads = [
         threading.Thread(
-            target=drain, args=(shard, work), name=f"repro-shard-{shard}",
+            target=worker,
+            args=(shard,),
+            name=f"repro-grid-{shard}-{index}",
             daemon=True,
         )
-        for shard, work in per_shard.items()
-        if work
+        for shard in shards
+        for index in range(max(1, min(connections, max(1, len(cells)))))
     ]
-    for thread in shard_threads:
+    for thread in threads:
         thread.start()
-    for thread in shard_threads:
+    for thread in threads:
         thread.join()
+    for link in links.values():
+        link.close()
     report.wall_seconds = time.perf_counter() - started
     report.cells = len(outcomes)
 
-    if errors:
+    if fatal:
         raise ServiceError(
-            f"{len(errors)} grid cell(s) failed: " + "; ".join(errors[:3])
+            f"{len(fatal)} grid failure(s): " + "; ".join(fatal[:3])
         )
     if len(outcomes) != len(cells):
         raise ServiceError(

@@ -191,6 +191,28 @@ def render_prometheus(stats: dict) -> str:
             "Work-stealing board counter",
         )
 
+    ring = stats.get("ring")
+    if isinstance(ring, dict):
+        exp.add(
+            "repro_ring_members",
+            len(ring.get("members") or ()),
+            help_text="Servers in the elastic peer ring (including self).",
+            kind="gauge",
+        )
+        for member in ring.get("members") or ():
+            exp.add(
+                "repro_ring_member",
+                1,
+                labels={
+                    "address": str(member),
+                    "self": (
+                        "true" if member == ring.get("self") else "false"
+                    ),
+                },
+                help_text="Ring membership (one sample per member).",
+                kind="gauge",
+            )
+
     for layer, cache in (stats.get("caches") or {}).items():
         if not isinstance(cache, dict):
             continue
@@ -211,6 +233,15 @@ def render_prometheus(stats: dict) -> str:
                 labels=layer_labels,
                 help_text=f"Cache fabric counter: {key}.",
                 kind="gauge" if key == "entries" else "counter",
+            )
+        gossip = cache.get("gossip")
+        if isinstance(gossip, dict):
+            _add_flat(
+                exp,
+                "repro_cache_gossip",
+                gossip,
+                "Write-behind gossip queue counter",
+                labels=layer_labels,
             )
         for tier in cache.get("tiers") or []:
             if not isinstance(tier, dict):

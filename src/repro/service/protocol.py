@@ -2,17 +2,34 @@
 
 One frame on the wire is a 4-byte big-endian payload length followed by
 a UTF-8 JSON object.  Every payload carries ``"v"`` (the protocol
-version -- readers reject mismatches) and ``"type"`` (which frame
-dataclass below it deserialises to).  The conversation is strictly
-client-driven: the client writes one :class:`SolveRequest` or
-:class:`ControlRequest`, the server answers with
+version) and ``"type"`` (which frame dataclass below it deserialises
+to).  Three protocol generations share this framing:
+
+- **v1** -- the original strictly client-driven conversation: one
+  request on the wire at a time, replies in request order;
+- **v2** -- v1 plus the cache-fabric and work-stealing frames
+  (``CacheGet``/``CachePut``/``WaveSteal``/``WaveTasks``);
+- **v3** -- multiplexing: every frame carries ``id`` (the request id),
+  and a client may interleave any number of in-flight requests on one
+  connection -- replies are matched by id, not by order.  v3 also adds
+  the peer-discovery frames ``PeerHello``/``PeerList`` that servers use
+  to form an elastic consistent-hash ring.
+
+Readers accept any supported version and remember which one the peer
+spoke, so a v3 server answers a legacy v1/v2 client in its own dialect
+(legacy clients pipeline strictly one request at a time, which is a
+degenerate -- and therefore automatically compatible -- multiplexing
+schedule).  Unknown versions are rejected with a typed error.
+
+The per-request conversation is unchanged across versions:
 
 - ``SolveRequest``  -> :class:`Ack`, then zero or more
   :class:`EventFrame` (the run's typed event stream, live on a cold
   cell, replayed on a warm one), then exactly one :class:`Done` or
   :class:`ErrorFrame`;
-- ``ControlRequest`` -> one :class:`StatsReply`, :class:`Ack`
-  (``ping``/``shutdown``), or :class:`ErrorFrame`;
+- ``ControlRequest`` -> one :class:`StatsReply`, :class:`PeerList`
+  (``peers``), :class:`Ack` (``ping``/``shutdown``), or
+  :class:`ErrorFrame`;
 - ``CacheGet``/``CachePut`` -> one :class:`CacheReply` -- the cache
   fabric's peer-sharing rungs: a
   :class:`~repro.runtime.cache.RemoteTier` probes or populates another
@@ -21,15 +38,24 @@ client-driven: the client writes one :class:`SolveRequest` or
   blobs, type-guarded on receipt exactly like the disk tier's files);
 - ``WaveSteal`` -> one :class:`WaveTasks` -- work stealing: an idle
   scheduler claims published score-wave tasks from a busy peer's steal
-  board, simulates them, and returns the reports via ``CachePut`` into
-  the victim's ``sim`` layer (the cache fabric is the result
-  transport, so no new reply path exists to get ordering wrong);
+  board, simulates them, and returns the reports via ``CachePut``;
+- ``PeerHello`` -> one :class:`PeerList` -- membership gossip: the
+  sender advertises its own public address plus every member it knows,
+  the receiver merges them into its directory and answers with its
+  full member list.
 
-after which the client may send the next request on the same
-connection.  Events cross the wire via
+Events cross the wire via
 :meth:`repro.core.events.Event.to_json`/``from_json``, so the stream a
 remote client sees is field-identical to a local run's -- the event
 stream *is* the protocol, no transcript parsing.
+
+Stream-end semantics are typed: a stream ending *between* frames is a
+clean EOF (``read_frame`` returns None), while a stream ending *inside*
+a frame raises :class:`PeerGone` -- the peer died or the connection was
+severed mid-write.  ``PeerGone`` subclasses :class:`ProtocolError`, so
+callers that only care about "the bytes were bad" keep working, while
+gossip/steal/ring paths can catch it specifically and skip the peer
+instead of logging corruption.
 """
 
 from __future__ import annotations
@@ -41,7 +67,17 @@ from typing import Any, BinaryIO, ClassVar
 
 from repro.core.events import Event
 
-PROTOCOL_VERSION = 1
+#: The version this process speaks natively (stamped on outgoing frames
+#: unless a reply deliberately echoes a legacy peer's version).
+PROTOCOL_VERSION = 3
+
+#: Versions this process can read.  v1/v2 peers predate multiplexing;
+#: their frames are valid v3 frames with a degenerate (one-at-a-time)
+#: schedule, so accepting them *is* the compat shim.
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
+
+#: Versions whose speakers must be answered in their own dialect.
+LEGACY_VERSIONS = frozenset({1, 2})
 
 # Generous ceiling: frames hold one JSON-encoded event or result, not
 # bulk data.  Anything larger is a corrupt or hostile stream.
@@ -55,6 +91,16 @@ FRAME_TYPES: dict[str, type["Frame"]] = {}
 
 class ProtocolError(Exception):
     """Malformed frame, version mismatch, or unknown frame type."""
+
+
+class PeerGone(ProtocolError):
+    """The peer vanished mid-frame (or refused the connection).
+
+    Distinct from corrupt data: the bytes that did arrive were fine,
+    the stream just ended inside a frame.  Ring and gossip paths catch
+    this to mark the peer down and move on, rather than treating a
+    crashed server as a protocol bug.
+    """
 
 
 @dataclass(frozen=True)
@@ -101,7 +147,8 @@ class SolveRequest(Frame):
 
 @dataclass(frozen=True)
 class ControlRequest(Frame):
-    """Out-of-band server control: ``op`` is ping | stats | shutdown."""
+    """Out-of-band server control: ``op`` is ping | stats | peers |
+    shutdown."""
 
     type: ClassVar[str] = "control"
     id: int
@@ -191,10 +238,12 @@ class CacheGet(Frame):
 
 @dataclass(frozen=True)
 class CachePut(Frame):
-    """Push one cache entry to a peer (write-through gossip).
+    """Push one cache entry to a peer (gossip).
 
     ``blob`` is the base64-pickled value; the receiver type-guards it
-    before storing, exactly like a disk-tier read.
+    before storing, exactly like a disk-tier read.  Senders normally
+    queue these on a write-behind gossip queue so a put never sits on
+    the solve path.
     """
 
     type: ClassVar[str] = "cache_put"
@@ -245,6 +294,37 @@ class WaveTasks(Frame):
 
 
 @dataclass(frozen=True)
+class PeerHello(Frame):
+    """Membership gossip: "I am ``address``, and I know ``peers``".
+
+    Sent by a server to every ring member it knows (on ``--join``
+    bootstrap and on each heartbeat tick).  The receiver merges the
+    sender and its peer list into its own directory and answers with a
+    :class:`PeerList` of everything *it* knows, so two partially
+    informed servers converge in one exchange.
+    """
+
+    type: ClassVar[str] = "peer_hello"
+    id: int
+    address: str
+    peers: tuple = ()
+
+
+@dataclass(frozen=True)
+class PeerList(Frame):
+    """The responder's full membership view (its own address included).
+
+    Also the answer to a client's ``peers`` control request, which is
+    how ``eval --service`` pointed at any one ring member discovers the
+    whole ring.
+    """
+
+    type: ClassVar[str] = "peer_list"
+    id: int
+    peers: tuple = ()
+
+
+@dataclass(frozen=True)
 class StatsReply(Frame):
     """Server-side metrics report: broker and worker counters, every
     cache layer's tier stats, gateway call/retry/fallback/token
@@ -255,18 +335,23 @@ class StatsReply(Frame):
     stats: dict
 
 
-def encode_frame(frame: Frame) -> bytes:
-    """Length-prefixed wire bytes for one frame (version stamped)."""
+def encode_frame(frame: Frame, version: int = PROTOCOL_VERSION) -> bytes:
+    """Length-prefixed wire bytes for one frame.
+
+    ``version`` stamps the payload -- servers pass the version the
+    connection's client spoke so legacy peers get replies in their own
+    dialect.
+    """
     payload = frame.to_wire()
-    payload["v"] = PROTOCOL_VERSION
+    payload["v"] = version
     data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
     if len(data) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame too large ({len(data)} bytes)")
     return _HEADER.pack(len(data)) + data
 
 
-def decode_payload(data: bytes) -> Frame:
-    """Parse one frame payload (the bytes after the length header)."""
+def decode_payload_versioned(data: bytes) -> tuple[Frame, int]:
+    """Parse one frame payload; returns ``(frame, spoken version)``."""
     try:
         payload = json.loads(data.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -274,18 +359,28 @@ def decode_payload(data: bytes) -> Frame:
     if not isinstance(payload, dict):
         raise ProtocolError("frame payload is not an object")
     version = payload.get("v")
-    if version != PROTOCOL_VERSION:
+    if (
+        not isinstance(version, int)
+        or isinstance(version, bool)
+        or version not in SUPPORTED_VERSIONS
+    ):
         raise ProtocolError(
             f"protocol version mismatch: got {version!r}, "
-            f"want {PROTOCOL_VERSION}"
+            f"want one of {sorted(SUPPORTED_VERSIONS)}"
         )
     frame_cls = FRAME_TYPES.get(payload.get("type"))
     if frame_cls is None or frame_cls is Frame:
         raise ProtocolError(f"unknown frame type {payload.get('type')!r}")
     try:
-        return frame_cls.from_wire(payload)
+        return frame_cls.from_wire(payload), version
     except TypeError as exc:
         raise ProtocolError(f"bad {frame_cls.type} frame: {exc}") from exc
+
+
+def decode_payload(data: bytes) -> Frame:
+    """Parse one frame payload (the bytes after the length header)."""
+    frame, _ = decode_payload_versioned(data)
+    return frame
 
 
 def read_frame(stream: BinaryIO) -> Frame | None:
@@ -293,17 +388,26 @@ def read_frame(stream: BinaryIO) -> Frame | None:
 
     Both the header and the body reads loop over short reads, so the
     framing survives raw (unbuffered) streams that deliver a frame in
-    arbitrary fragments; a stream ending mid-frame raises
-    :class:`ProtocolError` rather than hanging or returning a partial
-    frame.
+    arbitrary fragments.  A stream ending *mid-frame* raises
+    :class:`PeerGone` (the peer died or the link was severed); corrupt
+    bytes raise plain :class:`ProtocolError`.  Neither hangs or returns
+    a partial frame.
     """
+    frame_and_version = read_frame_versioned(stream)
+    if frame_and_version is None:
+        return None
+    return frame_and_version[0]
+
+
+def read_frame_versioned(stream: BinaryIO) -> tuple[Frame, int] | None:
+    """Like :func:`read_frame`, but also reports the spoken version."""
     header = b""
     while len(header) < _HEADER.size:
         chunk = stream.read(_HEADER.size - len(header))
         if not chunk:
             if not header:
                 return None  # clean EOF at a frame boundary
-            raise ProtocolError("truncated frame header")
+            raise PeerGone("truncated frame header")
         header += chunk
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
@@ -312,12 +416,48 @@ def read_frame(stream: BinaryIO) -> Frame | None:
     while len(data) < length:
         chunk = stream.read(length - len(data))
         if not chunk:
-            raise ProtocolError("truncated frame body")
+            raise PeerGone("truncated frame body")
         data += chunk
-    return decode_payload(data)
+    return decode_payload_versioned(data)
 
 
-def write_frame(stream: BinaryIO, frame: Frame) -> None:
+def write_frame(
+    stream: BinaryIO, frame: Frame, version: int = PROTOCOL_VERSION
+) -> None:
     """Serialise and flush one frame."""
-    stream.write(encode_frame(frame))
+    stream.write(encode_frame(frame, version=version))
     stream.flush()
+
+
+async def read_frame_async(reader) -> tuple[Frame, int] | None:
+    """Async twin of :func:`read_frame_versioned` for asyncio streams.
+
+    Returns ``(frame, spoken version)``, or None on clean EOF at a
+    frame boundary; raises :class:`PeerGone` on EOF mid-frame and
+    :class:`ProtocolError` on corrupt bytes, never hangs on a short
+    read.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF at a frame boundary
+        raise PeerGone("truncated frame header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large ({length} bytes)")
+    try:
+        data = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise PeerGone("truncated frame body") from exc
+    return decode_payload_versioned(data)
+
+
+async def write_frame_async(
+    writer, frame: Frame, version: int = PROTOCOL_VERSION
+) -> None:
+    """Serialise one frame to an asyncio writer and drain it."""
+    writer.write(encode_frame(frame, version=version))
+    await writer.drain()

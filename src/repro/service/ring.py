@@ -1,0 +1,217 @@
+"""Consistent-hash ring and peer directory for the elastic service.
+
+The ring answers one question deterministically on every machine:
+*which member owns this key?*  Both sides of the service use it --
+:func:`~repro.service.client.solve_grid` places grid cells on ring
+members, and the cache fabric's remote tiers probe the key's owner
+first -- so a cell and its cached record land on the same server
+without any coordination beyond agreeing on the member list.
+
+:class:`HashRing` is the textbook construction: each member is hashed
+onto ``replicas`` points of a 2^64 circle (SHA-256, so placement is
+identical across processes, machines, and Python hash seeds), and a key
+belongs to the first member point at or after the key's own hash.
+Virtual nodes smooth the load; consistency bounds churn -- adding or
+removing one member of *n* moves only ~1/n of the keyspace, which is
+what makes mid-sweep re-sharding cheap.
+
+:class:`PeerDirectory` is the membership view behind the ring: a
+thread-safe set of addresses (always including this server's own),
+updated by ``PeerHello``/``PeerList`` exchanges and pruned by the
+heartbeat loop when a member stops answering.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Callable, Iterable
+
+__all__ = ["HashRing", "PeerDirectory", "ring_key"]
+
+
+def _point(text: str) -> int:
+    """A stable 64-bit position on the hash circle."""
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def ring_key(system: str, problem_id: str, seed: int) -> str:
+    """The placement key of one grid cell.
+
+    A pure function of the cell's identity -- *not* of the member list
+    or the cell's flat grid index -- so every client, before or after a
+    membership change, hashes the same cell to the same circle
+    position.
+    """
+    return f"{system}/{problem_id}/{seed}"
+
+
+class HashRing:
+    """Consistent hashing over a set of member addresses.
+
+    Deterministic by construction: two rings built from the same member
+    set (in any order) are identical, and ``node_for`` depends only on
+    the key and the membership -- never on insertion history.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[int] = []  # sorted circle positions
+        self._owners: dict[int, str] = {}  # position -> member
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> bool:
+        """Add one member; False if it was already present."""
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        for index in range(self.replicas):
+            position = _point(f"{node}#{index}")
+            # SHA-256 collisions between distinct vnode labels are not a
+            # practical concern, but ties must still resolve the same
+            # way everywhere: lowest address wins the point.
+            holder = self._owners.get(position)
+            if holder is not None:
+                if node < holder:
+                    self._owners[position] = node
+                continue
+            self._owners[position] = node
+            bisect.insort(self._points, position)
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Drop one member; False if it was not present."""
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        for index in range(self.replicas):
+            position = _point(f"{node}#{index}")
+            if self._owners.get(position) != node:
+                continue
+            del self._owners[position]
+            point_at = bisect.bisect_left(self._points, position)
+            if (
+                point_at < len(self._points)
+                and self._points[point_at] == position
+            ):
+                del self._points[point_at]
+        return True
+
+    def node_for(self, key: str) -> str | None:
+        """The member owning ``key``, or None for an empty ring."""
+        if not self._points:
+            return None
+        position = _point(key)
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._points):
+            index = 0  # wrap around the circle
+        return self._owners[self._points[index]]
+
+    def preference(self, key: str) -> list[str]:
+        """All members in ring order starting at ``key``'s owner.
+
+        The failover order for the key: if the owner is gone, the next
+        distinct member clockwise takes over -- the same answer on
+        every machine, so clients re-shard identically without talking
+        to each other.
+        """
+        if not self._points:
+            return []
+        ordered: list[str] = []
+        seen: set[str] = set()
+        start = bisect.bisect_right(self._points, _point(key))
+        for offset in range(len(self._points)):
+            owner = self._owners[
+                self._points[(start + offset) % len(self._points)]
+            ]
+            if owner not in seen:
+                seen.add(owner)
+                ordered.append(owner)
+                if len(seen) == len(self._nodes):
+                    break
+        return ordered
+
+
+class PeerDirectory:
+    """Thread-safe ring membership for one server.
+
+    Always contains ``self_address``.  ``add``/``remove`` return
+    whether the view changed so the server can resync its cache tiers
+    only on actual membership churn; ``on_change`` (if given) fires
+    outside the lock with the new member tuple.
+    """
+
+    def __init__(
+        self,
+        self_address: str,
+        on_change: Callable[[tuple[str, ...]], None] | None = None,
+    ):
+        self.self_address = self_address
+        self._members: set[str] = {self_address}
+        self._lock = threading.Lock()
+        self._on_change = on_change
+
+    def members(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._members))
+
+    def others(self) -> tuple[str, ...]:
+        """Every member except this server itself."""
+        with self._lock:
+            return tuple(
+                sorted(self._members - {self.self_address})
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._members)
+
+    def __contains__(self, address: str) -> bool:
+        with self._lock:
+            return address in self._members
+
+    def add(self, addresses: Iterable[str]) -> tuple[str, ...]:
+        """Merge addresses into the view; returns the newly added ones."""
+        with self._lock:
+            fresh = tuple(
+                sorted(set(addresses) - self._members - {""})
+            )
+            if fresh:
+                self._members.update(fresh)
+            members = tuple(sorted(self._members))
+        if fresh and self._on_change is not None:
+            self._on_change(members)
+        return fresh
+
+    def remove(self, address: str) -> bool:
+        """Drop a member (never this server itself)."""
+        if address == self.self_address:
+            return False
+        with self._lock:
+            if address not in self._members:
+                return False
+            self._members.discard(address)
+            members = tuple(sorted(self._members))
+        if self._on_change is not None:
+            self._on_change(members)
+        return True
+
+    def ring(self, replicas: int = 64) -> HashRing:
+        """A consistent-hash ring over the current membership."""
+        return HashRing(self.members(), replicas=replicas)

@@ -75,6 +75,7 @@ class ServiceStats:
         self.steal_served = 0  # wave tasks handed to thieves (victim side)
         self.steal_attempts = 0  # WaveSteal frames sent (thief side)
         self.steal_executed = 0  # stolen tasks simulated and returned
+        self.steal_peer_gone = 0  # steal rounds abandoned: peer dead/severed
 
     def count(self, field: str) -> None:
         with self._lock:
@@ -92,6 +93,7 @@ class ServiceStats:
                 "steal_served": self.steal_served,
                 "steal_attempts": self.steal_attempts,
                 "steal_executed": self.steal_executed,
+                "steal_peer_gone": self.steal_peer_gone,
             }
 
 
@@ -336,6 +338,11 @@ class RolloutWorker(threading.Thread):
         self.gateway = gateway
         self.steal_peers = tuple(steal_peers or ())
         self.steal_poll = steal_poll
+        # Per-peer cooldown deadlines: a peer that died mid-steal (or
+        # refused the connection) is skipped until its deadline passes,
+        # so an idle thief doesn't hammer a corpse every poll tick.
+        self.steal_cooldown = 2.0
+        self._peer_down_until: dict[str, float] = {}
         self._owns_executor = executor is None
         self.scheduler = RolloutScheduler(
             executor=(
@@ -393,8 +400,22 @@ class RolloutWorker(threading.Thread):
                 self.scheduler.executor.shutdown()
 
     def _steal_round(self) -> None:
-        """One pass over the peer ring; unreachable peers are skipped."""
+        """One pass over the peer ring; dead peers are typed and cooled.
+
+        A peer that vanished -- connection refused, reset, or severed
+        mid-frame (:class:`~repro.service.protocol.PeerGone`) -- is
+        *expected* during elastic churn: it is counted, put on a short
+        cooldown, and skipped, never logged as corruption.  Anything
+        else (a genuine protocol violation) also skips the peer but
+        without assuming it will come back.
+        """
+        from repro.service.client import ServiceError
+        from repro.service.protocol import PeerGone, ProtocolError
+
+        now = time.monotonic()
         for address in self.steal_peers:
+            if now < self._peer_down_until.get(address, 0.0):
+                continue  # cooling down after a recent death
             try:
                 steal_from_peer(
                     address,
@@ -402,8 +423,22 @@ class RolloutWorker(threading.Thread):
                     max_items=self.batch,
                     stats=self.stats,
                 )
-            except Exception:  # noqa: BLE001 -- peer down or draining
+            except (PeerGone, ConnectionError, OSError, ServiceError):
+                # The peer is gone (or going): cool down and move on.
+                self.stats.count("steal_peer_gone")
+                self._peer_down_until[address] = (
+                    time.monotonic() + self.steal_cooldown
+                )
                 continue
+            except ProtocolError:
+                # Desynchronised or corrupt stream: the one-shot client
+                # is already closed; treat the peer as suspect too.
+                self.stats.count("steal_peer_gone")
+                self._peer_down_until[address] = (
+                    time.monotonic() + self.steal_cooldown
+                )
+                continue
+            self._peer_down_until.pop(address, None)
 
     def _solve_batch(self, jobs: list) -> None:
         from repro.baselines.registry import SYSTEMS, system_names

@@ -14,19 +14,29 @@ simulation cache), and whether score waves ran locally or were stolen
 by a peer server.
 """
 
+import threading
 import time
+from collections import Counter
 
 import pytest
 
 from repro.baselines.registry import SYSTEMS
-from repro.core.events import ListSink
+from repro.core.events import CellFinished, ListSink
 from repro.core.task import DesignTask
 from repro.evalsets import get_problem, golden_testbench
 from repro.runtime.batch import evaluate_many
 from repro.runtime.cache import SimulationCache
 from repro.runtime.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
 from repro.runtime.rollout import RolloutRequest, RolloutScheduler
-from repro.service import ServiceClient, SolveServer
+from repro.service import (
+    HashRing,
+    ServiceClient,
+    ServiceError,
+    SolveServer,
+    fetch_peers,
+    ring_key,
+    solve_grid,
+)
 
 # One representative per row of the matrix: the full engine, the
 # single-stage baseline, the Table III single-agent ablation, and the
@@ -251,3 +261,156 @@ class TestStealRingParity:
                 break
             time.sleep(0.05)
         assert service["steal_attempts"] > 0
+
+
+def _converged_ring(size=3, workers=2):
+    """``size`` in-process servers joined into one converged ring."""
+    seed = SolveServer(workers=workers, peer_interval=0.1).start()
+    servers = [seed]
+    try:
+        for _ in range(size - 1):
+            servers.append(
+                SolveServer(
+                    workers=workers,
+                    join=(seed.address,),
+                    peer_interval=0.1,
+                ).start()
+            )
+        members = {server.advertised for server in servers}
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            try:
+                views = [
+                    set(fetch_peers(server.address, timeout=5.0))
+                    for server in servers
+                ]
+            except (ServiceError, OSError):
+                views = []
+            if views and all(view >= members for view in views):
+                return servers
+            time.sleep(0.05)
+        raise AssertionError("ring never converged to full membership")
+    except BaseException:
+        for server in servers:
+            server.kill()
+        raise
+
+
+def _ring_victim(servers, key, problems, runs, seed0):
+    """The member owning the most cells of this grid (and a survivor)."""
+    from repro.service.worker import registered_system_name
+
+    ring = HashRing(sorted(server.advertised for server in servers))
+    resolved = registered_system_name(key)  # placement uses this name
+    owners = Counter(
+        ring.node_for(ring_key(resolved, problem.id, seed0 + run))
+        for problem in problems
+        for run in range(runs)
+    )
+    victim_address = owners.most_common(1)[0][0]
+    victim = next(
+        server for server in servers
+        if server.advertised == victim_address
+    )
+    survivor = next(
+        server for server in servers
+        if server.advertised != victim_address
+    )
+    return victim, survivor
+
+
+class TestElasticRingParity:
+    """The ring and ring+kill matrix rows: cells placed by consistent
+    hash over a 3-member elastic ring -- with and without a member
+    dying mid-grid -- must produce the exact rows a serial local run
+    does, for every system in the matrix.
+
+    Four runs per problem give the busiest member at least four cells,
+    so the mid-grid kill always lands while it still has queued work
+    -- the re-shard path is exercised on every parametrization, not
+    just when the scheduler happens to race a certain way."""
+
+    RUNS = 4
+
+    @pytest.fixture(scope="class")
+    def serial_grids(self):
+        """key -> serial-reference EvalResult for the 3-problem grid."""
+        problems = [get_problem(problem_id) for problem_id in PROBLEM_IDS]
+        reference = {}
+        for key in SYSTEM_KEYS:
+            with SerialExecutor() as executor:
+                result, _ = evaluate_many(
+                    SYSTEMS[key].factory,
+                    "verilogeval-v2",
+                    runs=self.RUNS,
+                    seed0=SEED,
+                    problems=problems,
+                    executor=executor,
+                    cache=SimulationCache(),
+                )
+            reference[key] = result
+        return reference
+
+    @pytest.fixture(scope="class")
+    def ring_servers(self):
+        servers = _converged_ring()
+        yield servers
+        for server in servers:
+            server.kill()
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_ring_grid_rows_match_serial(
+        self, key, serial_grids, ring_servers
+    ):
+        """One seed address suffices: membership is discovered, cells
+        are hash-placed, and the merged rows match serial exactly."""
+        result, report = solve_grid(
+            key,
+            "verilogeval-v2",
+            runs=self.RUNS,
+            seed0=SEED,
+            problems=[get_problem(problem_id) for problem_id in PROBLEM_IDS],
+            shards=[ring_servers[0].address],
+            ring=True,
+        )
+        assert result.outcomes == serial_grids[key].outcomes
+        assert set(report.shards) == {
+            server.advertised for server in ring_servers
+        }
+        assert sum(report.shard_cells.values()) == len(PROBLEM_IDS) * self.RUNS
+        assert report.dead_shards == []
+
+    @pytest.mark.parametrize("key", SYSTEM_KEYS)
+    def test_ring_kill_grid_rows_match_serial(self, key, serial_grids):
+        """Killing the busiest member on the first finished cell still
+        yields bit-identical rows: orphans migrate to the survivors."""
+        problems = [get_problem(problem_id) for problem_id in PROBLEM_IDS]
+        servers = _converged_ring()
+        try:
+            victim, survivor = _ring_victim(
+                servers, key, problems, self.RUNS, SEED
+            )
+            killed = threading.Event()
+
+            def chaos(event):
+                if isinstance(event, CellFinished) and not killed.is_set():
+                    killed.set()
+                    victim.kill()
+
+            result, report = solve_grid(
+                key,
+                "verilogeval-v2",
+                runs=self.RUNS,
+                seed0=SEED,
+                problems=problems,
+                shards=[survivor.address],
+                ring=True,
+                events=chaos,
+            )
+        finally:
+            for server in servers:
+                server.kill()
+        assert killed.is_set()
+        assert result.outcomes == serial_grids[key].outcomes
+        assert report.dead_shards == [victim.advertised]
+        assert report.cells == len(problems) * self.RUNS

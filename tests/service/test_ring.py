@@ -1,0 +1,163 @@
+"""Consistent-hash ring unit tests: placement is a pure function of
+(key, membership), joins and leaves move only the keyspace they must,
+and the failover preference order is the same on every machine -- the
+properties ``solve_grid`` re-sharding and ``RemoteTier`` placement
+lean on."""
+
+import random
+
+import pytest
+
+from repro.service.ring import HashRing, PeerDirectory, ring_key
+
+MEMBERS = [f"10.0.0.{n}:7341" for n in range(1, 6)]
+KEYS = [
+    ring_key("mage", f"problem_{index}", seed)
+    for index in range(60)
+    for seed in range(3)
+]
+
+
+def placement(ring: HashRing) -> dict:
+    return {key: ring.node_for(key) for key in KEYS}
+
+
+class TestPlacementStability:
+    def test_build_order_never_matters(self):
+        shuffled = list(MEMBERS)
+        random.Random(7).shuffle(shuffled)
+        forward = HashRing(MEMBERS)
+        backward = HashRing(reversed(MEMBERS))
+        scrambled = HashRing(shuffled)
+        assert forward.nodes == backward.nodes == scrambled.nodes
+        assert placement(forward) == placement(backward)
+        assert placement(forward) == placement(scrambled)
+
+    def test_two_instances_agree_without_coordination(self):
+        # What lets every client re-shard independently: separate ring
+        # objects over the same membership give identical answers.
+        assert placement(HashRing(MEMBERS)) == placement(HashRing(MEMBERS))
+
+    def test_incremental_add_equals_rebuild(self):
+        grown = HashRing(MEMBERS[:-1])
+        grown.add(MEMBERS[-1])
+        assert placement(grown) == placement(HashRing(MEMBERS))
+
+    def test_incremental_remove_equals_rebuild(self):
+        shrunk = HashRing(MEMBERS)
+        shrunk.remove(MEMBERS[2])
+        rebuilt = HashRing(MEMBERS[:2] + MEMBERS[3:])
+        assert placement(shrunk) == placement(rebuilt)
+
+    def test_every_member_owns_some_keyspace(self):
+        owners = set(placement(HashRing(MEMBERS)).values())
+        assert owners == set(MEMBERS)  # 64 vnodes spread 180 keys
+
+    def test_empty_and_single_member_rings(self):
+        empty = HashRing()
+        assert empty.node_for("anything") is None
+        assert empty.preference("anything") == []
+        solo = HashRing([MEMBERS[0]])
+        assert all(owner == MEMBERS[0] for owner in placement(solo).values())
+
+    def test_membership_bookkeeping(self):
+        ring = HashRing(MEMBERS)
+        assert len(ring) == len(MEMBERS)
+        assert MEMBERS[0] in ring and "10.9.9.9:1" not in ring
+        assert not ring.add(MEMBERS[0])  # already present
+        assert not ring.remove("10.9.9.9:1")  # never present
+        assert ring.remove(MEMBERS[0]) and MEMBERS[0] not in ring
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+
+class TestMinimalMovement:
+    def test_join_moves_keys_only_to_the_joiner(self):
+        before = placement(HashRing(MEMBERS))
+        joiner = "10.0.0.99:7341"
+        after = placement(HashRing(MEMBERS + [joiner]))
+        moved = {key for key in KEYS if before[key] != after[key]}
+        assert moved  # the joiner takes over a share
+        assert all(after[key] == joiner for key in moved)
+        # Consistency bound: ~1/n of the keyspace, never a reshuffle.
+        assert len(moved) < len(KEYS) // 2
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        before = placement(HashRing(MEMBERS))
+        leaver = MEMBERS[1]
+        survivors = HashRing([m for m in MEMBERS if m != leaver])
+        after = placement(survivors)
+        for key in KEYS:
+            if before[key] == leaver:
+                assert after[key] != leaver
+            else:
+                assert after[key] == before[key]
+
+    def test_orphans_land_on_the_failover_successor(self):
+        # The re-shard rule solve_grid applies when a shard dies: each
+        # orphaned key goes to the next distinct member in preference
+        # order, which is exactly where a ring without the dead member
+        # places it.
+        full = HashRing(MEMBERS)
+        victim = MEMBERS[3]
+        shrunk = HashRing([m for m in MEMBERS if m != victim])
+        for key in KEYS:
+            if full.node_for(key) != victim:
+                continue
+            order = full.preference(key)
+            successor = next(m for m in order if m != victim)
+            assert shrunk.node_for(key) == successor
+
+
+class TestPreferenceOrder:
+    def test_owner_first_each_member_once(self):
+        ring = HashRing(MEMBERS)
+        for key in KEYS[:30]:
+            order = ring.preference(key)
+            assert order[0] == ring.node_for(key)
+            assert sorted(order) == sorted(MEMBERS)
+
+    def test_preference_is_machine_independent(self):
+        first, second = HashRing(MEMBERS), HashRing(reversed(MEMBERS))
+        for key in KEYS[:30]:
+            assert first.preference(key) == second.preference(key)
+
+
+class TestRingKey:
+    def test_pure_function_of_cell_identity(self):
+        assert ring_key("mage", "cb_mux2", 3) == "mage/cb_mux2/3"
+        assert ring_key("mage", "cb_mux2", 3) == ring_key("mage", "cb_mux2", 3)
+        assert ring_key("mage", "cb_mux2", 3) != ring_key("mage", "cb_mux2", 4)
+        assert ring_key("mage", "cb_mux2", 3) != ring_key("aivril", "cb_mux2", 3)
+
+
+class TestPeerDirectory:
+    def test_always_contains_self(self):
+        directory = PeerDirectory("10.0.0.1:7341")
+        assert directory.members() == ("10.0.0.1:7341",)
+        assert directory.others() == ()
+        assert not directory.remove("10.0.0.1:7341")
+        assert "10.0.0.1:7341" in directory
+
+    def test_add_reports_only_fresh_members(self):
+        directory = PeerDirectory("a:1")
+        assert directory.add(["b:1", "c:1", ""]) == ("b:1", "c:1")
+        assert directory.add(["b:1", "a:1"]) == ()  # all known already
+        assert directory.members() == ("a:1", "b:1", "c:1")
+        assert directory.others() == ("b:1", "c:1")
+
+    def test_on_change_fires_only_on_real_churn(self):
+        changes = []
+        directory = PeerDirectory("a:1", on_change=changes.append)
+        directory.add(["b:1"])
+        directory.add(["b:1"])  # no-op: no callback
+        directory.remove("b:1")
+        directory.remove("b:1")  # already gone: no callback
+        assert changes == [("a:1", "b:1"), ("a:1",)]
+
+    def test_ring_view_tracks_membership(self):
+        directory = PeerDirectory("a:1")
+        directory.add(["b:1", "c:1"])
+        assert directory.ring().nodes == ("a:1", "b:1", "c:1")
